@@ -1,0 +1,62 @@
+//! Criterion bench behind the §4.3 crossover: merging two branches that
+//! each diverged by k events — Eg-walker O(k log k) vs OT O(k^2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eg_ot::OtMerger;
+use egwalker::{Frontier, OpLog};
+
+fn build_two_branch(k: usize) -> OpLog {
+    let mut oplog = OpLog::new();
+    let a = oplog.get_or_create_agent("alice");
+    let b = oplog.get_or_create_agent("bob");
+    oplog.add_insert(a, 0, "base text for the two branch experiment ");
+    let base = oplog.version().clone();
+    let mut va = base.clone();
+    let mut vb = base;
+    let mut rng = 0x2bad_cafe_u64;
+    let mut rand = move |bound: usize| {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        (rng as usize) % bound.max(1)
+    };
+    let mut la = 40usize;
+    let mut lb = 40usize;
+    for _ in 0..k / 8 {
+        let lvs = oplog.add_insert_at(a, &va, rand(la + 1), "abcdefgh");
+        va = Frontier::new_1(lvs.last());
+        la += 8;
+        let lvs = oplog.add_insert_at(b, &vb, rand(lb + 1), "ABCDEFGH");
+        vb = Frontier::new_1(lvs.last());
+        lb += 8;
+    }
+    oplog
+}
+
+fn branch_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_branch_merge");
+    group.sample_size(10);
+    // Eg-walker stays fast as k grows; sweep it further than OT.
+    for k in [1024usize, 4096, 16384] {
+        let oplog = build_two_branch(k);
+        group.bench_with_input(BenchmarkId::new("egwalker", k), &oplog, |b, oplog| {
+            b.iter(|| std::hint::black_box(oplog.checkout_tip().len_chars()))
+        });
+    }
+    // OT is quadratic: k = 1024 already costs tens of seconds per merge, so
+    // the criterion sweep stops at 512. The `crossover` binary extends the
+    // sweep (single-shot timing) for the full §4.3 comparison.
+    for k in [128usize, 512] {
+        let oplog = build_two_branch(k);
+        group.bench_with_input(BenchmarkId::new("ot", k), &oplog, |b, oplog| {
+            b.iter(|| {
+                let mut m = OtMerger::new(oplog);
+                std::hint::black_box(m.replay().len_chars())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, branch_benches);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench behind Figs. 11/12: encoding event graphs to the
+//! on-disk formats.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eg_encoding::{encode, encode_crdt_state, EncodeOpts};
+use eg_trace::{builtin_specs, generate};
+
+fn encode_benches(c: &mut Criterion) {
+    let scale = std::env::var("EG_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+    for spec in builtin_specs(scale).into_iter().take(4) {
+        let oplog = generate(&spec);
+        let mut group = c.benchmark_group(format!("encode/{}", spec.name));
+        group.sample_size(10);
+        group.bench_function("event_graph", |b| {
+            b.iter(|| std::hint::black_box(encode(&oplog, EncodeOpts::default()).len()))
+        });
+        group.bench_function("event_graph_lz4", |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    encode(
+                        &oplog,
+                        EncodeOpts {
+                            compress_content: true,
+                            ..Default::default()
+                        },
+                    )
+                    .len(),
+                )
+            })
+        });
+        group.bench_function("crdt_state", |b| {
+            b.iter(|| std::hint::black_box(encode_crdt_state(&oplog).len()))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, encode_benches);
+criterion_main!(benches);

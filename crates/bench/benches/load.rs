@@ -1,0 +1,42 @@
+//! Criterion bench behind Fig. 8's load columns: reopening a document from
+//! disk. Eg-walker reads the cached text; the CRDT must rebuild state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eg_crdt_ref::CrdtDoc;
+use eg_encoding::{decode_cached_doc_only, encode, EncodeOpts};
+use eg_trace::{builtin_specs, generate};
+use egwalker::convert::to_crdt_ops;
+
+fn load_benches(c: &mut Criterion) {
+    let scale = std::env::var("EG_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+    for spec in builtin_specs(scale) {
+        let oplog = generate(&spec);
+        let file = encode(
+            &oplog,
+            EncodeOpts {
+                cache_final_doc: true,
+                ..Default::default()
+            },
+        );
+        let ops = to_crdt_ops(&oplog);
+        let mut group = c.benchmark_group(format!("load/{}", spec.name));
+        group.sample_size(10);
+        group.bench_function("egwalker_cached", |b| {
+            b.iter(|| std::hint::black_box(decode_cached_doc_only(&file).unwrap().unwrap().len()))
+        });
+        group.bench_function("ref_crdt_rebuild", |b| {
+            b.iter(|| {
+                let mut doc = CrdtDoc::new();
+                doc.apply_all(&oplog, &ops);
+                std::hint::black_box(doc.len_chars())
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, load_benches);
+criterion_main!(benches);

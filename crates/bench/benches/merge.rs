@@ -1,0 +1,50 @@
+//! Criterion bench behind Fig. 8: time to merge each trace from a remote
+//! replica, per algorithm. (OT is limited to the traces it can merge in
+//! reasonable time at this scale.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eg_crdt_ref::CrdtDoc;
+use eg_ot::OtMerger;
+use eg_trace::{builtin_specs, generate};
+use egwalker::convert::to_crdt_ops;
+
+fn bench_scale() -> f64 {
+    std::env::var("EG_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01)
+}
+
+fn merge_benches(c: &mut Criterion) {
+    let scale = bench_scale();
+    for spec in builtin_specs(scale) {
+        let oplog = generate(&spec);
+        let mut group = c.benchmark_group(format!("merge/{}", spec.name));
+        group.sample_size(10);
+        group.bench_function("egwalker", |b| {
+            b.iter(|| std::hint::black_box(oplog.checkout_tip().len_chars()))
+        });
+        let ops = to_crdt_ops(&oplog);
+        group.bench_function("ref_crdt", |b| {
+            b.iter(|| {
+                let mut doc = CrdtDoc::new();
+                doc.apply_all(&oplog, &ops);
+                std::hint::black_box(doc.len_chars())
+            })
+        });
+        // OT on the asynchronous traces is the paper's hour-long case;
+        // keep criterion runs bounded by benching OT on S/C traces only.
+        if !spec.name.starts_with('A') {
+            group.bench_function("ot", |b| {
+                b.iter(|| {
+                    let mut m = OtMerger::new(&oplog);
+                    std::hint::black_box(m.replay().len_chars())
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, merge_benches);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for the real-time collaboration path: applying one
+//! remote event burst to a live document (paper Fig. 8's 16 ms frame
+//! budget).
+//!
+//! This exercises the §3.6 partial replay: the walker replays only the
+//! conflict window (here, a handful of events), never the full trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eg_trace::{builtin_specs, generate};
+use egwalker::OpLog;
+
+fn bench_scale() -> f64 {
+    std::env::var("EG_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01)
+}
+
+fn extend_with_remote(oplog: &OpLog, k: usize) -> OpLog {
+    let mut extended = oplog.clone();
+    let remote = extended.get_or_create_agent("late-remote-peer");
+    let back = oplog.len().saturating_sub(k + 1);
+    let parents = if oplog.is_empty() { vec![] } else { vec![back] };
+    let text: String = std::iter::repeat('r').take(k).collect();
+    extended.add_insert_at(remote, &parents, 0, &text);
+    extended
+}
+
+fn realtime_benches(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("realtime_merge");
+    for spec in builtin_specs(scale) {
+        let oplog = generate(&spec);
+        let tip = oplog.version().clone();
+        let extended = extend_with_remote(&oplog, 16);
+        let live = extended.checkout(&tip);
+        group.bench_function(&spec.name, |b| {
+            b.iter(|| {
+                let mut doc = live.clone();
+                doc.merge(&extended);
+                std::hint::black_box(doc.len_chars())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, realtime_benches);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! A byte-counting global allocator (for the Fig. 10 memory experiment).
+//!
+//! Binaries opt in with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: eg_bench::alloc_track::TrackingAlloc = eg_bench::alloc_track::TrackingAlloc;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// The tracking allocator: forwards to the system allocator, counting
+/// live bytes and the high-water mark.
+pub struct TrackingAlloc;
+
+// SAFETY: All allocation is delegated to `System`; the extra work only
+// updates atomic counters.
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(cur, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            let old = layout.size();
+            if new_size >= old {
+                let cur = CURRENT.fetch_add(new_size - old, Ordering::Relaxed) + (new_size - old);
+                PEAK.fetch_max(cur, Ordering::Relaxed);
+            } else {
+                CURRENT.fetch_sub(old - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+/// Live heap bytes right now.
+pub fn current_bytes() -> usize {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current level and returns the previous peak.
+pub fn reset_peak() -> usize {
+    let prev = PEAK.swap(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+    prev
+}
+
+/// The high-water mark since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Runs `f`, returning `(result, peak_delta, retained_delta)`: extra bytes
+/// at peak during the call, and extra bytes still live afterwards (the
+/// result is kept alive).
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, usize, usize) {
+    let before = current_bytes();
+    reset_peak();
+    let value = f();
+    let peak = peak_bytes().saturating_sub(before);
+    let retained = current_bytes().saturating_sub(before);
+    (value, peak, retained)
+}

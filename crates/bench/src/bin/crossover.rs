@@ -1,0 +1,79 @@
+//! The §4.3 story in one sweep: merging two branches that diverged by k
+//! events each. OT needs O(k^2) work; Eg-walker O(k log k). The table
+//! shows the crossover.
+
+use eg_bench::harness::{fmt_time, parse_args, row, time_mean};
+use eg_ot::OtMerger;
+use egwalker::{Frontier, OpLog};
+
+fn build_two_branch(k: usize) -> OpLog {
+    let mut oplog = OpLog::new();
+    let a = oplog.get_or_create_agent("alice");
+    let b = oplog.get_or_create_agent("bob");
+    oplog.add_insert(a, 0, "base text for the two branch experiment ");
+    let base = oplog.version().clone();
+    let mut va = base.clone();
+    let mut vb = base;
+    let mut rng = 0x2bad_cafe_u64;
+    let mut rand = move |bound: usize| {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        (rng as usize) % bound.max(1)
+    };
+    let mut la = 40usize;
+    let mut lb = 40usize;
+    // Each branch inserts in runs of 8 to keep run counts realistic.
+    let runs = k / 8;
+    for _ in 0..runs {
+        let lvs = oplog.add_insert_at(a, &va, rand(la + 1), "abcdefgh");
+        va = Frontier::new_1(lvs.last());
+        la += 8;
+        let lvs = oplog.add_insert_at(b, &vb, rand(lb + 1), "ABCDEFGH");
+        vb = Frontier::new_1(lvs.last());
+        lb += 8;
+    }
+    oplog
+}
+
+fn main() {
+    let args = parse_args();
+    let widths = [10, 16, 16, 10];
+    println!("Two-branch merge: k events per branch (O(k^2) OT vs O(k log k) Eg-walker)");
+    println!(
+        "{}",
+        row(
+            &["k", "eg-walker", "ot", "ot/eg"].map(String::from),
+            &widths
+        )
+    );
+    // OT at k=4096 already takes upwards of an hour (the paper's A2
+    // story); keep the default sweep tractable.
+    let max_k = (2_048.0 * (args.scale / 0.02).max(0.25)) as usize;
+    let mut k = 256;
+    while k <= max_k {
+        let oplog = build_two_branch(k);
+        let eg = time_mean(args.iters, || {
+            let doc = oplog.checkout_tip();
+            std::hint::black_box(doc.len_chars());
+        });
+        let ot = time_mean(1, || {
+            let mut m = OtMerger::new(&oplog);
+            let doc = m.replay();
+            std::hint::black_box(doc.len_chars());
+        });
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{k}"),
+                    fmt_time(eg),
+                    fmt_time(ot),
+                    format!("{:.1}x", ot / eg),
+                ],
+                &widths
+            )
+        );
+        k *= 2;
+    }
+}

@@ -1,0 +1,72 @@
+//! Regenerates the paper's Fig. 10: RAM while merging each trace.
+//!
+//! * Eg-walker: peak (during replay) and steady state (document text only —
+//!   the walker's internal state is discarded);
+//! * OT: peak (memoised transforms) and steady state (document text);
+//! * reference CRDT: steady state (its full structure stays resident; the
+//!   paper notes CRDT peak is within ~25% of steady).
+
+use eg_bench::alloc_track::{measure, TrackingAlloc};
+use eg_bench::harness::{build_traces, fmt_bytes, parse_args, row};
+use eg_crdt_ref::CrdtDoc;
+use eg_ot::OtMerger;
+use egwalker::convert::to_crdt_ops;
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+fn main() {
+    let args = parse_args();
+    eprintln!("building traces at scale {} …", args.scale);
+    let traces = build_traces(args.scale);
+    let widths = [4, 13, 13, 13, 13, 13];
+    println!("Fig. 10 — RAM while merging (scale {:.3})", args.scale);
+    println!(
+        "{}",
+        row(
+            &[
+                "",
+                "eg peak",
+                "eg steady",
+                "ot peak",
+                "ot steady",
+                "crdt steady"
+            ]
+            .map(String::from),
+            &widths
+        )
+    );
+    for (spec, oplog) in &traces {
+        let (doc, eg_peak, eg_steady) = measure(|| oplog.checkout_tip());
+        drop(doc);
+        let (ot_doc, ot_peak, _) = measure(|| {
+            let mut m = OtMerger::new(oplog);
+            m.replay()
+        });
+        // OT steady state: the final document only (history on disk) —
+        // the same rope Eg-walker retains.
+        let ot_steady = eg_steady;
+        drop(ot_doc);
+        let ops = to_crdt_ops(oplog);
+        let (crdt, _, crdt_steady) = measure(|| {
+            let mut doc = CrdtDoc::new();
+            doc.apply_all(oplog, &ops);
+            doc
+        });
+        std::hint::black_box(crdt.len_chars());
+        println!(
+            "{}",
+            row(
+                &[
+                    spec.name.clone(),
+                    fmt_bytes(eg_peak),
+                    fmt_bytes(eg_steady),
+                    fmt_bytes(ot_peak),
+                    fmt_bytes(ot_steady),
+                    fmt_bytes(crdt_steady),
+                ],
+                &widths
+            )
+        );
+    }
+}

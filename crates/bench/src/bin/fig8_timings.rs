@@ -1,0 +1,83 @@
+//! Regenerates the paper's Fig. 8: CPU time to merge each trace from a
+//! remote replica, and to reload the resulting document from disk.
+//!
+//! Eg-walker and OT load from a cached final document (a plain text read);
+//! the reference CRDT must rebuild its whole state, so its load time equals
+//! its merge time (paper §4.3).
+
+use eg_bench::harness::{build_traces, fmt_time, parse_args, row, time_mean};
+use eg_crdt_ref::CrdtDoc;
+use eg_encoding::{decode_cached_doc_only, encode, EncodeOpts};
+use eg_ot::OtMerger;
+use egwalker::convert::to_crdt_ops;
+
+fn main() {
+    let args = parse_args();
+    eprintln!("building traces at scale {} …", args.scale);
+    let traces = build_traces(args.scale);
+    let widths = [4, 16, 18, 16, 18, 16];
+    println!("Fig. 8 — merge & reload times (scale {:.3})", args.scale);
+    println!(
+        "{}",
+        row(
+            &[
+                "",
+                "eg merge",
+                "eg cached load",
+                "ot merge",
+                "ot cached load",
+                "crdt merge=load"
+            ]
+            .map(String::from),
+            &widths
+        )
+    );
+    for (spec, oplog) in &traces {
+        // Eg-walker merge: replay the full trace into an empty document.
+        let eg_merge = time_mean(args.iters, || {
+            let doc = oplog.checkout_tip();
+            std::hint::black_box(doc.len_chars());
+        });
+        // Cached load: read the cached document text back from the file.
+        let file = encode(
+            oplog,
+            EncodeOpts {
+                cache_final_doc: true,
+                ..Default::default()
+            },
+        );
+        let eg_load = time_mean(args.iters.max(10), || {
+            let doc = decode_cached_doc_only(&file).unwrap().unwrap();
+            std::hint::black_box(doc.len());
+        });
+        // OT merge.
+        let ot_merge = time_mean(1, || {
+            let mut m = OtMerger::new(oplog);
+            let doc = m.replay();
+            std::hint::black_box(doc.len_chars());
+        });
+        // Reference CRDT: convert first (not timed, as in the paper's E1),
+        // then merge the operation stream.
+        let ops = to_crdt_ops(oplog);
+        let crdt_merge = time_mean(args.iters, || {
+            let mut doc = CrdtDoc::new();
+            doc.apply_all(oplog, &ops);
+            std::hint::black_box(doc.len_chars());
+        });
+        println!(
+            "{}",
+            row(
+                &[
+                    spec.name.clone(),
+                    fmt_time(eg_merge),
+                    fmt_time(eg_load),
+                    fmt_time(ot_merge),
+                    fmt_time(eg_load), // same cached-text load path as Eg-walker
+                    fmt_time(crdt_merge),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("(CRDT load time equals its merge time; Eg-walker/OT load the cached text.)");
+}

@@ -1,0 +1,75 @@
+//! Partial-replay ablation (paper §3.6): the cost of applying a few new
+//! remote events to an up-to-date document.
+//!
+//! With partial replay, Eg-walker rebuilds internal state only from the
+//! last critical version before the conflict window. The ablation
+//! baseline rebuilds the document from scratch (replaying the whole
+//! graph), which is what a system without §3.5/§3.6 would do to the same
+//! effect. This is the "real-time collaboration" path: the paper's Fig. 8
+//! red line marks the 16 ms frame budget such an update must fit in.
+
+use eg_bench::harness::{build_traces, fmt_time, parse_args, row, time_mean};
+use egwalker::OpLog;
+
+/// Clones the oplog, appends `k` events from a second author concurrent
+/// with the last `k` local events, and returns (extended log, version the
+/// live document was at).
+fn extend_with_remote(oplog: &OpLog, k: usize) -> (OpLog, Vec<usize>) {
+    let mut extended = oplog.clone();
+    let tip = extended.version().clone();
+    let remote = extended.get_or_create_agent("late-remote-peer");
+    // Parent the remote burst a few events back, making it concurrent with
+    // the local tail (a realistic "peer was k keystrokes behind" merge).
+    let back = oplog.len().saturating_sub(k).saturating_sub(1);
+    let parents = if oplog.is_empty() { vec![] } else { vec![back] };
+    let text: String = std::iter::repeat('r').take(k).collect();
+    extended.add_insert_at(remote, &parents, 0, &text);
+    (extended, tip.to_vec())
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!("building traces at scale {} …", args.scale);
+    let traces = build_traces(args.scale);
+    let k = 16;
+    let widths = [4, 16, 16, 10];
+    println!(
+        "Partial replay ablation (scale {:.3}) — merging {k} remote events into a live doc",
+        args.scale
+    );
+    println!(
+        "{}",
+        row(
+            &["", "partial (§3.6)", "from scratch", "speedup"].map(String::from),
+            &widths
+        )
+    );
+    for (spec, oplog) in &traces {
+        let (extended, at) = extend_with_remote(oplog, k);
+        // The live document is already at the old tip; measure applying the
+        // new events only.
+        let base_doc = extended.checkout(&at);
+        let partial = time_mean(args.iters.max(10), || {
+            let mut doc = base_doc.clone();
+            doc.merge(&extended);
+            std::hint::black_box(doc.len_chars());
+        });
+        let scratch = time_mean(args.iters, || {
+            let doc = extended.checkout_tip();
+            std::hint::black_box(doc.len_chars());
+        });
+        println!(
+            "{}",
+            row(
+                &[
+                    spec.name.clone(),
+                    fmt_time(partial),
+                    fmt_time(scratch),
+                    format!("{:.0}x", scratch / partial),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\n(partial includes cloning the rope; the walker work itself is smaller still)");
+}

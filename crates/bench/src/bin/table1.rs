@@ -1,0 +1,68 @@
+//! Regenerates the paper's Table 1: statistics of the editing traces.
+
+use eg_bench::harness::{build_traces, parse_args, row};
+use eg_trace::trace_stats;
+
+fn main() {
+    let args = parse_args();
+    eprintln!("building traces at scale {} …", args.scale);
+    let traces = build_traces(args.scale);
+    let widths = [4, 12, 10, 12, 12, 9, 14, 12];
+    println!(
+        "Table 1 — editing trace statistics (scale {:.3})",
+        args.scale
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "name",
+                "type",
+                "events",
+                "avg conc",
+                "graph runs",
+                "authors",
+                "chars left %",
+                "final size"
+            ]
+            .map(String::from),
+            &widths
+        )
+    );
+    for (spec, oplog) in &traces {
+        let s = trace_stats(oplog, None);
+        println!(
+            "{}",
+            row(
+                &[
+                    spec.name.clone(),
+                    format!("{:?}", spec.kind),
+                    format!("{}", s.events),
+                    format!("{:.2}", s.avg_concurrency),
+                    format!("{}", s.graph_runs),
+                    format!("{}", s.authors),
+                    format!("{:.1}", s.chars_remaining_pct),
+                    format!("{:.1} kB", s.final_size_bytes as f64 / 1000.0),
+                ],
+                &widths
+            )
+        );
+        let p = spec.paper_stats;
+        println!(
+            "{}",
+            row(
+                &[
+                    "".into(),
+                    "(paper @1.0)".into(),
+                    format!("{}k", p.0),
+                    format!("{:.2}", p.1),
+                    format!("{}", p.2),
+                    format!("{}", p.3),
+                    format!("{:.1}", p.4),
+                    format!("{:.1} kB", p.5),
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Shared benchmark infrastructure: trace construction, CLI parsing, and
+//! paper-style table output.
+
+use eg_trace::{builtin_specs, generate, TraceSpec};
+use egwalker::OpLog;
+use std::time::Instant;
+
+/// Default fraction of the paper's trace sizes used by the quick-run
+/// binaries (the paper's traces hold ~0.5–1M events each; scaling keeps
+/// laptop runtimes in seconds while preserving every shape).
+pub const DEFAULT_SCALE: f64 = 0.02;
+
+/// Command-line options shared by the benchmark binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Trace scale relative to the paper (1.0 = paper size).
+    pub scale: f64,
+    /// Iterations for timing loops.
+    pub iters: usize,
+}
+
+/// Parses `--scale <f>`, `--full` and `--iters <n>` from `std::env::args`.
+pub fn parse_args() -> BenchArgs {
+    let mut args = BenchArgs {
+        scale: std::env::var("EG_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SCALE),
+        iters: 3,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                args.scale = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale needs a number");
+                i += 1;
+            }
+            "--full" => args.scale = 1.0,
+            "--iters" => {
+                args.iters = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--iters needs a number");
+                i += 1;
+            }
+            other => panic!("unknown argument {other}; supported: --scale <f> --full --iters <n>"),
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Builds all seven traces at the given scale, reporting progress.
+pub fn build_traces(scale: f64) -> Vec<(TraceSpec, OpLog)> {
+    builtin_specs(scale)
+        .into_iter()
+        .map(|spec| {
+            let t0 = Instant::now();
+            let oplog = generate(&spec);
+            eprintln!(
+                "  built {} ({} events) in {:.1?}",
+                spec.name,
+                oplog.len(),
+                t0.elapsed()
+            );
+            (spec, oplog)
+        })
+        .collect()
+}
+
+/// Times `f` over `iters` runs, returning the mean seconds.
+pub fn time_mean(iters: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters.max(1) {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters.max(1) as f64
+}
+
+/// Formats seconds like the paper's figures (ms / sec / min).
+pub fn fmt_time(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else if secs < 120.0 {
+        format!("{:.2} sec", secs)
+    } else {
+        format!("{:.1} min", secs / 60.0)
+    }
+}
+
+/// Formats bytes like the paper's figures (KiB / MiB / GiB).
+pub fn fmt_bytes(bytes: usize) -> String {
+    let b = bytes as f64;
+    if b < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", b / 1024.0)
+    } else if b < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", b / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", b / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}

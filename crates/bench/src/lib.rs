@@ -1,0 +1,13 @@
+//! Benchmark harness for the Eg-walker evaluation (paper §4).
+//!
+//! One binary per table/figure regenerates the corresponding results (see
+//! DESIGN.md §3 for the experiment index); Criterion benches cover the
+//! timing-sensitive subset. Shared infrastructure lives here:
+//!
+//! * [`alloc_track`] — a byte-counting global allocator for the memory
+//!   experiment (Fig. 10);
+//! * [`harness`] — trace construction, argument parsing and table
+//!   formatting.
+
+pub mod alloc_track;
+pub mod harness;

@@ -1,0 +1,48 @@
+//! A generic order-statistic B-tree over run-length-encoded spans.
+//!
+//! This is the "ranked B-tree" of the paper's §3.4: a balanced tree whose
+//! leaves hold RLE entries and whose internal nodes cache, per child, the
+//! total width of the subtree in **two dimensions**. The Eg-walker tracker
+//! uses the dimensions for "number of characters visible in the prepare
+//! version" (`cur`) and "… in the effect version" (`end`); the rope uses the
+//! same width in both.
+//!
+//! Supported queries and updates, all `O(log n)`:
+//!
+//! * find the entry containing the *k*-th visible unit in the `cur`
+//!   dimension, simultaneously reporting the `end`-dimension offset of that
+//!   unit ([`ContentTree::cursor_at_cur_unit`]);
+//! * insert an entry at a cursor ([`ContentTree::insert_at`]), with RLE
+//!   append to the preceding entry when possible;
+//! * mutate the state of a sub-range of an entry
+//!   ([`ContentTree::mutate_entry`]), splitting as needed and repairing the
+//!   cached widths along the path to the root;
+//! * walk *upwards* from a leaf to compute the global offset of an entry
+//!   ([`ContentTree::offset_of`]) — used after ID-index lookups;
+//! * leaf-split notifications so callers can maintain an ID → leaf index
+//!   (the paper's "second B-tree").
+//!
+//! Entries must be **uniform**: within one entry, every unit is either
+//! visible or invisible in each dimension (so an entry's width per dimension
+//! is `0` or `len`). The tree relies on this to convert width offsets to raw
+//! offsets. Entries with mixed state must be split by the caller first —
+//! the Eg-walker tracker's spans are uniform by construction.
+
+mod tree;
+
+pub use tree::{ContentTree, Cursor, NodeIdx, Widths, NODE_IDX_NONE};
+
+use eg_rle::{HasLength, MergableSpan, SplitableSpan};
+
+/// An entry storable in a [`ContentTree`].
+pub trait TreeEntry: Clone + HasLength + SplitableSpan + MergableSpan + std::fmt::Debug {
+    /// Width of the entry in the `cur` (primary / prepare) dimension.
+    ///
+    /// Must equal `0` or `self.len()`.
+    fn width_cur(&self) -> usize;
+
+    /// Width of the entry in the `end` (secondary / effect) dimension.
+    ///
+    /// Must equal `0` or `self.len()`.
+    fn width_end(&self) -> usize;
+}

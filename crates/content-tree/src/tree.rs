@@ -1,0 +1,803 @@
+//! The B-tree implementation. See the crate docs for the design.
+
+use crate::TreeEntry;
+
+/// Index of a node in the tree's arena.
+pub type NodeIdx = u32;
+
+/// Sentinel for "no node" (absent parent / end of leaf chain).
+pub const NODE_IDX_NONE: NodeIdx = u32::MAX;
+
+/// Maximum number of children of an internal node.
+const MAX_CHILDREN: usize = 16;
+/// Maximum number of entries in a leaf.
+const MAX_ENTRIES: usize = 16;
+
+/// Subtree widths in the two tracked dimensions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Widths {
+    /// Total width in the `cur` (primary / prepare) dimension.
+    pub cur: usize,
+    /// Total width in the `end` (secondary / effect) dimension.
+    pub end: usize,
+    /// Total raw units (every unit counts, visible or not).
+    pub raw: usize,
+}
+
+impl Widths {
+    fn of<E: TreeEntry>(e: &E) -> Self {
+        Widths {
+            cur: e.width_cur(),
+            end: e.width_end(),
+            raw: e.len(),
+        }
+    }
+
+    fn add(&mut self, other: Widths) {
+        self.cur += other.cur;
+        self.end += other.end;
+        self.raw += other.raw;
+    }
+}
+
+/// A position in the tree: just before the `offset`-th unit of the
+/// `entry_idx`-th entry of leaf `leaf`.
+///
+/// Cursors are plain value types; any structural tree change invalidates
+/// them (re-locate afterwards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cursor {
+    /// The leaf node holding the position.
+    pub leaf: NodeIdx,
+    /// Entry index within the leaf. May equal the number of entries
+    /// (end-of-leaf position).
+    pub entry_idx: usize,
+    /// Raw-unit offset into the entry. May equal the entry length
+    /// (boundary position).
+    pub offset: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Internal {
+    parent: NodeIdx,
+    children: Vec<NodeIdx>,
+    /// Cached total widths of each child's subtree, aligned with `children`.
+    widths: Vec<Widths>,
+}
+
+#[derive(Debug, Clone)]
+struct Leaf<E> {
+    parent: NodeIdx,
+    entries: Vec<E>,
+    /// Next leaf in sequence order, or [`NODE_IDX_NONE`].
+    next: NodeIdx,
+}
+
+#[derive(Debug, Clone)]
+enum Node<E> {
+    Internal(Internal),
+    Leaf(Leaf<E>),
+}
+
+/// The order-statistic B-tree. See the crate documentation.
+#[derive(Debug, Clone)]
+pub struct ContentTree<E: TreeEntry> {
+    nodes: Vec<Node<E>>,
+    root: NodeIdx,
+    first_leaf: NodeIdx,
+}
+
+impl<E: TreeEntry> Default for ContentTree<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: TreeEntry> ContentTree<E> {
+    /// Creates an empty tree (a single empty leaf).
+    pub fn new() -> Self {
+        ContentTree {
+            nodes: vec![Node::Leaf(Leaf {
+                parent: NODE_IDX_NONE,
+                entries: Vec::new(),
+                next: NODE_IDX_NONE,
+            })],
+            root: 0,
+            first_leaf: 0,
+        }
+    }
+
+    /// Removes all entries, releasing the arena.
+    pub fn clear(&mut self) {
+        *self = Self::new();
+    }
+
+    fn leaf(&self, idx: NodeIdx) -> &Leaf<E> {
+        match &self.nodes[idx as usize] {
+            Node::Leaf(l) => l,
+            Node::Internal(_) => panic!("expected leaf at {idx}"),
+        }
+    }
+
+    fn leaf_mut(&mut self, idx: NodeIdx) -> &mut Leaf<E> {
+        match &mut self.nodes[idx as usize] {
+            Node::Leaf(l) => l,
+            Node::Internal(_) => panic!("expected leaf at {idx}"),
+        }
+    }
+
+    fn internal(&self, idx: NodeIdx) -> &Internal {
+        match &self.nodes[idx as usize] {
+            Node::Internal(n) => n,
+            Node::Leaf(_) => panic!("expected internal node at {idx}"),
+        }
+    }
+
+    fn internal_mut(&mut self, idx: NodeIdx) -> &mut Internal {
+        match &mut self.nodes[idx as usize] {
+            Node::Internal(n) => n,
+            Node::Leaf(_) => panic!("expected internal node at {idx}"),
+        }
+    }
+
+    fn parent_of(&self, idx: NodeIdx) -> NodeIdx {
+        match &self.nodes[idx as usize] {
+            Node::Internal(n) => n.parent,
+            Node::Leaf(l) => l.parent,
+        }
+    }
+
+    /// The total widths of the whole tree.
+    pub fn total_widths(&self) -> Widths {
+        self.node_total(self.root)
+    }
+
+    fn node_total(&self, idx: NodeIdx) -> Widths {
+        let mut total = Widths::default();
+        match &self.nodes[idx as usize] {
+            Node::Internal(n) => {
+                for w in &n.widths {
+                    total.add(*w);
+                }
+            }
+            Node::Leaf(l) => {
+                for e in &l.entries {
+                    total.add(Widths::of(e));
+                }
+            }
+        }
+        total
+    }
+
+    /// The number of entries stored (O(number of leaves)).
+    pub fn num_entries(&self) -> usize {
+        let mut leaf = self.first_leaf;
+        let mut n = 0;
+        while leaf != NODE_IDX_NONE {
+            let l = self.leaf(leaf);
+            n += l.entries.len();
+            leaf = l.next;
+        }
+        n
+    }
+
+    /// A cursor at the very start of the tree.
+    pub fn cursor_at_start(&self) -> Cursor {
+        Cursor {
+            leaf: self.first_leaf,
+            entry_idx: 0,
+            offset: 0,
+        }
+    }
+
+    /// Finds the `k`-th visible unit in the `cur` dimension.
+    ///
+    /// Returns the cursor pointing at that unit, along with the unit's
+    /// offset in the `end` dimension (the number of `end`-visible units
+    /// strictly before it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= total cur width`.
+    pub fn cursor_at_cur_unit(&self, mut k: usize) -> (Cursor, usize) {
+        let mut end_acc = 0usize;
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx as usize] {
+                Node::Internal(n) => {
+                    let mut found = false;
+                    for (i, &child) in n.children.iter().enumerate() {
+                        let w = n.widths[i];
+                        if k < w.cur {
+                            idx = child;
+                            found = true;
+                            break;
+                        }
+                        k -= w.cur;
+                        end_acc += w.end;
+                    }
+                    assert!(found, "cur position out of bounds");
+                }
+                Node::Leaf(l) => {
+                    for (i, e) in l.entries.iter().enumerate() {
+                        let wc = e.width_cur();
+                        if k < wc {
+                            // Uniform entries: cur offset == raw offset.
+                            if e.width_end() > 0 {
+                                end_acc += k;
+                            }
+                            return (
+                                Cursor {
+                                    leaf: idx,
+                                    entry_idx: i,
+                                    offset: k,
+                                },
+                                end_acc,
+                            );
+                        }
+                        k -= wc;
+                        end_acc += e.width_end();
+                    }
+                    panic!("cur position out of bounds (leaf)");
+                }
+            }
+        }
+    }
+
+    /// Finds the boundary position `pos` in the `cur` dimension, for
+    /// insertion: `0 <= pos <= total`. The returned cursor may sit at the
+    /// end of an entry or of the tree.
+    pub fn cursor_at_cur_pos(&self, mut pos: usize) -> Cursor {
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx as usize] {
+                Node::Internal(n) => {
+                    let last = n.children.len() - 1;
+                    let mut chosen = last;
+                    for (i, w) in n.widths.iter().enumerate() {
+                        if pos < w.cur || (i == last && pos <= w.cur) {
+                            chosen = i;
+                            break;
+                        }
+                        pos -= w.cur;
+                    }
+                    idx = n.children[chosen];
+                }
+                Node::Leaf(l) => {
+                    // Land inside the entry containing the pos-th visible
+                    // unit; boundary positions land *after* any invisible
+                    // entries (offset 0 of the next visible entry, or end of
+                    // leaf on the rightmost path).
+                    for (i, e) in l.entries.iter().enumerate() {
+                        let wc = e.width_cur();
+                        if pos < wc {
+                            return Cursor {
+                                leaf: idx,
+                                entry_idx: i,
+                                offset: pos,
+                            };
+                        }
+                        pos -= wc;
+                    }
+                    assert_eq!(pos, 0, "cur position out of bounds");
+                    return Cursor {
+                        leaf: idx,
+                        entry_idx: l.entries.len(),
+                        offset: 0,
+                    };
+                }
+            }
+        }
+    }
+
+    /// The entry under `cursor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor points past the last entry of its leaf.
+    pub fn entry_at(&self, cursor: &Cursor) -> &E {
+        &self.leaf(cursor.leaf).entries[cursor.entry_idx]
+    }
+
+    /// Advances the cursor to the start of the next entry. Returns `false`
+    /// at the end of the tree.
+    pub fn cursor_next_entry(&self, cursor: &mut Cursor) -> bool {
+        let l = self.leaf(cursor.leaf);
+        if cursor.entry_idx + 1 < l.entries.len() {
+            cursor.entry_idx += 1;
+            cursor.offset = 0;
+            return true;
+        }
+        let mut next = l.next;
+        // Skip (rare) empty leaves left behind by deletions.
+        while next != NODE_IDX_NONE {
+            let nl = self.leaf(next);
+            if !nl.entries.is_empty() {
+                *cursor = Cursor {
+                    leaf: next,
+                    entry_idx: 0,
+                    offset: 0,
+                };
+                return true;
+            }
+            next = nl.next;
+        }
+        false
+    }
+
+    /// Returns `true` if the cursor points at a valid entry.
+    pub fn cursor_valid(&self, cursor: &Cursor) -> bool {
+        cursor.entry_idx < self.leaf(cursor.leaf).entries.len()
+    }
+
+    /// Computes the global offset of the start of an entry, in both
+    /// dimensions, by walking from the leaf to the root.
+    pub fn offset_of(&self, leaf_idx: NodeIdx, entry_idx: usize) -> Widths {
+        let mut acc = Widths::default();
+        let l = self.leaf(leaf_idx);
+        for e in &l.entries[..entry_idx] {
+            acc.add(Widths::of(e));
+        }
+        let mut child = leaf_idx;
+        let mut parent = l.parent;
+        while parent != NODE_IDX_NONE {
+            let p = self.internal(parent);
+            for (i, &c) in p.children.iter().enumerate() {
+                if c == child {
+                    break;
+                }
+                acc.add(p.widths[i]);
+            }
+            child = parent;
+            parent = p.parent;
+        }
+        acc
+    }
+
+    /// The entries of one leaf, in order. Used by callers that maintain an
+    /// ID → leaf index and need to find a specific entry within the leaf.
+    pub fn entries_in_leaf(&self, leaf: NodeIdx) -> &[E] {
+        &self.leaf(leaf).entries
+    }
+
+    /// Iterates all entries in order.
+    pub fn iter(&self) -> TreeIter<'_, E> {
+        TreeIter {
+            tree: self,
+            leaf: self.first_leaf,
+            entry_idx: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation.
+    // ------------------------------------------------------------------
+
+    /// Recomputes the cached widths on the path from `node` to the root.
+    fn repair_path(&mut self, mut node: NodeIdx) {
+        let mut parent = self.parent_of(node);
+        while parent != NODE_IDX_NONE {
+            let total = self.node_total(node);
+            let p = self.internal_mut(parent);
+            let pos = p
+                .children
+                .iter()
+                .position(|&c| c == node)
+                .expect("broken parent pointer");
+            p.widths[pos] = total;
+            node = parent;
+            parent = self.parent_of(node);
+        }
+    }
+
+    /// Splits an overflowing leaf, notifying for every moved entry.
+    /// Returns the new leaf's index.
+    fn split_leaf<N: FnMut(&E, NodeIdx)>(&mut self, leaf_idx: NodeIdx, notify: &mut N) -> NodeIdx {
+        let new_idx = self.nodes.len() as NodeIdx;
+        let (moved, parent, next) = {
+            let l = self.leaf_mut(leaf_idx);
+            let keep = l.entries.len() / 2;
+            let moved: Vec<E> = l.entries.split_off(keep);
+            let parent = l.parent;
+            let next = l.next;
+            l.next = new_idx;
+            (moved, parent, next)
+        };
+        for e in &moved {
+            notify(e, new_idx);
+        }
+        self.nodes.push(Node::Leaf(Leaf {
+            parent,
+            entries: moved,
+            next,
+        }));
+        self.insert_child_after(parent, leaf_idx, new_idx);
+        new_idx
+    }
+
+    /// Inserts `new_child` directly after `after` under `parent`
+    /// (creating a new root when `parent` is none), splitting internal
+    /// nodes as needed. Fixes the cached widths of both children.
+    fn insert_child_after(&mut self, parent: NodeIdx, after: NodeIdx, new_child: NodeIdx) {
+        if parent == NODE_IDX_NONE {
+            // `after` was the root; grow the tree.
+            let new_root = self.nodes.len() as NodeIdx;
+            let w_after = self.node_total(after);
+            let w_new = self.node_total(new_child);
+            self.nodes.push(Node::Internal(Internal {
+                parent: NODE_IDX_NONE,
+                children: vec![after, new_child],
+                widths: vec![w_after, w_new],
+            }));
+            self.set_parent(after, new_root);
+            self.set_parent(new_child, new_root);
+            self.root = new_root;
+            return;
+        }
+        let w_after = self.node_total(after);
+        let w_new = self.node_total(new_child);
+        let overflow = {
+            let p = self.internal_mut(parent);
+            let pos = p
+                .children
+                .iter()
+                .position(|&c| c == after)
+                .expect("child not under parent");
+            p.widths[pos] = w_after;
+            p.children.insert(pos + 1, new_child);
+            p.widths.insert(pos + 1, w_new);
+            p.children.len() > MAX_CHILDREN
+        };
+        self.set_parent(new_child, parent);
+        if overflow {
+            self.split_internal(parent);
+        }
+    }
+
+    /// Splits an overflowing internal node.
+    fn split_internal(&mut self, idx: NodeIdx) {
+        let new_idx = self.nodes.len() as NodeIdx;
+        let (moved_children, moved_widths, parent) = {
+            let n = self.internal_mut(idx);
+            let keep = n.children.len() / 2;
+            (
+                n.children.split_off(keep),
+                n.widths.split_off(keep),
+                n.parent,
+            )
+        };
+        self.nodes.push(Node::Internal(Internal {
+            parent,
+            children: moved_children.clone(),
+            widths: moved_widths,
+        }));
+        for c in moved_children {
+            self.set_parent(c, new_idx);
+        }
+        self.insert_child_after(parent, idx, new_idx);
+    }
+
+    fn set_parent(&mut self, idx: NodeIdx, parent: NodeIdx) {
+        match &mut self.nodes[idx as usize] {
+            Node::Internal(n) => n.parent = parent,
+            Node::Leaf(l) => l.parent = parent,
+        }
+    }
+
+    /// Inserts entry `e` at the cursor position, keeping entries RLE-merged
+    /// when possible. Calls `notify(entry, leaf)` for the inserted entry and
+    /// for every entry relocated by leaf splits.
+    ///
+    /// Returns a cursor pointing at the start of the inserted content (which
+    /// may be in the middle of a merged entry).
+    pub fn insert_at<N: FnMut(&E, NodeIdx)>(
+        &mut self,
+        cursor: Cursor,
+        e: E,
+        notify: &mut N,
+    ) -> Cursor {
+        let leaf_idx = cursor.leaf;
+        let mut entry_idx = cursor.entry_idx;
+        let mut offset = cursor.offset;
+
+        // Normalise an end-of-entry offset to the next boundary.
+        {
+            let l = self.leaf(leaf_idx);
+            if entry_idx < l.entries.len() && offset == l.entries[entry_idx].len() {
+                entry_idx += 1;
+                offset = 0;
+            }
+        }
+
+        let e_len = e.len();
+        if offset == 0 {
+            // Try appending to the previous entry in this leaf.
+            if entry_idx > 0 {
+                let l = self.leaf_mut(leaf_idx);
+                let prev = &mut l.entries[entry_idx - 1];
+                if prev.can_append(&e) {
+                    let at = prev.len();
+                    prev.append(e.clone());
+                    notify(&e, leaf_idx);
+                    self.repair_path(leaf_idx);
+                    return Cursor {
+                        leaf: leaf_idx,
+                        entry_idx: entry_idx - 1,
+                        offset: at,
+                    };
+                }
+            }
+            self.insert_entries_at(leaf_idx, entry_idx, vec![e], notify);
+        } else {
+            // Split the containing entry and insert in between.
+            let tail = {
+                let l = self.leaf_mut(leaf_idx);
+                l.entries[entry_idx].truncate(offset)
+            };
+            self.insert_entries_at(leaf_idx, entry_idx + 1, vec![e, tail], notify);
+            entry_idx += 1;
+        }
+
+        // Find where the new entry ended up (splits may have moved it).
+        let (leaf_idx, entry_idx) = self.locate_after_insert(leaf_idx, entry_idx);
+        notify(&self.leaf(leaf_idx).entries[entry_idx].clone(), leaf_idx);
+        debug_assert_eq!(self.leaf(leaf_idx).entries[entry_idx].len(), e_len);
+        Cursor {
+            leaf: leaf_idx,
+            entry_idx,
+            offset: 0,
+        }
+    }
+
+    /// Inserts `extra` entries at `entry_idx` of `leaf_idx`, splitting on
+    /// overflow and repairing widths. The caller re-locates positions after.
+    fn insert_entries_at<N: FnMut(&E, NodeIdx)>(
+        &mut self,
+        leaf_idx: NodeIdx,
+        entry_idx: usize,
+        extra: Vec<E>,
+        notify: &mut N,
+    ) {
+        {
+            let l = self.leaf_mut(leaf_idx);
+            for (i, e) in extra.into_iter().enumerate() {
+                l.entries.insert(entry_idx + i, e);
+            }
+        }
+        let mut last_new = leaf_idx;
+        while self.leaf(last_new).entries.len() > MAX_ENTRIES {
+            last_new = self.split_leaf(last_new, notify);
+        }
+        self.repair_path(leaf_idx);
+        if last_new != leaf_idx {
+            self.repair_path(last_new);
+        }
+    }
+
+    /// After `insert_entries_at`, finds the leaf/index where the entry
+    /// originally inserted at (`leaf_idx`, `entry_idx`) now lives.
+    fn locate_after_insert(&self, mut leaf_idx: NodeIdx, mut entry_idx: usize) -> (NodeIdx, usize) {
+        loop {
+            let l = self.leaf(leaf_idx);
+            if entry_idx < l.entries.len() {
+                return (leaf_idx, entry_idx);
+            }
+            entry_idx -= l.entries.len();
+            leaf_idx = l.next;
+            assert_ne!(leaf_idx, NODE_IDX_NONE, "entry lost after split");
+        }
+    }
+
+    /// Mutates up to `max_len` units of the entry under `cursor`, starting
+    /// at the cursor offset, splitting the entry as needed so the mutation
+    /// applies exactly to that sub-range.
+    ///
+    /// Returns `(mutated_len, leaf, entry_idx)` locating the mutated piece.
+    /// `notify` fires for entries relocated by splits (including pieces of
+    /// the split entry itself).
+    pub fn mutate_entry<F, N>(
+        &mut self,
+        cursor: &Cursor,
+        max_len: usize,
+        mutate: F,
+        notify: &mut N,
+    ) -> (usize, NodeIdx, usize)
+    where
+        F: FnOnce(&mut E),
+        N: FnMut(&E, NodeIdx),
+    {
+        let leaf_idx = cursor.leaf;
+        let mut entry_idx = cursor.entry_idx;
+        let offset = cursor.offset;
+        let entry_len = self.leaf(leaf_idx).entries[entry_idx].len();
+        assert!(offset < entry_len, "cursor must point inside the entry");
+        let len = max_len.min(entry_len - offset);
+        assert!(len > 0);
+
+        let mut extra: Vec<E> = Vec::new();
+        let mut target_shift = 0usize;
+        {
+            let l = self.leaf_mut(leaf_idx);
+            if offset > 0 {
+                let tail = l.entries[entry_idx].truncate(offset);
+                extra.push(tail);
+                target_shift = 1;
+            }
+        }
+        // extra[0] (if split) is the piece we mutate, or the entry itself.
+        if target_shift == 1 {
+            if len < extra[0].len() {
+                let post = extra[0].truncate(len);
+                extra.push(post);
+            }
+            mutate(&mut extra[0]);
+        } else {
+            let l = self.leaf_mut(leaf_idx);
+            if len < entry_len {
+                let post = l.entries[entry_idx].truncate(len);
+                extra.push(post);
+            }
+            mutate(&mut l.entries[entry_idx]);
+        }
+        if extra.is_empty() {
+            self.repair_path(leaf_idx);
+            return (len, leaf_idx, entry_idx);
+        }
+        self.insert_entries_at(leaf_idx, entry_idx + 1, extra, notify);
+        entry_idx += target_shift;
+        let (leaf_idx, entry_idx) = self.locate_after_insert(leaf_idx, entry_idx);
+        // The mutated piece may have been relocated by a split; re-notify it.
+        notify(&self.leaf(leaf_idx).entries[entry_idx].clone(), leaf_idx);
+        (len, leaf_idx, entry_idx)
+    }
+
+    /// Deletes `del_len` units starting at `cur`-dimension position `pos`.
+    ///
+    /// Only supported when every entry is fully visible in the `cur`
+    /// dimension (single-dimension usage, e.g. a rope) — deletion positions
+    /// are interpreted in raw units. Leaves are allowed to become underfull
+    /// (no rebalancing); they are skipped during iteration.
+    pub fn delete_cur_range(&mut self, pos: usize, mut del_len: usize) {
+        let mut cursor = self.cursor_at_cur_pos(pos);
+        let mut no_notify = |_: &E, _: NodeIdx| {};
+        while del_len > 0 {
+            let l = self.leaf(cursor.leaf);
+            if cursor.entry_idx >= l.entries.len() {
+                let next = l.next;
+                assert_ne!(next, NODE_IDX_NONE, "delete past end of tree");
+                self.repair_path(cursor.leaf);
+                cursor = Cursor {
+                    leaf: next,
+                    entry_idx: 0,
+                    offset: 0,
+                };
+                continue;
+            }
+            let e_len = l.entries[cursor.entry_idx].len();
+            if cursor.offset == e_len {
+                cursor.entry_idx += 1;
+                cursor.offset = 0;
+                continue;
+            }
+            if cursor.offset == 0 && del_len >= e_len {
+                self.leaf_mut(cursor.leaf).entries.remove(cursor.entry_idx);
+                del_len -= e_len;
+            } else if cursor.offset == 0 {
+                // Remove a prefix of the entry.
+                self.leaf_mut(cursor.leaf).entries[cursor.entry_idx]
+                    .truncate_keeping_right(del_len);
+                del_len = 0;
+            } else if cursor.offset + del_len >= e_len {
+                // Remove a suffix of the entry.
+                let removed = e_len - cursor.offset;
+                self.leaf_mut(cursor.leaf).entries[cursor.entry_idx].truncate(cursor.offset);
+                del_len -= removed;
+                cursor.entry_idx += 1;
+                cursor.offset = 0;
+            } else {
+                // Remove from the middle: split and drop the middle piece.
+                let tail = {
+                    let e = &mut self.leaf_mut(cursor.leaf).entries[cursor.entry_idx];
+                    let mut tail = e.truncate(cursor.offset);
+                    tail.truncate_keeping_right(del_len);
+                    tail
+                };
+                let leaf_idx = cursor.leaf;
+                self.insert_entries_at(leaf_idx, cursor.entry_idx + 1, vec![tail], &mut no_notify);
+                self.repair_path(leaf_idx);
+                return;
+            }
+        }
+        self.repair_path(cursor.leaf);
+    }
+
+    // ------------------------------------------------------------------
+    // Validation (used by tests).
+    // ------------------------------------------------------------------
+
+    /// Checks every tree invariant, panicking on violation. Test-only; slow.
+    pub fn check(&self) {
+        // Leaf chain visits every leaf exactly once, left to right.
+        let mut chain = Vec::new();
+        let mut leaf = self.first_leaf;
+        while leaf != NODE_IDX_NONE {
+            chain.push(leaf);
+            leaf = self.leaf(leaf).next;
+        }
+        let mut dfs_leaves = Vec::new();
+        self.collect_leaves(self.root, &mut dfs_leaves);
+        assert_eq!(chain, dfs_leaves, "leaf chain does not match tree order");
+
+        self.check_node(self.root, NODE_IDX_NONE);
+    }
+
+    fn collect_leaves(&self, idx: NodeIdx, out: &mut Vec<NodeIdx>) {
+        match &self.nodes[idx as usize] {
+            Node::Internal(n) => {
+                for &c in &n.children {
+                    self.collect_leaves(c, out);
+                }
+            }
+            Node::Leaf(_) => out.push(idx),
+        }
+    }
+
+    fn check_node(&self, idx: NodeIdx, expected_parent: NodeIdx) -> Widths {
+        match &self.nodes[idx as usize] {
+            Node::Internal(n) => {
+                assert_eq!(n.parent, expected_parent, "bad parent at {idx}");
+                assert!(!n.children.is_empty());
+                assert!(n.children.len() <= MAX_CHILDREN);
+                assert_eq!(n.children.len(), n.widths.len());
+                let mut total = Widths::default();
+                for (i, &c) in n.children.iter().enumerate() {
+                    let w = self.check_node(c, idx);
+                    assert_eq!(w, n.widths[i], "stale cached width at {idx}[{i}]");
+                    total.add(w);
+                }
+                total
+            }
+            Node::Leaf(l) => {
+                assert_eq!(l.parent, expected_parent, "bad parent at leaf {idx}");
+                assert!(l.entries.len() <= MAX_ENTRIES);
+                let mut total = Widths::default();
+                for e in &l.entries {
+                    assert!(!e.is_empty(), "empty entry stored");
+                    let wc = e.width_cur();
+                    let we = e.width_end();
+                    assert!(wc == 0 || wc == e.len(), "non-uniform cur width");
+                    assert!(we == 0 || we == e.len(), "non-uniform end width");
+                    total.add(Widths::of(e));
+                }
+                total
+            }
+        }
+    }
+}
+
+/// Iterator over the tree's entries in order. See [`ContentTree::iter`].
+pub struct TreeIter<'a, E: TreeEntry> {
+    tree: &'a ContentTree<E>,
+    leaf: NodeIdx,
+    entry_idx: usize,
+}
+
+impl<'a, E: TreeEntry> Iterator for TreeIter<'a, E> {
+    type Item = &'a E;
+
+    fn next(&mut self) -> Option<&'a E> {
+        loop {
+            if self.leaf == NODE_IDX_NONE {
+                return None;
+            }
+            let l = self.tree.leaf(self.leaf);
+            if self.entry_idx < l.entries.len() {
+                let e = &l.entries[self.entry_idx];
+                self.entry_idx += 1;
+                return Some(e);
+            }
+            self.leaf = l.next;
+            self.entry_idx = 0;
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! [`Branch`]: a materialised document — the text plus the version it
+//! reflects (paper §3, "Document state").
+
+use crate::walker::{self, WalkerOpts};
+use crate::OpLog;
+use eg_dag::{Frontier, LV};
+use eg_rope::Rope;
+
+/// A document state: the text at some version of the event graph.
+///
+/// In the steady state this is *all* a replica keeps in memory — no CRDT
+/// metadata, no event graph (which can stay on disk). Merging remote edits
+/// transiently builds walker state and applies the resulting transformed
+/// operations to the rope.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Branch {
+    /// The document text.
+    pub content: Rope,
+    /// The version (graph frontier) the text reflects.
+    pub version: Frontier,
+}
+
+impl Branch {
+    /// An empty document at the root version.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges all events of the oplog into this branch (up to the oplog's
+    /// current version).
+    pub fn merge(&mut self, oplog: &OpLog) {
+        let tip = oplog.version().clone();
+        self.merge_to(oplog, &tip);
+    }
+
+    /// Merges the events of `Events(to)` into this branch.
+    ///
+    /// The branch ends up at version `self.version ∪ to`; events the branch
+    /// already reflects are not re-applied.
+    pub fn merge_to(&mut self, oplog: &OpLog, to: &[LV]) {
+        self.merge_with_opts(oplog, to, WalkerOpts::default());
+    }
+
+    /// [`Branch::merge_to`] with explicit walker options (used by the
+    /// benchmarks to toggle the §3.5 optimisations).
+    pub fn merge_with_opts(&mut self, oplog: &OpLog, to: &[LV], opts: WalkerOpts) {
+        let target = oplog.graph.version_union(&self.version, to);
+        if target.as_slice() == self.version.as_slice() {
+            return;
+        }
+        let diff = oplog.graph.diff(&self.version, &target);
+        debug_assert!(diff.only_a.is_empty());
+        let (base, spans) = oplog.graph.conflict_window(&self.version, &target);
+        let content = &mut self.content;
+        walker::walk(oplog, &base, &spans, &diff.only_b, opts, &mut |_, op| {
+            op.apply_to(content);
+        });
+        self.version = target;
+    }
+
+    /// The number of characters in the document.
+    pub fn len_chars(&self) -> usize {
+        self.content.len_chars()
+    }
+}
+
+impl OpLog {
+    /// Builds the document at the oplog's current version by replaying the
+    /// (entire) event graph.
+    pub fn checkout_tip(&self) -> Branch {
+        let mut b = Branch::new();
+        b.merge(self);
+        b
+    }
+
+    /// Builds the historical document at an arbitrary version.
+    pub fn checkout(&self, version: &[LV]) -> Branch {
+        let mut b = Branch::new();
+        b.merge_to(self, version);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_checkout() {
+        let oplog = OpLog::new();
+        let b = oplog.checkout_tip();
+        assert_eq!(b.content.to_string(), "");
+        assert!(b.version.is_root());
+    }
+
+    #[test]
+    fn sequential_checkout() {
+        let mut oplog = OpLog::new();
+        let a = oplog.get_or_create_agent("alice");
+        oplog.add_insert(a, 0, "hello world");
+        oplog.add_delete(a, 5, 6);
+        oplog.add_insert(a, 5, "!");
+        let b = oplog.checkout_tip();
+        assert_eq!(b.content.to_string(), "hello!");
+        assert_eq!(&b.version, oplog.version());
+    }
+
+    #[test]
+    fn incremental_merge_matches_batch() {
+        let mut oplog = OpLog::new();
+        let a = oplog.get_or_create_agent("alice");
+        let mut live = Branch::new();
+        for i in 0..20 {
+            oplog.add_insert(a, i, "x");
+            live.merge(&oplog);
+        }
+        oplog.add_delete(a, 3, 5);
+        live.merge(&oplog);
+        let batch = oplog.checkout_tip();
+        assert_eq!(live, batch);
+    }
+
+    #[test]
+    fn historical_checkout() {
+        let mut oplog = OpLog::new();
+        let a = oplog.get_or_create_agent("alice");
+        let v1 = oplog.add_insert(a, 0, "abc");
+        let v2 = oplog.add_delete(a, 0, 1);
+        assert_eq!(oplog.checkout(&[v1.last()]).content.to_string(), "abc");
+        assert_eq!(oplog.checkout(&[v2.last()]).content.to_string(), "bc");
+        assert_eq!(oplog.checkout(&[]).content.to_string(), "");
+    }
+}

@@ -1,0 +1,219 @@
+//! Cursor and selection transformation across transformed operations.
+//!
+//! When remote events merge into a live document, the editor applies the
+//! walker's transformed operations to the text — and must also move its
+//! cursors: a caret at index 10 must stay on the same character when a
+//! remote user inserts five characters at index 3. This module provides
+//! that mapping for single positions and selections, over the
+//! [`TextOperation`]s produced by [`crate::walker::transformed_ops`] /
+//! [`crate::OpLog::diff_versions`].
+//!
+//! # Examples
+//!
+//! ```
+//! use egwalker::cursor::{transform_position, Bias};
+//! use egwalker::TextOperation;
+//!
+//! let remote = TextOperation::ins(3, "abcde");
+//! assert_eq!(transform_position(10, &remote, Bias::Left), 15);
+//! assert_eq!(transform_position(2, &remote, Bias::Left), 2);
+//! // A caret exactly at the insertion point keeps its side by bias.
+//! assert_eq!(transform_position(3, &remote, Bias::Left), 3);
+//! assert_eq!(transform_position(3, &remote, Bias::Right), 8);
+//! ```
+
+use crate::op::{ListOpKind, TextOperation};
+
+/// Which way a cursor leans when text is inserted exactly at it.
+///
+/// `Left` keeps the caret before the inserted text (the common choice for
+/// a remote peer's insertion at your caret); `Right` moves it after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Bias {
+    /// Stay before text inserted exactly at the cursor.
+    #[default]
+    Left,
+    /// Move after text inserted exactly at the cursor.
+    Right,
+}
+
+/// Maps a document position across one operation.
+///
+/// Positions are in characters, `0..=len`; the result is a valid position
+/// in the document after the operation.
+pub fn transform_position(pos: usize, op: &TextOperation, bias: Bias) -> usize {
+    match op.kind {
+        ListOpKind::Ins => {
+            if pos < op.pos || (pos == op.pos && bias == Bias::Left) {
+                pos
+            } else {
+                pos + op.len
+            }
+        }
+        ListOpKind::Del => {
+            if pos <= op.pos {
+                pos
+            } else if pos <= op.pos + op.len {
+                // The cursor was inside the deleted range: collapse to its
+                // start.
+                op.pos
+            } else {
+                pos - op.len
+            }
+        }
+    }
+}
+
+/// Maps a position across a whole batch of operations (in application
+/// order), e.g. the output of [`crate::OpLog::diff_versions`].
+pub fn transform_position_all(pos: usize, ops: &[TextOperation], bias: Bias) -> usize {
+    ops.iter()
+        .fold(pos, |p, op| transform_position(p, op, bias))
+}
+
+/// An editor selection: an anchor and a head (caret). `anchor == head` is
+/// a plain caret.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    /// The fixed end of the selection.
+    pub anchor: usize,
+    /// The moving end (the caret).
+    pub head: usize,
+}
+
+impl Selection {
+    /// A collapsed selection (caret) at `pos`.
+    pub fn caret(pos: usize) -> Self {
+        Selection {
+            anchor: pos,
+            head: pos,
+        }
+    }
+
+    /// Returns `true` if the selection is a plain caret.
+    pub fn is_caret(&self) -> bool {
+        self.anchor == self.head
+    }
+
+    /// The selected range in ascending order.
+    pub fn range(&self) -> (usize, usize) {
+        (self.anchor.min(self.head), self.anchor.max(self.head))
+    }
+}
+
+/// Maps a selection across a batch of operations.
+///
+/// Both endpoints lean away from the selection interior (so concurrent
+/// insertions at the boundary do not silently join the selection), and a
+/// caret uses `Left` bias for both ends.
+pub fn transform_selection(sel: Selection, ops: &[TextOperation]) -> Selection {
+    if sel.is_caret() {
+        let p = transform_position_all(sel.head, ops, Bias::Left);
+        return Selection::caret(p);
+    }
+    let (lo, hi) = sel.range();
+    let lo2 = transform_position_all(lo, ops, Bias::Right);
+    let hi2 = transform_position_all(hi, ops, Bias::Left);
+    let (lo2, hi2) = if lo2 <= hi2 { (lo2, hi2) } else { (hi2, hi2) };
+    if sel.anchor <= sel.head {
+        Selection {
+            anchor: lo2,
+            head: hi2,
+        }
+    } else {
+        Selection {
+            anchor: hi2,
+            head: lo2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpLog;
+
+    #[test]
+    fn insert_before_shifts() {
+        let op = TextOperation::ins(2, "xy");
+        assert_eq!(transform_position(5, &op, Bias::Left), 7);
+        assert_eq!(transform_position(2, &op, Bias::Right), 4);
+        assert_eq!(transform_position(1, &op, Bias::Left), 1);
+        assert_eq!(transform_position(1, &op, Bias::Right), 1);
+    }
+
+    #[test]
+    fn delete_before_shifts_and_collapses() {
+        let op = TextOperation::del(2, 3); // removes [2, 5)
+        assert_eq!(transform_position(1, &op, Bias::Left), 1);
+        assert_eq!(transform_position(2, &op, Bias::Left), 2);
+        assert_eq!(transform_position(3, &op, Bias::Left), 2);
+        assert_eq!(transform_position(5, &op, Bias::Left), 2);
+        assert_eq!(transform_position(6, &op, Bias::Left), 3);
+    }
+
+    #[test]
+    fn batch_application_composes() {
+        let ops = vec![TextOperation::ins(0, "abc"), TextOperation::del(1, 1)];
+        // pos 2 -> after ins at 0: 5 -> after del at 1: 4.
+        assert_eq!(transform_position_all(2, &ops, Bias::Left), 4);
+    }
+
+    #[test]
+    fn selection_endpoints_lean_outward() {
+        let sel = Selection { anchor: 2, head: 6 };
+        // Insert exactly at the selection start: should stay outside.
+        let ops = vec![TextOperation::ins(2, "zz")];
+        let out = transform_selection(sel, &ops);
+        assert_eq!(out, Selection { anchor: 4, head: 8 });
+        // Insert exactly at the end: stays outside too.
+        let ops = vec![TextOperation::ins(6, "zz")];
+        let out = transform_selection(sel, &ops);
+        assert_eq!(out, Selection { anchor: 2, head: 6 });
+    }
+
+    #[test]
+    fn reversed_selection_keeps_direction() {
+        let sel = Selection { anchor: 6, head: 2 };
+        let ops = vec![TextOperation::ins(0, "abc")];
+        let out = transform_selection(sel, &ops);
+        assert_eq!(out, Selection { anchor: 9, head: 5 });
+    }
+
+    #[test]
+    fn selection_swallowed_by_delete_collapses() {
+        let sel = Selection { anchor: 3, head: 5 };
+        let ops = vec![TextOperation::del(2, 6)];
+        let out = transform_selection(sel, &ops);
+        assert!(out.is_caret());
+        assert_eq!(out.head, 2);
+    }
+
+    #[test]
+    fn cursor_survives_remote_merge_end_to_end() {
+        // An editor at version v with a caret; remote events arrive; the
+        // caret must land on the same character.
+        let mut oplog = OpLog::new();
+        let a = oplog.get_or_create_agent("alice");
+        let b = oplog.get_or_create_agent("bob");
+        oplog.add_insert(a, 0, "The brown fox");
+        let v = oplog.version().clone();
+        // Local caret sits before "fox" (index 10).
+        let caret = 10;
+        // Remote: bob prepends "quick " at 4.
+        oplog.add_insert_at(b, &v, 4, "quick ");
+        let tip = oplog.version().clone();
+        let ops = oplog.diff_versions(&v, &tip);
+        let moved = transform_position_all(caret, &ops, Bias::Left);
+        let text = oplog.checkout_tip().content.to_string();
+        assert_eq!(&text[moved..moved + 3], "fox");
+    }
+
+    #[test]
+    fn caret_at_doc_end() {
+        let op = TextOperation::ins(5, "!");
+        assert_eq!(transform_position(5, &op, Bias::Right), 6);
+        let op = TextOperation::del(3, 2);
+        assert_eq!(transform_position(5, &op, Bias::Left), 3);
+    }
+}

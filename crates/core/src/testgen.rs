@@ -1,0 +1,163 @@
+//! Deterministic random editing-history generation for tests and fuzzing.
+//!
+//! Simulates a handful of replicas concurrently editing a document:
+//! each step either applies a local edit at a replica's current version or
+//! merges another replica's version. The result is an [`OpLog`] with a
+//! realistic mix of linear runs, short-lived branches and merges — the raw
+//! material for the convergence and equivalence property tests.
+
+use crate::reference::replay_reference_version;
+use crate::OpLog;
+use eg_dag::Frontier;
+
+/// A tiny deterministic xorshift generator (no external dependencies so the
+/// module can be used from every crate's tests without feature wiring).
+#[derive(Debug, Clone)]
+pub struct SmallRng(u64);
+
+impl SmallRng {
+    /// Seeds the generator. Equal seeds yield equal sequences.
+    pub fn new(seed: u64) -> Self {
+        SmallRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// A uniform value in `[0, bound)` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() >> 16) as usize % bound
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One simulated replica: its current version and the document text at it.
+#[derive(Debug, Clone)]
+struct SimReplica {
+    frontier: Frontier,
+    doc: Vec<char>,
+}
+
+/// Generates a random editing history.
+///
+/// * `steps`: number of simulation steps (each is one op run or one merge).
+/// * `num_replicas`: concurrent editors.
+/// * `merge_prob`: probability that a step merges instead of editing;
+///   higher values produce more concurrency.
+pub fn random_oplog(seed: u64, steps: usize, num_replicas: usize, merge_prob: f64) -> OpLog {
+    random_oplog_prefixed(seed, steps, num_replicas, merge_prob, "agent")
+}
+
+/// [`random_oplog`] with a custom agent-name prefix, so that independently
+/// generated logs use disjoint ID spaces (event IDs must be globally
+/// unique, paper §2.2).
+pub fn random_oplog_prefixed(
+    seed: u64,
+    steps: usize,
+    num_replicas: usize,
+    merge_prob: f64,
+    prefix: &str,
+) -> OpLog {
+    let mut rng = SmallRng::new(seed);
+    let mut oplog = OpLog::new();
+    let agents: Vec<_> = (0..num_replicas)
+        .map(|i| oplog.get_or_create_agent(&format!("{prefix}{i}")))
+        .collect();
+    let mut replicas: Vec<SimReplica> = (0..num_replicas)
+        .map(|_| SimReplica {
+            frontier: Frontier::root(),
+            doc: Vec::new(),
+        })
+        .collect();
+    let alphabet: Vec<char> = "abcdefghij OX√é".chars().collect();
+
+    for _ in 0..steps {
+        let r = rng.below(num_replicas);
+        if num_replicas > 1 && rng.unit_f64() < merge_prob {
+            // Merge a random other replica's version into r.
+            let mut o = rng.below(num_replicas);
+            if o == r {
+                o = (o + 1) % num_replicas;
+            }
+            let other_frontier = replicas[o].frontier.clone();
+            let merged = oplog
+                .graph
+                .version_union(&replicas[r].frontier, &other_frontier);
+            if merged != replicas[r].frontier {
+                replicas[r].doc = replay_reference_version(&oplog, &merged).chars().collect();
+                replicas[r].frontier = merged;
+            }
+            continue;
+        }
+        let len = replicas[r].doc.len();
+        let roll = rng.unit_f64();
+        if len == 0 || roll < 0.55 {
+            // Insert a small run.
+            let pos = rng.below(len + 1);
+            let n = 1 + rng.below(4);
+            let text: String = (0..n)
+                .map(|_| alphabet[rng.below(alphabet.len())])
+                .collect();
+            let parents = replicas[r].frontier.clone();
+            let lvs = oplog.add_insert_at(agents[r], &parents, pos, &text);
+            let chars: Vec<char> = text.chars().collect();
+            for (i, c) in chars.into_iter().enumerate() {
+                replicas[r].doc.insert(pos + i, c);
+            }
+            replicas[r].frontier = Frontier::new_1(lvs.last());
+        } else if roll < 0.85 {
+            // Forward delete.
+            let pos = rng.below(len);
+            let n = (1 + rng.below(4)).min(len - pos);
+            let parents = replicas[r].frontier.clone();
+            let lvs = oplog.add_delete_at(agents[r], &parents, pos, n);
+            replicas[r].doc.drain(pos..pos + n);
+            replicas[r].frontier = Frontier::new_1(lvs.last());
+        } else {
+            // Backspace run.
+            let pos = rng.below(len);
+            let n = (1 + rng.below(3)).min(pos + 1);
+            let parents = replicas[r].frontier.clone();
+            let lvs = oplog.add_backspace_at(agents[r], &parents, pos, n);
+            replicas[r].doc.drain(pos + 1 - n..pos + 1);
+            replicas[r].frontier = Frontier::new_1(lvs.last());
+        }
+    }
+    oplog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = random_oplog(7, 50, 3, 0.3);
+        let b = random_oplog(7, 50, 3, 0.3);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.version(), b.version());
+    }
+
+    #[test]
+    fn generator_produces_concurrency() {
+        let log = random_oplog(11, 120, 3, 0.4);
+        // At least one event should have multiple parents (a merge) or the
+        // graph should have several runs.
+        assert!(log.graph.num_entries() > 1);
+    }
+
+    #[test]
+    fn zero_merge_prob_single_replica_is_linear() {
+        let log = random_oplog(3, 60, 1, 0.0);
+        assert_eq!(log.graph.num_entries(), 1);
+    }
+}

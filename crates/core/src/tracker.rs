@@ -1,0 +1,750 @@
+//! The walker's transient internal state (paper §3.3–§3.6).
+//!
+//! The [`Tracker`] holds one record per inserted character (plus
+//! placeholders standing for the document at the conflict-window base),
+//! each carrying the two state machines of Fig. 5:
+//!
+//! * `sp` — the character's state in the **prepare** version
+//!   (`NotInsertedYet` / `Ins` / `Del(n)`), moved by `retreat`/`advance`;
+//! * `se` — the state in the **effect** version (`Ins` / `Del`), moved only
+//!   forwards by `apply`.
+//!
+//! Records live in an order-statistic B-tree keyed by sequence position
+//! with `(prepare, effect)` width aggregates (§3.4); two index maps (the
+//! paper's "second B-tree") map insert-event IDs to tree leaves and delete
+//! events to their target characters.
+
+use crate::op::{ListOpKind, OpRun, TextOperation};
+use crate::OpLog;
+use eg_content_tree::{ContentTree, Cursor, NodeIdx, TreeEntry};
+use eg_dag::LV;
+use eg_rle::{DTRange, HasLength, IntervalMap, MergableSpan, SplitableSpan};
+use std::collections::BTreeMap;
+
+/// Origin sentinel: inserted at the start of the document.
+pub const ORIGIN_START: usize = usize::MAX;
+/// Origin sentinel: inserted at the end of the document.
+pub const ORIGIN_END: usize = usize::MAX - 1;
+
+/// Base of the fake-ID space used for placeholder records (§3.6). The
+/// placeholder character at base-document position `i` has ID
+/// `UNDERWATER_START + i`.
+const UNDERWATER_START: usize = usize::MAX / 4;
+/// Width of the initial placeholder: "arbitrarily many indexes" (§3.6).
+const UNDERWATER_LEN: usize = usize::MAX / 16;
+
+/// The prepare-version state of a record (paper Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpState {
+    /// The insertion has been retreated: invisible in the prepare version.
+    NotInsertedYet,
+    /// Inserted and not deleted: visible in the prepare version.
+    Ins,
+    /// Deleted by `n >= 1` (concurrent) delete events.
+    Del(u32),
+}
+
+/// An internal-state change observed during replay, in ID space. Origins
+/// use the [`ORIGIN_START`]/[`ORIGIN_END`] sentinels of [`CrdtSpan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrdtChange {
+    /// A new record was integrated.
+    Ins {
+        /// The record, with its resolved origins.
+        span: CrdtSpan,
+    },
+    /// A run of delete events marked characters deleted.
+    Del {
+        /// The delete events.
+        events: DTRange,
+        /// IDs of the deleted characters (ascending).
+        target: DTRange,
+        /// `true` if ascending events deleted ascending IDs.
+        fwd: bool,
+    },
+}
+
+/// One run of records: consecutively inserted characters with uniform state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrdtSpan {
+    /// IDs (insert-event LVs, or underwater IDs) of the characters.
+    pub id: DTRange,
+    /// ID of the character to the left of `id.start` at insert time, or
+    /// [`ORIGIN_START`]. Later characters of the run chain on their
+    /// predecessor.
+    pub origin_left: usize,
+    /// ID of the character right of the run at insert time, or
+    /// [`ORIGIN_END`]. Shared by the whole run.
+    pub origin_right: usize,
+    /// Prepare state (uniform across the run).
+    pub sp: SpState,
+    /// Effect state: `true` once any applied event deleted the characters.
+    pub se_deleted: bool,
+}
+
+impl CrdtSpan {
+    fn is_underwater(&self) -> bool {
+        self.id.start >= UNDERWATER_START
+    }
+}
+
+/// Returns `true` if `id` is a placeholder (underwater) character ID rather
+/// than a real insert-event LV.
+pub fn is_underwater_id(id: usize) -> bool {
+    (UNDERWATER_START..UNDERWATER_START + UNDERWATER_LEN).contains(&id)
+}
+
+impl HasLength for CrdtSpan {
+    fn len(&self) -> usize {
+        self.id.len()
+    }
+}
+
+impl SplitableSpan for CrdtSpan {
+    fn truncate(&mut self, at: usize) -> Self {
+        let rem_id = self.id.truncate(at);
+        CrdtSpan {
+            id: rem_id,
+            origin_left: rem_id.start - 1,
+            origin_right: self.origin_right,
+            sp: self.sp,
+            se_deleted: self.se_deleted,
+        }
+    }
+}
+
+impl MergableSpan for CrdtSpan {
+    fn can_append(&self, other: &Self) -> bool {
+        self.id.can_append(&other.id)
+            && other.origin_left == self.id.last()
+            && other.origin_right == self.origin_right
+            && other.sp == self.sp
+            && other.se_deleted == self.se_deleted
+    }
+
+    fn append(&mut self, other: Self) {
+        self.id.append(other.id);
+    }
+}
+
+impl TreeEntry for CrdtSpan {
+    fn width_cur(&self) -> usize {
+        if self.sp == SpState::Ins {
+            self.len()
+        } else {
+            0
+        }
+    }
+
+    fn width_end(&self) -> usize {
+        if self.se_deleted {
+            0
+        } else {
+            self.len()
+        }
+    }
+}
+
+/// The characters targeted by a run of delete events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DelTarget {
+    /// IDs of the deleted characters.
+    target: DTRange,
+    /// `true` if ascending event LVs deleted ascending IDs.
+    fwd: bool,
+    /// Number of delete events in the run.
+    len: usize,
+}
+
+impl DelTarget {
+    /// The target ID of the `k`-th delete event of the run.
+    #[cfg(test)]
+    fn id_at(&self, k: usize) -> usize {
+        if self.fwd {
+            self.target.start + k
+        } else {
+            self.target.end - 1 - k
+        }
+    }
+
+    /// The target IDs of events `[k, k + n)` of the run, as a contiguous
+    /// range (ascending regardless of direction).
+    fn ids_at(&self, k: usize, n: usize) -> DTRange {
+        if self.fwd {
+            (self.target.start + k..self.target.start + k + n).into()
+        } else {
+            (self.target.end - k - n..self.target.end - k).into()
+        }
+    }
+}
+
+/// The transient internal state of the Eg-walker algorithm.
+#[derive(Debug)]
+pub struct Tracker {
+    tree: ContentTree<CrdtSpan>,
+    /// Character ID → tree leaf holding its record.
+    ins_loc: IntervalMap<NodeIdx>,
+    /// Delete-event LV (run start) → targets.
+    del_targets: BTreeMap<LV, DelTarget>,
+}
+
+/// Direction of a prepare-version move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Retreat,
+    Advance,
+}
+
+impl Default for Tracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracker {
+    /// Creates a cleared tracker: a single placeholder standing for the
+    /// (unknown) document at the replay base version.
+    pub fn new() -> Self {
+        let mut t = Tracker {
+            tree: ContentTree::new(),
+            ins_loc: IntervalMap::new(),
+            del_targets: BTreeMap::new(),
+        };
+        t.install_placeholder();
+        t
+    }
+
+    /// Discards all internal state (paper §3.5) and reinstalls a fresh
+    /// placeholder for the document at the new base version.
+    pub fn clear(&mut self) {
+        self.tree.clear();
+        self.ins_loc.clear();
+        self.del_targets.clear();
+        self.install_placeholder();
+    }
+
+    fn install_placeholder(&mut self) {
+        let span = CrdtSpan {
+            id: (UNDERWATER_START..UNDERWATER_START + UNDERWATER_LEN).into(),
+            origin_left: ORIGIN_START,
+            origin_right: ORIGIN_END,
+            sp: SpState::Ins,
+            se_deleted: false,
+        };
+        let ins_loc = &mut self.ins_loc;
+        let cursor = self.tree.cursor_at_start();
+        self.tree
+            .insert_at(cursor, span, &mut |e: &CrdtSpan, leaf| {
+                ins_loc.set(e.id, leaf);
+            });
+    }
+
+    /// The number of records (including placeholders) currently held.
+    pub fn num_records(&self) -> usize {
+        self.tree.num_entries()
+    }
+
+    /// Snapshots the internal record sequence, in document order — the rows
+    /// of the paper's Figures 6 and 7. Placeholder (underwater) spans are
+    /// included; filter with [`is_underwater_id`] if only real characters
+    /// are of interest. Intended for tests, debugging, and visualisation.
+    pub fn records(&self) -> Vec<CrdtSpan> {
+        self.tree.iter().copied().collect()
+    }
+
+    /// Finds the record chunk containing `id`, returning a cursor at it and
+    /// the remaining length of the containing entry from that offset.
+    fn cursor_for_id(&self, id: usize) -> (Cursor, usize) {
+        let (_, leaf) = self
+            .ins_loc
+            .get(id)
+            .unwrap_or_else(|| panic!("unknown record id {id}"));
+        let entries = self.tree.entries_in_leaf(leaf);
+        for (i, e) in entries.iter().enumerate() {
+            if e.id.contains(id) {
+                let offset = id - e.id.start;
+                return (
+                    Cursor {
+                        leaf,
+                        entry_idx: i,
+                        offset,
+                    },
+                    e.len() - offset,
+                );
+            }
+        }
+        panic!("record id {id} not found in its indexed leaf");
+    }
+
+    /// The raw sequence position of the record with the given ID.
+    fn raw_pos_of(&self, id: usize) -> usize {
+        let (cursor, _) = self.cursor_for_id(id);
+        self.tree.offset_of(cursor.leaf, cursor.entry_idx).raw + cursor.offset
+    }
+
+    /// Applies a state-machine step to the records of `ids` (ascending
+    /// chunk; order within is irrelevant as every unit gets the same step).
+    fn mutate_ids(&mut self, mut ids: DTRange, step: impl Fn(&mut CrdtSpan) + Copy) {
+        while !ids.is_empty() {
+            let (cursor, avail) = self.cursor_for_id(ids.start);
+            let chunk = ids.len().min(avail);
+            let tree = &mut self.tree;
+            let ins_loc = &mut self.ins_loc;
+            tree.mutate_entry(&cursor, chunk, |e| step(e), &mut |e: &CrdtSpan, leaf| {
+                ins_loc.set(e.id, leaf);
+            });
+            ids.start += chunk;
+        }
+    }
+
+    /// Retreats every event of `range` (paper §3.2): updates the prepare
+    /// version to exclude them. Events must currently be included.
+    pub fn retreat(&mut self, oplog: &OpLog, range: DTRange) {
+        self.move_prepare(oplog, range, Dir::Retreat);
+    }
+
+    /// Advances every event of `range`: updates the prepare version to
+    /// include them again. The events must have been applied before.
+    pub fn advance(&mut self, oplog: &OpLog, range: DTRange) {
+        self.move_prepare(oplog, range, Dir::Advance);
+    }
+
+    fn move_prepare(&mut self, oplog: &OpLog, range: DTRange, dir: Dir) {
+        // Retreats must process causally-later events first (a delete of a
+        // character must be retreated before the insert that created it);
+        // advances the other way around. LV order respects causality.
+        let runs: Vec<(DTRange, OpRun)> = oplog.ops_in(range).collect();
+        let iter: Box<dyn Iterator<Item = &(DTRange, OpRun)>> = match dir {
+            Dir::Retreat => Box::new(runs.iter().rev()),
+            Dir::Advance => Box::new(runs.iter()),
+        };
+        for (lvs, run) in iter {
+            match run.kind {
+                ListOpKind::Ins => {
+                    // Insert events: record ids == event lvs.
+                    self.mutate_ids(*lvs, |e| {
+                        e.sp = match (dir, e.sp) {
+                            (Dir::Retreat, SpState::Ins) => SpState::NotInsertedYet,
+                            (Dir::Advance, SpState::NotInsertedYet) => SpState::Ins,
+                            (d, s) => panic!("invalid insert {d:?} from state {s:?}"),
+                        };
+                    });
+                }
+                ListOpKind::Del => {
+                    // Look up the targets chunk-wise in the del-target map.
+                    let mut lv = lvs.start;
+                    while lv < lvs.end {
+                        let (&run_start, dt) = self
+                            .del_targets
+                            .range(..=lv)
+                            .next_back()
+                            .expect("unknown delete event");
+                        let k = lv - run_start;
+                        assert!(k < dt.len, "delete event {lv} not in target map");
+                        let n = (lvs.end - lv).min(dt.len - k);
+                        let ids = dt.ids_at(k, n);
+                        self.mutate_ids(ids, |e| {
+                            e.sp = match (dir, e.sp) {
+                                (Dir::Retreat, SpState::Del(1)) => SpState::Ins,
+                                (Dir::Retreat, SpState::Del(n)) => SpState::Del(n - 1),
+                                (Dir::Advance, SpState::Ins) => SpState::Del(1),
+                                (Dir::Advance, SpState::Del(n)) => SpState::Del(n + 1),
+                                (d, s) => panic!("invalid delete {d:?} from state {s:?}"),
+                            };
+                        });
+                        lv += n;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a run of events (paper §3.3), emitting transformed operations
+    /// through `out` when `emit` is set.
+    ///
+    /// The prepare version must already equal the run's parent version
+    /// (the walker guarantees this via retreat/advance).
+    pub fn apply_range<F>(&mut self, oplog: &OpLog, range: DTRange, emit: bool, out: &mut F)
+    where
+        F: FnMut(DTRange, TextOperation),
+    {
+        self.apply_range_observed(oplog, range, emit, out, &mut |_| {});
+    }
+
+    /// [`Tracker::apply_range`] with an observer that sees every internal
+    /// state change in ID space. Used to convert event graphs into CRDT
+    /// operation streams (the paper's `crdt-converter`, §A.5).
+    pub fn apply_range_observed<F>(
+        &mut self,
+        oplog: &OpLog,
+        range: DTRange,
+        emit: bool,
+        out: &mut F,
+        observe: &mut dyn FnMut(CrdtChange),
+    ) where
+        F: FnMut(DTRange, TextOperation),
+    {
+        for (lvs, run) in oplog.ops_in(range) {
+            match run.kind {
+                ListOpKind::Ins => self.apply_insert(oplog, lvs, &run, emit, out, observe),
+                ListOpKind::Del => self.apply_delete(lvs, &run, emit, out, observe),
+            }
+        }
+    }
+
+    /// Applies one insert run: finds the position in the prepare state,
+    /// integrates against concurrent insertions (§3.3), inserts the record
+    /// and emits the transformed insertion.
+    fn apply_insert<F>(
+        &mut self,
+        oplog: &OpLog,
+        lvs: DTRange,
+        run: &OpRun,
+        emit: bool,
+        out: &mut F,
+        observe: &mut dyn FnMut(CrdtChange),
+    ) where
+        F: FnMut(DTRange, TextOperation),
+    {
+        let pos = run.loc.start;
+
+        // Locate the scan start: just after the character left of the
+        // insert position (in prepare coordinates).
+        let (cursor, origin_left) = if pos == 0 {
+            (self.tree.cursor_at_start(), ORIGIN_START)
+        } else {
+            let (c, _) = self.tree.cursor_at_cur_unit(pos - 1);
+            let e = self.tree.entry_at(&c);
+            debug_assert_eq!(e.sp, SpState::Ins);
+            let ol = e.id.start + c.offset;
+            (
+                Cursor {
+                    leaf: c.leaf,
+                    entry_idx: c.entry_idx,
+                    offset: c.offset + 1,
+                },
+                ol,
+            )
+        };
+
+        // Find the right origin: the first record at-or-after the position
+        // that is not NotInsertedYet (pseudocode: prepare_state >= 1).
+        let mut origin_right = ORIGIN_END;
+        {
+            let mut scan = cursor;
+            loop {
+                let valid = if scan.entry_idx < self.tree.entries_in_leaf(scan.leaf).len()
+                    && scan.offset < self.tree.entry_at(&scan).len()
+                {
+                    true
+                } else {
+                    scan.offset = 0;
+                    self.tree.cursor_next_entry(&mut scan)
+                };
+                if !valid {
+                    break;
+                }
+                let e = self.tree.entry_at(&scan);
+                if e.sp != SpState::NotInsertedYet {
+                    origin_right = e.id.start + scan.offset;
+                    break;
+                }
+                if !self.tree.cursor_next_entry(&mut scan) {
+                    break;
+                }
+            }
+        }
+
+        let new_span = CrdtSpan {
+            id: lvs,
+            origin_left,
+            origin_right,
+            sp: SpState::Ins,
+            se_deleted: false,
+        };
+        let dest = self.integrate(oplog, &new_span, cursor);
+        observe(CrdtChange::Ins { span: new_span });
+
+        let ins_loc = &mut self.ins_loc;
+        let placed = self
+            .tree
+            .insert_at(dest, new_span, &mut |e: &CrdtSpan, leaf| {
+                ins_loc.set(e.id, leaf);
+            });
+
+        if emit {
+            let w = self.tree.offset_of(placed.leaf, placed.entry_idx);
+            // The record just inserted is effect-visible, and if it merged
+            // into an existing entry that entry is effect-visible too.
+            let effect_pos = w.end + placed.offset;
+            let content = oplog.content_slice(run.content.expect("insert without content"));
+            out(
+                lvs,
+                TextOperation {
+                    kind: ListOpKind::Ins,
+                    pos: effect_pos,
+                    len: lvs.len(),
+                    content: Some(content),
+                },
+            );
+        }
+    }
+
+    /// The YjsMod integration scan (paper §3.3, Listing 2): walks the
+    /// records between the two origins to find where a concurrent insertion
+    /// belongs. Returns the destination cursor.
+    fn integrate(&self, oplog: &OpLog, new_span: &CrdtSpan, cursor: Cursor) -> Cursor {
+        let cursor_raw = {
+            let w = self.tree.offset_of(cursor.leaf, cursor.entry_idx);
+            w.raw + cursor.offset
+        };
+        let left_raw: i64 = if new_span.origin_left == ORIGIN_START {
+            -1
+        } else {
+            cursor_raw as i64 - 1
+        };
+        let right_raw: i64 = if new_span.origin_right == ORIGIN_END {
+            i64::MAX
+        } else {
+            self.raw_pos_of(new_span.origin_right) as i64
+        };
+
+        // Fast path: nothing between the origins.
+        if cursor_raw as i64 == right_raw {
+            return cursor;
+        }
+
+        let mut scanning = false;
+        let mut dest = cursor;
+        let mut i = cursor;
+        let mut i_raw = cursor_raw;
+        loop {
+            if !scanning {
+                dest = i;
+            }
+            if i_raw as i64 == right_raw {
+                break;
+            }
+            // Normalise / advance to a valid entry.
+            let valid = if i.entry_idx < self.tree.entries_in_leaf(i.leaf).len()
+                && i.offset < self.tree.entry_at(&i).len()
+            {
+                true
+            } else {
+                i.offset = 0;
+                self.tree.cursor_next_entry(&mut i)
+            };
+            if !valid {
+                break; // End of document.
+            }
+            let other = *self.tree.entry_at(&i);
+            debug_assert!(
+                !other.is_underwater(),
+                "integrate scan must not cross a placeholder"
+            );
+            debug_assert_eq!(other.sp, SpState::NotInsertedYet);
+            debug_assert_eq!(i.offset, 0, "scan entries are visited run-aligned");
+
+            let oleft: i64 = if other.origin_left == ORIGIN_START {
+                -1
+            } else {
+                self.raw_pos_of(other.origin_left) as i64
+            };
+            #[allow(clippy::comparison_chain)]
+            if oleft < left_raw {
+                break;
+            } else if oleft == left_raw {
+                let oright: i64 = if other.origin_right == ORIGIN_END {
+                    i64::MAX
+                } else {
+                    self.raw_pos_of(other.origin_right) as i64
+                };
+                #[allow(clippy::comparison_chain)]
+                if oright < right_raw {
+                    scanning = true;
+                } else if oright == right_raw {
+                    // Same origins: tie-break on agent name, as in Yjs.
+                    let my_agent = oplog.agents.lv_to_agent_span(new_span.id.start).agent;
+                    let other_agent = oplog.agents.lv_to_agent_span(other.id.start).agent;
+                    let my_name = oplog.agents.agent_name(my_agent);
+                    let other_name = oplog.agents.agent_name(other_agent);
+                    if my_name < other_name {
+                        break;
+                    }
+                    scanning = false;
+                } else {
+                    scanning = false;
+                }
+            }
+            // Skip the whole run: its tail items chain on their predecessor
+            // (their origin-left lies inside the run, which is > left).
+            i_raw += other.len();
+            i.offset = other.len();
+        }
+        dest
+    }
+
+    /// Applies one delete run chunk-wise, marking targets deleted in both
+    /// state machines and emitting transformed deletions.
+    fn apply_delete<F>(
+        &mut self,
+        lvs: DTRange,
+        run: &OpRun,
+        emit: bool,
+        out: &mut F,
+        observe: &mut dyn FnMut(CrdtChange),
+    ) where
+        F: FnMut(DTRange, TextOperation),
+    {
+        let n = lvs.len();
+        let mut done = 0usize;
+        // In prepare coordinates: forward runs keep deleting at a constant
+        // index; backward runs walk down from the top.
+        let mut bwd_pos = if run.fwd { 0 } else { run.loc.end - 1 };
+        while done < n {
+            let (cursor, end_off, chunk, target_ids, was_deleted) = if run.fwd {
+                let (c, end_off) = self.tree.cursor_at_cur_unit(run.loc.start);
+                let e = self.tree.entry_at(&c);
+                debug_assert_eq!(e.sp, SpState::Ins);
+                let chunk = (n - done).min(e.len() - c.offset);
+                let ids: DTRange = (e.id.start + c.offset..e.id.start + c.offset + chunk).into();
+                (c, end_off, chunk, ids, e.se_deleted)
+            } else {
+                let (c, end_off) = self.tree.cursor_at_cur_unit(bwd_pos);
+                let e = self.tree.entry_at(&c);
+                debug_assert_eq!(e.sp, SpState::Ins);
+                let chunk = (n - done).min(c.offset + 1);
+                let start_off = c.offset + 1 - chunk;
+                let ids: DTRange = (e.id.start + start_off..e.id.start + start_off + chunk).into();
+                // When the entry is already effect-deleted nothing will be
+                // emitted; guard the position arithmetic (end_off can be
+                // smaller than the chunk in that case).
+                let emit_pos = if e.se_deleted { 0 } else { end_off + 1 - chunk };
+                (
+                    Cursor {
+                        leaf: c.leaf,
+                        entry_idx: c.entry_idx,
+                        offset: start_off,
+                    },
+                    emit_pos,
+                    chunk,
+                    ids,
+                    e.se_deleted,
+                )
+            };
+
+            let ins_loc = &mut self.ins_loc;
+            self.tree.mutate_entry(
+                &cursor,
+                chunk,
+                |e| {
+                    debug_assert_eq!(e.sp, SpState::Ins);
+                    e.sp = SpState::Del(1);
+                    e.se_deleted = true;
+                },
+                &mut |e: &CrdtSpan, leaf| {
+                    ins_loc.set(e.id, leaf);
+                },
+            );
+            self.del_targets.insert(
+                lvs.start + done,
+                DelTarget {
+                    target: target_ids,
+                    fwd: run.fwd,
+                    len: chunk,
+                },
+            );
+            observe(CrdtChange::Del {
+                events: (lvs.start + done..lvs.start + done + chunk).into(),
+                target: target_ids,
+                fwd: run.fwd,
+            });
+            if emit && !was_deleted {
+                out(
+                    (lvs.start + done..lvs.start + done + chunk).into(),
+                    TextOperation::del(end_off, chunk),
+                );
+            }
+            done += chunk;
+            if !run.fwd {
+                bwd_pos = bwd_pos.saturating_sub(chunk);
+            }
+        }
+    }
+
+    /// Validates tree invariants (testing).
+    pub fn check(&self) {
+        self.tree.check();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn del_target_directions() {
+        let fwd = DelTarget {
+            target: (10..14).into(),
+            fwd: true,
+            len: 4,
+        };
+        assert_eq!(fwd.id_at(0), 10);
+        assert_eq!(fwd.id_at(3), 13);
+        assert_eq!(fwd.ids_at(1, 2), (11..13).into());
+        let bwd = DelTarget {
+            target: (10..14).into(),
+            fwd: false,
+            len: 4,
+        };
+        assert_eq!(bwd.id_at(0), 13);
+        assert_eq!(bwd.id_at(3), 10);
+        assert_eq!(bwd.ids_at(1, 2), (11..13).into());
+    }
+
+    #[test]
+    fn crdt_span_split_merge() {
+        let mut s = CrdtSpan {
+            id: (10..15).into(),
+            origin_left: 3,
+            origin_right: 7,
+            sp: SpState::Ins,
+            se_deleted: false,
+        };
+        let tail = s.truncate(2);
+        assert_eq!(s.id, (10..12).into());
+        assert_eq!(tail.id, (12..15).into());
+        assert_eq!(tail.origin_left, 11);
+        assert_eq!(tail.origin_right, 7);
+        let mut a = s;
+        assert!(a.can_append(&tail));
+        a.append(tail);
+        assert_eq!(a.id, (10..15).into());
+        // Different states do not merge.
+        let mut other = a;
+        let t2 = other.truncate(2);
+        let mut t2_del = t2;
+        t2_del.sp = SpState::Del(1);
+        assert!(!other.can_append(&t2_del));
+    }
+
+    #[test]
+    fn fresh_tracker_has_placeholder() {
+        let t = Tracker::new();
+        assert_eq!(t.num_records(), 1);
+        // The placeholder is visible in both dimensions.
+        let w = t.tree.total_widths();
+        assert_eq!(w.cur, UNDERWATER_LEN);
+        assert_eq!(w.end, UNDERWATER_LEN);
+    }
+}
+
+impl Tracker {
+    /// Debug helper: dumps the record sequence (id range, sp, se) in order.
+    pub fn dump_entries(&self) -> Vec<(DTRange, String, bool)> {
+        self.tree
+            .iter()
+            .map(|e| (e.id, format!("{:?}", e.sp), e.se_deleted))
+            .collect()
+    }
+}

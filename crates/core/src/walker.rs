@@ -1,0 +1,192 @@
+//! The walk driver: replays a window of the event graph through the
+//! [`Tracker`](crate::tracker::Tracker), emitting transformed operations
+//! (paper §3.2), clearing internal state at critical versions and
+//! fast-forwarding untransformed runs (§3.5), and replaying only conflict
+//! windows on merge (§3.6).
+
+use crate::op::{ListOpKind, TextOperation};
+use crate::tracker::Tracker;
+use crate::OpLog;
+use eg_dag::walk::{plan_walk_with_order, PlanOrder};
+use eg_dag::{Frontier, LV};
+use eg_rle::{DTRange, HasLength};
+
+/// Tuning knobs for the walker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkerOpts {
+    /// Enables the §3.5 optimisations: clearing the internal state at
+    /// critical versions and emitting events untransformed when both their
+    /// version and parent version are critical. Disabling this reproduces
+    /// the "opt disabled" series of the paper's Fig. 9.
+    pub enable_clearing: bool,
+    /// Branch-ordering policy for the topological sort (§3.2, §3.7). The
+    /// non-default policies exist only for the traversal-order ablation
+    /// that §4.3 describes ("as much as 8× slower").
+    pub plan_order: PlanOrder,
+}
+
+impl Default for WalkerOpts {
+    fn default() -> Self {
+        WalkerOpts {
+            enable_clearing: true,
+            plan_order: PlanOrder::SmallestFirst,
+        }
+    }
+}
+
+/// Replays `spans` (ascending, causally closed above `base`) and calls
+/// `out(lvs, op)` with the transformed operation for every event inside
+/// `emit` (ascending subset of `spans`).
+///
+/// Transformed operations arrive in a linear order: applying them in
+/// sequence to the document at `Events(version at emit start)` yields the
+/// merged document (the "rebase" of §3).
+pub fn walk<F>(
+    oplog: &OpLog,
+    base: &Frontier,
+    spans: &[DTRange],
+    emit: &[DTRange],
+    opts: WalkerOpts,
+    out: &mut F,
+) where
+    F: FnMut(DTRange, TextOperation),
+{
+    let plan = plan_walk_with_order(&oplog.graph, base, spans, emit, opts.plan_order);
+    let mut tracker = Tracker::new();
+    // `clean` means: the tracker holds nothing but a placeholder, standing
+    // for the document at the current (prepare == effect) version.
+    let mut clean = true;
+
+    // Cursor into `emit` (ranges are ascending, but consumption can jump
+    // between branches, so we binary search).
+    let emit_overlap = |range: DTRange| -> Option<(bool, usize)> {
+        // Returns (emit?, prefix_len) for the prefix of `range` with a
+        // uniform emit flag.
+        match emit.binary_search_by(|r| {
+            if r.end <= range.start {
+                std::cmp::Ordering::Less
+            } else if r.start > range.start {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(idx) => {
+                let r = emit[idx];
+                Some((true, (r.end.min(range.end)) - range.start))
+            }
+            Err(idx) => {
+                let next_start = emit.get(idx).map(|r| r.start).unwrap_or(usize::MAX);
+                Some((false, (next_start.min(range.end)) - range.start))
+            }
+        }
+    };
+
+    for step in &plan {
+        if !step.retreat.is_empty() || !step.advance.is_empty() {
+            debug_assert!(!clean || step_targets_are_post_clear(&step.retreat));
+            for r in step.retreat.iter().rev() {
+                tracker.retreat(oplog, *r);
+            }
+            for r in &step.advance {
+                tracker.advance(oplog, *r);
+            }
+            clean = false;
+        }
+
+        let mut range = step.consume;
+        while !range.is_empty() {
+            // Fast-forward: with a clean tracker at the run's parent
+            // version, events whose versions are critical need no
+            // transformation at all (§3.5).
+            if opts.enable_clearing && clean {
+                if let Some((crit, offset)) = oplog.graph.criticals().find_with_offset(range.start)
+                {
+                    let ff_end = (crit.start + crit.len()).min(range.end);
+                    let _ = offset;
+                    emit_as_is(oplog, (range.start..ff_end).into(), &emit_overlap, out);
+                    range.start = ff_end;
+                    continue;
+                }
+            }
+
+            // Apply through the tracker, chunked on emit boundaries.
+            let (emit_flag, len) = emit_overlap(range).expect("emit ranges exhausted");
+            let chunk: DTRange = (range.start..range.start + len.min(range.len())).into();
+            tracker.apply_range(oplog, chunk, emit_flag, out);
+            clean = false;
+            range.start = chunk.end;
+
+            // Clearing: if we just crossed a critical version, drop the
+            // internal state (§3.5).
+            if opts.enable_clearing && oplog.graph.is_critical(chunk.end - 1) {
+                tracker.clear();
+                clean = true;
+            }
+        }
+    }
+}
+
+/// Emits the events of `range` untransformed (their version and parent
+/// versions are critical, so the transformed operation equals the
+/// original).
+fn emit_as_is<F, G>(oplog: &OpLog, range: DTRange, emit_overlap: &G, out: &mut F)
+where
+    F: FnMut(DTRange, TextOperation),
+    G: Fn(DTRange) -> Option<(bool, usize)>,
+{
+    let mut range = range;
+    while !range.is_empty() {
+        let (emit_flag, len) = emit_overlap(range).expect("emit ranges exhausted");
+        let chunk: DTRange = (range.start..range.start + len.min(range.len())).into();
+        if emit_flag {
+            for (lvs, mut run) in oplog.ops_in(chunk) {
+                // Normalise multi-unit backward deletes: deleting [s, e)
+                // backwards one key-press at a time has the same effect as
+                // deleting the whole range at `s`.
+                if run.kind == ListOpKind::Del {
+                    run.fwd = true;
+                }
+                let op = TextOperation {
+                    kind: run.kind,
+                    pos: run.loc.start,
+                    len: lvs.len(),
+                    content: run.content.map(|c| oplog.content_slice(c)),
+                };
+                out(lvs, op);
+            }
+        }
+        range.start = chunk.end;
+    }
+}
+
+/// Debug-build sanity helper: retreats with a clean tracker would touch
+/// records that no longer exist; the §3.5 invariants forbid it.
+fn step_targets_are_post_clear(retreat: &[DTRange]) -> bool {
+    retreat.is_empty()
+}
+
+/// Computes the transformed operations that take a document at version
+/// `from` to the version `merge_frontier ∪ from`.
+///
+/// Returns the final version alongside the (LV range, operation) pairs in
+/// application order.
+pub fn transformed_ops(
+    oplog: &OpLog,
+    from: &[LV],
+    merge_frontier: &[LV],
+    opts: WalkerOpts,
+) -> (Frontier, Vec<(DTRange, TextOperation)>) {
+    let target = oplog.graph.version_union(from, merge_frontier);
+    if target.as_slice() == from {
+        return (target, Vec::new());
+    }
+    let diff = oplog.graph.diff(from, &target);
+    debug_assert!(diff.only_a.is_empty());
+    let (base, spans) = oplog.graph.conflict_window(from, &target);
+    let mut out = Vec::new();
+    walk(oplog, &base, &spans, &diff.only_b, opts, &mut |lvs, op| {
+        out.push((lvs, op))
+    });
+    (target, out)
+}

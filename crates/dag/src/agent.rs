@@ -1,0 +1,293 @@
+//! [`AgentAssignment`]: the mapping between local versions and globally
+//! unique event IDs `(replica, sequence number)` (paper §3.8).
+
+use crate::LV;
+use eg_rle::{DTRange, HasLength, KVPair, MergableSpan, RleVec, SplitableSpan};
+use std::collections::HashMap;
+
+/// A compact per-replica agent identifier, interned by [`AgentAssignment`].
+pub type AgentId = u32;
+
+/// A globally unique event identifier: a replica name plus a per-replica
+/// sequence number.
+///
+/// This is the form in which event references cross the network; locally
+/// they are translated to [`LV`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RemoteId {
+    /// The replica (agent) that generated the event.
+    pub agent: String,
+    /// The agent's sequence number for the event (0-based, dense).
+    pub seq: usize,
+}
+
+/// A run of consecutive sequence numbers from one agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgentSpan {
+    /// The interned agent.
+    pub agent: AgentId,
+    /// The covered sequence numbers.
+    pub seq_range: DTRange,
+}
+
+/// A run of consecutive event IDs, used when encoding or exchanging spans of
+/// events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteIdSpan {
+    /// The replica that generated the events.
+    pub agent: String,
+    /// The covered sequence numbers.
+    pub seq_range: DTRange,
+}
+
+impl HasLength for AgentSpan {
+    fn len(&self) -> usize {
+        self.seq_range.len()
+    }
+}
+
+impl SplitableSpan for AgentSpan {
+    fn truncate(&mut self, at: usize) -> Self {
+        AgentSpan {
+            agent: self.agent,
+            seq_range: self.seq_range.truncate(at),
+        }
+    }
+}
+
+impl MergableSpan for AgentSpan {
+    fn can_append(&self, other: &Self) -> bool {
+        self.agent == other.agent && self.seq_range.can_append(&other.seq_range)
+    }
+
+    fn append(&mut self, other: Self) {
+        self.seq_range.append(other.seq_range);
+    }
+}
+
+/// Bidirectional RLE mapping between LVs and `(agent, seq)` event IDs.
+///
+/// Each agent's sequence numbers are dense from 0. Because people type in
+/// runs, both directions collapse to a handful of entries in practice.
+#[derive(Debug, Clone, Default)]
+pub struct AgentAssignment {
+    names: Vec<String>,
+    by_name: HashMap<String, AgentId>,
+    /// Per agent: seq range → LV range, sorted by seq.
+    client_data: Vec<RleVec<KVPair<DTRange>>>,
+    /// LV range → agent span, sorted by LV. Covers every assigned LV.
+    lv_map: RleVec<KVPair<AgentSpan>>,
+}
+
+impl AgentAssignment {
+    /// Creates an empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an agent name, returning its compact ID.
+    pub fn get_or_create_agent(&mut self, name: &str) -> AgentId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as AgentId;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        self.client_data.push(RleVec::new());
+        id
+    }
+
+    /// Looks up an agent by name without creating it.
+    pub fn agent_id(&self, name: &str) -> Option<AgentId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of an interned agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` was not created by this assignment.
+    pub fn agent_name(&self, agent: AgentId) -> &str {
+        &self.names[agent as usize]
+    }
+
+    /// The number of interned agents.
+    pub fn num_agents(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The total number of assigned LVs.
+    pub fn len(&self) -> usize {
+        self.lv_map.end_key()
+    }
+
+    /// Returns `true` if no LVs have been assigned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The next unused sequence number for `agent`.
+    pub fn next_seq_for(&self, agent: AgentId) -> usize {
+        self.client_data[agent as usize].end_key()
+    }
+
+    /// Assigns the next sequence numbers of `agent` to the LV range `lvs`.
+    ///
+    /// Returns the assigned sequence range.
+    pub fn assign_next(&mut self, agent: AgentId, lvs: DTRange) -> DTRange {
+        let seq_start = self.next_seq_for(agent);
+        let seqs: DTRange = (seq_start..seq_start + lvs.len()).into();
+        self.assign_at(agent, seqs, lvs);
+        seqs
+    }
+
+    /// Records that `agent`'s sequence numbers `seqs` correspond to the LV
+    /// range `lvs` (used when ingesting remote events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges have different lengths, if `lvs` does not append
+    /// densely to the assigned LVs, or if any of `seqs` is already assigned.
+    pub fn assign_at(&mut self, agent: AgentId, seqs: DTRange, lvs: DTRange) {
+        assert_eq!(seqs.len(), lvs.len());
+        assert_eq!(lvs.start, self.len(), "LV assignment must be dense");
+        let data = &mut self.client_data[agent as usize];
+        assert!(
+            seqs.start >= data.end_key(),
+            "agent sequence numbers must be assigned in order"
+        );
+        data.push(KVPair(seqs.start, lvs));
+        self.lv_map.push(KVPair(
+            lvs.start,
+            AgentSpan {
+                agent,
+                seq_range: seqs,
+            },
+        ));
+    }
+
+    /// Maps an LV to its event ID, returning the containing run.
+    ///
+    /// The returned span starts *at* `lv` (trimmed).
+    pub fn lv_to_agent_span(&self, lv: LV) -> AgentSpan {
+        let (pair, offset) = self.lv_map.find_with_offset(lv).expect("LV not assigned");
+        AgentSpan {
+            agent: pair.1.agent,
+            seq_range: pair.1.seq_range.suffix(offset),
+        }
+    }
+
+    /// Maps an LV to a [`RemoteId`].
+    pub fn lv_to_remote(&self, lv: LV) -> RemoteId {
+        let span = self.lv_to_agent_span(lv);
+        RemoteId {
+            agent: self.agent_name(span.agent).to_string(),
+            seq: span.seq_range.start,
+        }
+    }
+
+    /// Maps an `(agent, seq)` pair to its LV, if assigned.
+    pub fn try_remote_to_lv(&self, agent: AgentId, seq: usize) -> Option<LV> {
+        let data = self.client_data.get(agent as usize)?;
+        let (pair, offset) = data.find_with_offset(seq)?;
+        Some(pair.1.start + offset)
+    }
+
+    /// Maps a [`RemoteId`] to its LV, if known.
+    pub fn remote_id_to_lv(&self, id: &RemoteId) -> Option<LV> {
+        let agent = self.agent_id(&id.agent)?;
+        self.try_remote_to_lv(agent, id.seq)
+    }
+
+    /// Returns `true` if this assignment knows the given remote event.
+    pub fn knows(&self, id: &RemoteId) -> bool {
+        self.remote_id_to_lv(id).is_some()
+    }
+
+    /// Iterates the LV → agent-span runs in LV order.
+    pub fn iter_lv_map(&self) -> impl Iterator<Item = &KVPair<AgentSpan>> {
+        self.lv_map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning() {
+        let mut a = AgentAssignment::new();
+        let x = a.get_or_create_agent("alice");
+        let y = a.get_or_create_agent("bob");
+        assert_ne!(x, y);
+        assert_eq!(a.get_or_create_agent("alice"), x);
+        assert_eq!(a.agent_name(y), "bob");
+        assert_eq!(a.agent_id("carol"), None);
+        assert_eq!(a.num_agents(), 2);
+    }
+
+    #[test]
+    fn assign_and_lookup() {
+        let mut a = AgentAssignment::new();
+        let alice = a.get_or_create_agent("alice");
+        let bob = a.get_or_create_agent("bob");
+        let s = a.assign_next(alice, (0..10).into());
+        assert_eq!(s, (0..10).into());
+        let s = a.assign_next(bob, (10..15).into());
+        assert_eq!(s, (0..5).into());
+        let s = a.assign_next(alice, (15..20).into());
+        assert_eq!(s, (10..15).into());
+
+        assert_eq!(a.len(), 20);
+        let span = a.lv_to_agent_span(12);
+        assert_eq!(span.agent, bob);
+        assert_eq!(span.seq_range, (2..5).into());
+        assert_eq!(
+            a.lv_to_remote(17),
+            RemoteId {
+                agent: "alice".into(),
+                seq: 12
+            }
+        );
+        assert_eq!(a.try_remote_to_lv(alice, 3), Some(3));
+        assert_eq!(a.try_remote_to_lv(alice, 12), Some(17));
+        assert_eq!(a.try_remote_to_lv(bob, 4), Some(14));
+        assert_eq!(a.try_remote_to_lv(bob, 5), None);
+        assert!(a.knows(&RemoteId {
+            agent: "bob".into(),
+            seq: 0
+        }));
+        assert!(!a.knows(&RemoteId {
+            agent: "carol".into(),
+            seq: 0
+        }));
+    }
+
+    #[test]
+    fn runs_merge() {
+        let mut a = AgentAssignment::new();
+        let alice = a.get_or_create_agent("alice");
+        a.assign_next(alice, (0..5).into());
+        a.assign_next(alice, (5..9).into());
+        // Both directions should have merged into single runs.
+        assert_eq!(a.iter_lv_map().count(), 1);
+        assert_eq!(a.lv_to_agent_span(0).seq_range, (0..9).into());
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_lv_panics() {
+        let mut a = AgentAssignment::new();
+        let alice = a.get_or_create_agent("alice");
+        a.assign_at(alice, (0..3).into(), (5..8).into());
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_seq_panics() {
+        let mut a = AgentAssignment::new();
+        let alice = a.get_or_create_agent("alice");
+        a.assign_at(alice, (5..8).into(), (0..3).into());
+        a.assign_at(alice, (0..3).into(), (3..6).into());
+    }
+}

@@ -1,0 +1,156 @@
+//! Standalone critical-version computation (paper §3.5).
+//!
+//! [`Graph`] maintains critical versions incrementally; this module provides
+//! an independent from-scratch recomputation used to cross-check it (and to
+//! document the algorithm).
+
+use crate::{Frontier, Graph, LV};
+
+/// Recomputes the set of critical versions of `graph` from scratch.
+///
+/// A version `{v}` is *critical* iff it partitions the event graph: every
+/// event is either an ancestor-or-equal of `v`, or a descendant of `v`
+/// (paper §3.5). Because LVs are topologically ordered, this decomposes into
+/// two conditions:
+///
+/// * **A**: every event with a smaller LV is an ancestor of `v` — i.e. the
+///   frontier of the LV-prefix `[0, v]` is exactly `{v}`.
+/// * **B**: every event with a larger LV is a descendant of `v` — which, in
+///   a transitively reduced graph, holds iff no parent edge `(p, q)` skips
+///   over `v` (`p < v < q`) and no root event comes after `v`.
+///
+/// Runs in O(n + E). Returns the critical LVs in ascending order.
+///
+/// # Examples
+///
+/// ```
+/// use eg_dag::{criticality, Graph};
+/// let mut g = Graph::new();
+/// g.push(&[], (0..3).into());
+/// g.push(&[0], (3..4).into()); // concurrent with events 1, 2
+/// g.push(&[2, 3], (4..5).into());
+/// assert_eq!(criticality(&g), vec![0, 4]);
+/// ```
+pub fn criticality(graph: &Graph) -> Vec<LV> {
+    let n = graph.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Condition B: difference array over "killed" intervals.
+    let mut kill = vec![0i64; n + 1];
+    for entry in graph.iter() {
+        if entry.parents.is_root() {
+            // A root at position s kills every candidate before it.
+            if entry.span.start > 0 {
+                kill[0] += 1;
+                kill[entry.span.start] -= 1;
+            }
+        } else {
+            let min_p = *entry.parents.iter().min().unwrap();
+            // Each parent edge (p, s) kills candidates in (p, s); the union
+            // over parents is (min_p, s).
+            if min_p + 1 < entry.span.start {
+                kill[min_p + 1] += 1;
+                kill[entry.span.start] -= 1;
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut killed_acc = 0i64;
+    let killed_at = move |kill: &[i64], lv: usize, acc: &mut i64| {
+        *acc += kill[lv];
+        *acc > 0
+    };
+
+    // Condition A: sweep the frontier forward.
+    let mut frontier = Frontier::root();
+    for entry in graph.iter() {
+        let a_ok = frontier.iter().all(|v| entry.parents.contains_entry(*v));
+        for lv in entry.span.iter() {
+            let b_killed = killed_at(&kill, lv, &mut killed_acc);
+            if a_ok && !b_killed {
+                out.push(lv);
+            }
+        }
+        frontier.advance_by(entry.span.last(), &entry.parents);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_all_critical() {
+        let mut g = Graph::new();
+        g.push(&[], (0..5).into());
+        assert_eq!(criticality(&g), vec![0, 1, 2, 3, 4]);
+        // Incremental agrees.
+        assert_eq!(g.criticals().item_len(), 5);
+        assert!(g.is_critical(3));
+        assert_eq!(g.latest_critical_at_or_before(4), Some(4));
+    }
+
+    #[test]
+    fn branch_kills_interior() {
+        let mut g = Graph::new();
+        g.push(&[], (0..3).into()); // 0 1 2
+        g.push(&[0], (3..4).into()); // 3 branches off 0: kills 1, 2
+        g.push(&[2, 3], (4..6).into()); // merge; 4, 5 critical again
+        assert_eq!(criticality(&g), vec![0, 4, 5]);
+        let inc: Vec<_> = g.criticals().iter().flat_map(|r| r.iter()).collect();
+        assert_eq!(inc, vec![0, 4, 5]);
+        assert_eq!(g.latest_critical_at_or_before(3), Some(0));
+        assert_eq!(g.latest_critical_at_or_before(5), Some(5));
+    }
+
+    #[test]
+    fn late_root_kills_everything_before() {
+        let mut g = Graph::new();
+        g.push(&[], (0..3).into());
+        g.push(&[], (3..4).into()); // a second root
+        g.push(&[2, 3], (4..5).into());
+        assert_eq!(criticality(&g), vec![4]);
+        let inc: Vec<_> = g.criticals().iter().flat_map(|r| r.iter()).collect();
+        assert_eq!(inc, vec![4]);
+    }
+
+    #[test]
+    fn unmerged_branch_leaves_nothing_critical_after_fork() {
+        let mut g = Graph::new();
+        g.push(&[], (0..2).into());
+        g.push(&[1], (2..4).into());
+        g.push(&[1], (4..6).into()); // still unmerged
+        assert_eq!(criticality(&g), vec![0, 1]);
+        let inc: Vec<_> = g.criticals().iter().flat_map(|r| r.iter()).collect();
+        assert_eq!(inc, vec![0, 1]);
+        // After the merge, the merge event becomes critical.
+        g.push(&[3, 5], (6..7).into());
+        assert_eq!(criticality(&g), vec![0, 1, 6]);
+        let inc: Vec<_> = g.criticals().iter().flat_map(|r| r.iter()).collect();
+        assert_eq!(inc, vec![0, 1, 6]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        assert!(criticality(&g).is_empty());
+        assert_eq!(g.latest_critical_at_or_before(0), None);
+    }
+
+    #[test]
+    fn fig4_criticals() {
+        // Paper figure 4: 8 events, branches between 2..7, merge at 7.
+        let mut g = Graph::new();
+        g.push(&[], (0..2).into());
+        g.push(&[1], (2..4).into());
+        g.push(&[1], (4..7).into());
+        g.push(&[3, 6], (7..8).into());
+        assert_eq!(criticality(&g), vec![0, 1, 7]);
+        let inc: Vec<_> = g.criticals().iter().flat_map(|r| r.iter()).collect();
+        assert_eq!(inc, vec![0, 1, 7]);
+    }
+}

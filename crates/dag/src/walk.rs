@@ -1,0 +1,436 @@
+//! Walk planning: topologically sorting a set of events so that branches
+//! stay consecutive, and computing the retreat/advance lists between
+//! consecutive runs (paper §3.2, §3.7).
+
+use crate::{Frontier, Graph, GraphEntry, LV};
+use eg_rle::{DTRange, HasLength, RleVec};
+use std::collections::BTreeSet;
+
+/// One step of a planned walk over the event graph.
+///
+/// To process the step: retreat every event of `retreat` from the prepare
+/// version, advance every event of `advance`, then apply the events of
+/// `consume` in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkStep {
+    /// Events to remove from the prepare version, as ascending LV ranges.
+    pub retreat: Vec<DTRange>,
+    /// Events to add back to the prepare version, as ascending LV ranges.
+    pub advance: Vec<DTRange>,
+    /// The contiguous run of events to apply.
+    pub consume: DTRange,
+}
+
+/// How concurrent branches are ordered in the topological sort.
+///
+/// The paper (§3.2, §3.7) picks branches with fewer events first, and §4.3
+/// reports that "a poorly chosen traversal order can make this trace as
+/// much as 8× slower to merge". The non-default variants exist to measure
+/// exactly that ablation; they are never better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanOrder {
+    /// Visit small branches before large ones (the paper's heuristic).
+    #[default]
+    SmallestFirst,
+    /// Visit large branches before small ones (pathological).
+    LargestFirst,
+    /// Ignore branch sizes; break ties by arrival (LV) order.
+    Arrival,
+}
+
+/// Plans a walk over `spans` (ascending, causally closed above `base`).
+///
+/// The plan visits every event of `spans` exactly once, in a topological
+/// order chosen to keep linear runs consecutive and to visit small branches
+/// before large ones (the paper's §3.2 heuristic, which §4.3 reports matters
+/// up to 8× on highly concurrent traces). Between runs it emits the
+/// retreat/advance lists computed with [`Graph::diff`].
+///
+/// `new_ranges` marks the events that are *new* relative to the document
+/// being merged into. The plan applies every event outside `new_ranges`
+/// before any event inside it (paper §3.6: replay the existing events
+/// without output, "finally, apply the new event … and output the
+/// transformed operation") — otherwise the emitted indexes would be
+/// relative to a document missing some of its text. Pass `spans` itself (or
+/// an equal cover) when everything is new (a full replay).
+///
+/// `base` must be a version dominated by every event in `spans` (the
+/// conflict-window base from [`Graph::conflict_window`], or the root).
+pub fn plan_walk(
+    graph: &Graph,
+    base: &Frontier,
+    spans: &[DTRange],
+    new_ranges: &[DTRange],
+) -> Vec<WalkStep> {
+    plan_walk_with_order(graph, base, spans, new_ranges, PlanOrder::SmallestFirst)
+}
+
+/// [`plan_walk`] with an explicit branch-ordering policy (see
+/// [`PlanOrder`]); used by the traversal-order ablation.
+pub fn plan_walk_with_order(
+    graph: &Graph,
+    base: &Frontier,
+    spans: &[DTRange],
+    new_ranges: &[DTRange],
+    order: PlanOrder,
+) -> Vec<WalkStep> {
+    if spans.is_empty() {
+        return Vec::new();
+    }
+    let window: RleVec<DTRange> = spans.iter().copied().collect();
+    let news: RleVec<DTRange> = new_ranges.iter().copied().collect();
+
+    // 1. Collect candidate nodes: graph entries clipped to the window.
+    let mut nodes: Vec<GraphEntry> = Vec::new();
+    for &span in spans {
+        for entry in graph.iter_range(span) {
+            nodes.push(entry);
+        }
+    }
+
+    // 2. Split nodes (a) after every in-window event that has an
+    //    out-of-run child, so that parent edges land on run ends, and
+    //    (b) at old/new boundaries, so every node is uniformly old or new.
+    let mut cuts: Vec<LV> = Vec::new();
+    for node in &nodes {
+        for &p in node.parents.iter() {
+            if window.contains_key(p) {
+                cuts.push(p + 1);
+            }
+        }
+    }
+    for r in new_ranges {
+        cuts.push(r.start);
+        cuts.push(r.end);
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut split_nodes: Vec<GraphEntry> = Vec::with_capacity(nodes.len() + cuts.len());
+    let mut cut_iter = cuts.iter().copied().peekable();
+    for mut node in nodes {
+        while let Some(&c) = cut_iter.peek() {
+            if c <= node.span.start {
+                cut_iter.next();
+            } else {
+                break;
+            }
+        }
+        let mut cuts_here: Vec<LV> = Vec::new();
+        {
+            let mut it = cut_iter.clone();
+            while let Some(&c) = it.peek() {
+                if c < node.span.end {
+                    cuts_here.push(c);
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        for c in cuts_here {
+            use eg_rle::SplitableSpan;
+            let rem = node.truncate(c - node.span.start);
+            split_nodes.push(node);
+            node = rem;
+        }
+        split_nodes.push(node);
+    }
+    let nodes = split_nodes;
+
+    // Map: LV → node index (by node start).
+    let find_node = |lv: LV| -> usize {
+        nodes
+            .binary_search_by(|n| {
+                if lv < n.span.start {
+                    std::cmp::Ordering::Greater
+                } else if lv >= n.span.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .expect("LV not in window")
+    };
+
+    // 3. Build edges and in-degrees.
+    let n = nodes.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut in_degree: Vec<usize> = vec![0; n];
+    for (i, node) in nodes.iter().enumerate() {
+        for &p in node.parents.iter() {
+            if window.contains_key(p) {
+                let pi = find_node(p);
+                debug_assert_eq!(nodes[pi].span.last(), p, "edges must land on run ends");
+                children[pi].push(i);
+                in_degree[i] += 1;
+            }
+        }
+    }
+    let is_new: Vec<bool> = nodes
+        .iter()
+        .map(|nd| news.contains_key(nd.span.start))
+        .collect();
+
+    // 4. Branch-size estimates: events that happen after each node
+    //    (over-counts shared descendants; it is only a heuristic).
+    // The DP over-counts shared descendants, which on diamond-heavy graphs
+    // grows exponentially — saturate, it is only an ordering heuristic.
+    let mut desc: Vec<u64> = vec![0; n];
+    for i in (0..n).rev() {
+        let mut d = nodes[i].span.len() as u64;
+        for &c in &children[i] {
+            d = d.saturating_add(desc[c]);
+        }
+        desc[i] = d;
+    }
+    // Rewrite the size key according to the ordering policy; the BTreeSet
+    // below always pops the minimum.
+    match order {
+        PlanOrder::SmallestFirst => {}
+        PlanOrder::LargestFirst => {
+            for d in desc.iter_mut() {
+                *d = u64::MAX - *d;
+            }
+        }
+        PlanOrder::Arrival => desc.fill(0),
+    }
+
+    // 5. Kahn's algorithm. Old nodes strictly before new ones; within a
+    //    class, smallest-branch-first, preferring direct chain
+    //    continuations (zero retreat/advance).
+    let mut ready: BTreeSet<(bool, u64, usize)> = BTreeSet::new();
+    let mut old_ready = 0usize;
+    for i in 0..n {
+        if in_degree[i] == 0 {
+            ready.insert((is_new[i], desc[i], i));
+            if !is_new[i] {
+                old_ready += 1;
+            }
+        }
+    }
+    let mut steps: Vec<WalkStep> = Vec::with_capacity(n);
+    let mut prepare = base.clone();
+    let mut consumed = 0usize;
+    let mut next_hot: Option<usize> = None;
+    while consumed < n {
+        let i = if let Some(hot) = next_hot.take() {
+            hot
+        } else {
+            let &(nw, d, i) = ready.iter().next().expect("cycle in event graph");
+            ready.remove(&(nw, d, i));
+            if !nw {
+                old_ready -= 1;
+            }
+            i
+        };
+        let node = &nodes[i];
+        let d = graph.diff(&prepare, &node.parents);
+        let step = WalkStep {
+            retreat: d.only_a,
+            advance: d.only_b,
+            consume: node.span,
+        };
+        // Merge pure consumption into the previous step.
+        if step.retreat.is_empty() && step.advance.is_empty() {
+            if let Some(last) = steps.last_mut() {
+                if last.consume.end == step.consume.start {
+                    last.consume.end = step.consume.end;
+                } else {
+                    steps.push(step);
+                }
+            } else {
+                steps.push(step);
+            }
+        } else {
+            steps.push(step);
+        }
+        prepare = Frontier::new_1(node.span.last());
+        consumed += 1;
+
+        // Release children; chain into one if allowed.
+        let mut best_chain: Option<(bool, u64, usize)> = None;
+        for &c in &children[i] {
+            in_degree[c] -= 1;
+            if in_degree[c] == 0 {
+                let key = (is_new[c], desc[c], c);
+                let chains = nodes[c].parents.as_slice() == [node.span.last()];
+                if chains {
+                    match best_chain {
+                        Some(bk) if key < bk => {
+                            ready.insert(bk);
+                            if !bk.0 {
+                                old_ready += 1;
+                            }
+                            best_chain = Some(key);
+                        }
+                        Some(_) => {
+                            ready.insert(key);
+                            if !key.0 {
+                                old_ready += 1;
+                            }
+                        }
+                        None => best_chain = Some(key),
+                    }
+                } else {
+                    ready.insert(key);
+                    if !key.0 {
+                        old_ready += 1;
+                    }
+                }
+            }
+        }
+        if let Some(key) = best_chain {
+            // A new-class chain may only be followed once no old nodes wait.
+            if key.0 && old_ready > 0 {
+                ready.insert(key);
+            } else {
+                next_hot = Some(key.2);
+            }
+        }
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 4 example, §3.2: the plan must retreat e3/e4
+    /// before the concurrent branch and advance them again before the merge.
+    #[test]
+    fn fig4_walk_matches_paper() {
+        let mut g = Graph::new();
+        g.push(&[], (0..2).into()); // e1 e2
+        g.push(&[1], (2..4).into()); // e3 e4
+        g.push(&[1], (4..7).into()); // e5 e6 e7
+        g.push(&[3, 6], (7..8).into()); // e8
+        let all = [(0..8).into()];
+        let steps = plan_walk(&g, &Frontier::root(), &all, &all);
+        assert_eq!(
+            steps,
+            vec![
+                WalkStep {
+                    retreat: vec![],
+                    advance: vec![],
+                    consume: (0..4).into(),
+                },
+                WalkStep {
+                    retreat: vec![(2..4).into()],
+                    advance: vec![],
+                    consume: (4..7).into(),
+                },
+                WalkStep {
+                    retreat: vec![],
+                    advance: vec![(2..4).into()],
+                    consume: (7..8).into(),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn linear_graph_single_step() {
+        let mut g = Graph::new();
+        g.push(&[], (0..100).into());
+        let all = [(0..100).into()];
+        let steps = plan_walk(&g, &Frontier::root(), &all, &all);
+        assert_eq!(
+            steps,
+            vec![WalkStep {
+                retreat: vec![],
+                advance: vec![],
+                consume: (0..100).into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn partial_window() {
+        let mut g = Graph::new();
+        g.push(&[], (0..5).into());
+        g.push(&[4], (5..8).into()); // branch a
+        g.push(&[4], (8..10).into()); // branch b
+                                      // Window: just the two branches, base at {4}; everything new.
+        let spans = [(5..10).into()];
+        let steps = plan_walk(&g, &Frontier::new_1(4), &spans, &spans);
+        // Small branch (8..10, 2 events) visited before the big one (5..8).
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].consume, (8..10).into());
+        assert!(steps[0].retreat.is_empty() && steps[0].advance.is_empty());
+        assert_eq!(steps[1].consume, (5..8).into());
+        assert_eq!(steps[1].retreat, vec![DTRange::from(8..10)]);
+        assert!(steps[1].advance.is_empty());
+    }
+
+    /// Old events must be consumed before new ones, even when the new
+    /// branch is smaller.
+    #[test]
+    fn old_before_new() {
+        let mut g = Graph::new();
+        g.push(&[], (0..5).into());
+        g.push(&[4], (5..11).into()); // old branch (6 events, larger)
+        g.push(&[4], (11..12).into()); // new branch (1 event, smaller)
+        let spans = [(5..12).into()];
+        let steps = plan_walk(&g, &Frontier::new_1(4), &spans, &[(11..12).into()]);
+        assert_eq!(steps[0].consume, (5..11).into());
+        assert_eq!(steps[1].consume, (11..12).into());
+    }
+
+    /// A node mixing old and new events is split at the boundary, and the
+    /// new part waits for concurrent old branches.
+    #[test]
+    fn mixed_node_split_at_emit_boundary() {
+        let mut g = Graph::new();
+        g.push(&[], (0..4).into()); // old
+        g.push(&[3], (4..8).into()); // old prefix 4..6, new suffix 6..8
+        g.push(&[3], (8..10).into()); // old concurrent branch
+        let spans = [(0..10).into()];
+        let steps = plan_walk(&g, &Frontier::root(), &spans, &[(6..8).into()]);
+        // The new range 6..8 must come after the old branch 8..10.
+        let order: Vec<DTRange> = steps.iter().map(|s| s.consume).collect();
+        let pos_new = order.iter().position(|r| r.contains(6)).unwrap();
+        let pos_old_branch = order.iter().position(|r| r.contains(8)).unwrap();
+        assert!(pos_old_branch < pos_new, "order: {order:?}");
+    }
+
+    #[test]
+    fn mid_run_fork_splits_nodes() {
+        let mut g = Graph::new();
+        g.push(&[], (0..6).into());
+        g.push(&[2], (6..8).into()); // forks off the middle of the run
+        g.push(&[5, 7], (8..9).into());
+        let spans = [(0..9).into()];
+        let steps = plan_walk(&g, &Frontier::root(), &spans, &spans);
+        let total: usize = steps.iter().map(|s| s.consume.len()).sum();
+        assert_eq!(total, 9);
+        assert!(steps
+            .iter()
+            .any(|s| s.consume.start == 3 || s.consume.end == 3));
+    }
+
+    #[test]
+    fn empty_plan() {
+        let g = Graph::new();
+        assert!(plan_walk(&g, &Frontier::root(), &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn every_event_consumed_once_random_shape() {
+        let mut g = Graph::new();
+        g.push(&[], (0..3).into());
+        g.push(&[0], (3..5).into());
+        g.push(&[1], (5..6).into());
+        g.push(&[4, 5], (6..7).into());
+        g.push(&[2, 6], (7..10).into());
+        let spans = [(0..10).into()];
+        let steps = plan_walk(&g, &Frontier::root(), &spans, &[(4..7).into()]);
+        let mut seen = vec![false; 10];
+        for s in &steps {
+            for lv in s.consume.iter() {
+                assert!(!seen[lv], "event {lv} consumed twice");
+                seen[lv] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

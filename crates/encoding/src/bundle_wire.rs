@@ -1,0 +1,292 @@
+//! Wire codec for [`EventBundle`]s — the network form of an event-graph
+//! subset (paper §3.8, final paragraph).
+//!
+//! The whole-file format identifies parents by topological index, which is
+//! meaningless outside the file. A bundle instead names events by
+//! `(replicaID, seqNo)`; this codec keeps that compact with an interned
+//! agent-name table and LEB128 columns, framed with a magic header and a
+//! CRC32 trailer like the main format.
+//!
+//! Layout (all integers LEB128):
+//!
+//! ```text
+//! "EGWB" | format version (=1)
+//! agent table:  count, then per agent: name length, UTF-8 name bytes
+//! runs:         count, then per run:
+//!   agent index | seq_start | flags (bit0 kind, bit1 fwd)
+//!   loc.start | run length
+//!   parent count, then per parent: agent index | seq
+//!   Ins only: content byte length | UTF-8 content
+//! CRC32 of everything above (4 bytes little-endian)
+//! ```
+
+use crate::crc::crc32;
+use crate::varint::{push_usize, read_usize, DecodeError};
+use eg_dag::RemoteId;
+use eg_rle::HasLength;
+use egwalker::{BundleRun, EventBundle, ListOpKind};
+use std::collections::HashMap;
+
+const BUNDLE_MAGIC: &[u8; 4] = b"EGWB";
+const BUNDLE_VERSION: u8 = 1;
+
+/// Serialises an event bundle for the network.
+pub fn encode_bundle(bundle: &EventBundle) -> Vec<u8> {
+    // Intern agent names (run agents and parent agents alike).
+    fn intern<'a>(
+        name: &'a str,
+        names: &mut Vec<&'a str>,
+        index: &mut HashMap<&'a str, usize>,
+    ) -> usize {
+        if let Some(&i) = index.get(name) {
+            return i;
+        }
+        let i = names.len();
+        names.push(name);
+        index.insert(name, i);
+        i
+    }
+    let mut names: Vec<&str> = Vec::new();
+    let mut index: HashMap<&str, usize> = HashMap::new();
+
+    let mut agent_of_run = Vec::with_capacity(bundle.runs.len());
+    let mut parents_of_run: Vec<Vec<(usize, usize)>> = Vec::with_capacity(bundle.runs.len());
+    for run in &bundle.runs {
+        agent_of_run.push(intern(&run.agent, &mut names, &mut index));
+        parents_of_run.push(
+            run.parents
+                .iter()
+                .map(|p| (intern(&p.agent, &mut names, &mut index), p.seq))
+                .collect(),
+        );
+    }
+
+    let mut out = Vec::new();
+    out.extend_from_slice(BUNDLE_MAGIC);
+    out.push(BUNDLE_VERSION);
+    push_usize(&mut out, names.len());
+    for name in &names {
+        push_usize(&mut out, name.len());
+        out.extend_from_slice(name.as_bytes());
+    }
+    push_usize(&mut out, bundle.runs.len());
+    for (i, run) in bundle.runs.iter().enumerate() {
+        push_usize(&mut out, agent_of_run[i]);
+        push_usize(&mut out, run.seq_start);
+        let mut flags = 0u8;
+        if run.kind == ListOpKind::Del {
+            flags |= 1;
+        }
+        if run.fwd {
+            flags |= 2;
+        }
+        out.push(flags);
+        push_usize(&mut out, run.loc.start);
+        push_usize(&mut out, run.loc.len());
+        push_usize(&mut out, parents_of_run[i].len());
+        for &(agent, seq) in &parents_of_run[i] {
+            push_usize(&mut out, agent);
+            push_usize(&mut out, seq);
+        }
+        if run.kind == ListOpKind::Ins {
+            let content = run.content.as_deref().unwrap_or("");
+            push_usize(&mut out, content.len());
+            out.extend_from_slice(content.as_bytes());
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Deserialises an event bundle, validating framing and checksum.
+///
+/// Structural/causal validity is *not* checked here — that is
+/// [`egwalker::OpLog::apply_bundle`]'s job, because it depends on the
+/// receiving replica's state.
+pub fn decode_bundle(bytes: &[u8]) -> Result<EventBundle, DecodeError> {
+    if bytes.len() < BUNDLE_MAGIC.len() + 1 + 4 {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != stored {
+        return Err(DecodeError::Corrupt);
+    }
+    let mut input = body;
+    let magic = take(&mut input, 4)?;
+    if magic != BUNDLE_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = take(&mut input, 1)?[0];
+    if version != BUNDLE_VERSION {
+        return Err(DecodeError::Corrupt);
+    }
+
+    let num_names = read_usize(&mut input)?;
+    // Agents cannot outnumber remaining bytes (each takes ≥1 byte).
+    if num_names > input.len() {
+        return Err(DecodeError::Corrupt);
+    }
+    let mut names = Vec::with_capacity(num_names);
+    for _ in 0..num_names {
+        let len = read_usize(&mut input)?;
+        let raw = take(&mut input, len)?;
+        let name = std::str::from_utf8(raw).map_err(|_| DecodeError::BadUtf8)?;
+        names.push(name.to_string());
+    }
+
+    let num_runs = read_usize(&mut input)?;
+    if num_runs > input.len() {
+        return Err(DecodeError::Corrupt);
+    }
+    let mut runs = Vec::with_capacity(num_runs);
+    for _ in 0..num_runs {
+        let agent_idx = read_usize(&mut input)?;
+        let agent = names
+            .get(agent_idx)
+            .ok_or(DecodeError::Corrupt)?
+            .to_string();
+        let seq_start = read_usize(&mut input)?;
+        let flags = take(&mut input, 1)?[0];
+        if flags & !3 != 0 {
+            return Err(DecodeError::Corrupt);
+        }
+        let kind = if flags & 1 != 0 {
+            ListOpKind::Del
+        } else {
+            ListOpKind::Ins
+        };
+        let fwd = flags & 2 != 0;
+        let loc_start = read_usize(&mut input)?;
+        let len = read_usize(&mut input)?;
+        if len == 0 {
+            return Err(DecodeError::Corrupt);
+        }
+        let num_parents = read_usize(&mut input)?;
+        if num_parents > input.len() {
+            return Err(DecodeError::Corrupt);
+        }
+        let mut parents = Vec::with_capacity(num_parents);
+        for _ in 0..num_parents {
+            let pa = read_usize(&mut input)?;
+            let agent = names.get(pa).ok_or(DecodeError::Corrupt)?.to_string();
+            let seq = read_usize(&mut input)?;
+            parents.push(RemoteId { agent, seq });
+        }
+        let content = if kind == ListOpKind::Ins {
+            let byte_len = read_usize(&mut input)?;
+            let raw = take(&mut input, byte_len)?;
+            let text = std::str::from_utf8(raw).map_err(|_| DecodeError::BadUtf8)?;
+            if text.chars().count() != len {
+                return Err(DecodeError::Corrupt);
+            }
+            Some(text.to_string())
+        } else {
+            None
+        };
+        runs.push(BundleRun {
+            agent,
+            seq_start,
+            parents,
+            kind,
+            loc: (loc_start..loc_start + len).into(),
+            fwd,
+            content,
+        });
+    }
+    if !input.is_empty() {
+        return Err(DecodeError::Corrupt);
+    }
+    Ok(EventBundle { runs })
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
+    if input.len() < n {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let (head, rest) = input.split_at(n);
+    *input = rest;
+    Ok(head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egwalker::OpLog;
+
+    fn sample_bundle() -> EventBundle {
+        let mut a = OpLog::new();
+        let alice = a.get_or_create_agent("alice");
+        let bob = a.get_or_create_agent("bob");
+        a.add_insert(alice, 0, "base text");
+        let v = a.version().clone();
+        a.add_insert_at(alice, &v, 4, " and more");
+        a.add_insert_at(bob, &v, 9, "!!");
+        a.add_delete(alice, 0, 2);
+        a.bundle_since(&[])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bundle = sample_bundle();
+        let bytes = encode_bundle(&bundle);
+        let decoded = decode_bundle(&bytes).unwrap();
+        assert_eq!(decoded, bundle);
+    }
+
+    #[test]
+    fn roundtrip_applies_identically() {
+        let bundle = sample_bundle();
+        let bytes = encode_bundle(&bundle);
+        let decoded = decode_bundle(&bytes).unwrap();
+        let mut log1 = OpLog::new();
+        log1.apply_bundle(&bundle).unwrap();
+        let mut log2 = OpLog::new();
+        log2.apply_bundle(&decoded).unwrap();
+        assert_eq!(
+            log1.checkout_tip().content.to_string(),
+            log2.checkout_tip().content.to_string()
+        );
+    }
+
+    #[test]
+    fn empty_bundle_roundtrips() {
+        let bundle = EventBundle::default();
+        let decoded = decode_bundle(&encode_bundle(&bundle)).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn crc_detects_corruption() {
+        let bytes = encode_bundle(&sample_bundle());
+        for i in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x40;
+            assert!(
+                decode_bundle(&corrupted).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode_bundle(&sample_bundle());
+        for cut in 0..bytes.len() {
+            assert!(decode_bundle(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn unicode_content_roundtrips() {
+        let mut a = OpLog::new();
+        let alice = a.get_or_create_agent("alice");
+        a.add_insert(alice, 0, "héllo 世界 🦀");
+        let bundle = a.bundle_since(&[]);
+        let decoded = decode_bundle(&encode_bundle(&bundle)).unwrap();
+        let mut b = OpLog::new();
+        b.apply_bundle(&decoded).unwrap();
+        assert_eq!(b.checkout_tip().content.to_string(), "héllo 世界 🦀");
+    }
+}

@@ -1,0 +1,34 @@
+//! CRC32 (IEEE 802.3) for file integrity checks.
+
+/// Computes the CRC32 of `data` (IEEE polynomial, as used by gzip/zip).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_change() {
+        let a = crc32(b"hello world");
+        let b = crc32(b"hello worlc");
+        assert_ne!(a, b);
+    }
+}

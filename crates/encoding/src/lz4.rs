@@ -1,0 +1,243 @@
+//! A from-scratch implementation of the LZ4 block format.
+//!
+//! The paper's implementation LZ4-compresses the inserted-content column
+//! (§3.8; compression is disabled for the size comparisons of §4.5). No
+//! LZ4 crate is available in this build environment, so this is a clean
+//! implementation of the documented block format: a greedy hash-table
+//! compressor and a decompressor. Round-trip compatibility with the
+//! reference format is maintained (sequences of literal-length/match
+//! tokens, little-endian match offsets, minimum match length 4, and the
+//! end-of-block conditions).
+
+/// Minimum match length the format can express.
+const MIN_MATCH: usize = 4;
+/// The last match must start at least this far from the end.
+const LAST_LITERALS: usize = 5;
+/// Matches may not start within this margin of the input end.
+const MF_LIMIT: usize = 12;
+
+/// Compresses `input` into an LZ4 block.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let n = input.len();
+    if n == 0 {
+        return out;
+    }
+    // Hash table of positions of 4-byte sequences.
+    const HASH_BITS: usize = 14;
+    let mut table = vec![0usize; 1 << HASH_BITS]; // 0 = unset (pos+1 stored)
+    let hash = |word: u32| -> usize {
+        ((word.wrapping_mul(2654435761)) >> (32 - HASH_BITS as u32)) as usize
+    };
+    let read_u32 = |pos: usize| -> u32 {
+        u32::from_le_bytes([input[pos], input[pos + 1], input[pos + 2], input[pos + 3]])
+    };
+
+    let mut anchor = 0usize; // Start of pending literals.
+    let mut pos = 0usize;
+    while n >= MF_LIMIT && pos + MF_LIMIT <= n {
+        // Find a match.
+        let word = read_u32(pos);
+        let h = hash(word);
+        let candidate = table[h];
+        table[h] = pos + 1;
+        let matched = candidate != 0 && {
+            let cpos = candidate - 1;
+            pos - cpos <= 0xFFFF && read_u32(cpos) == word
+        };
+        if !matched {
+            pos += 1;
+            continue;
+        }
+        let cpos = candidate - 1;
+        // Extend the match forward (leave room for last literals).
+        let mut match_len = MIN_MATCH;
+        let limit = n - LAST_LITERALS;
+        while pos + match_len < limit && input[cpos + match_len] == input[pos + match_len] {
+            match_len += 1;
+        }
+        // Emit token: literals since anchor + the match.
+        let lit_len = pos - anchor;
+        let offset = (pos - cpos) as u16;
+        emit_sequence(&mut out, &input[anchor..pos], lit_len, offset, match_len);
+        pos += match_len;
+        anchor = pos;
+    }
+    // Trailing literals.
+    let lit = &input[anchor..];
+    emit_last_literals(&mut out, lit);
+    out
+}
+
+fn emit_sequence(
+    out: &mut Vec<u8>,
+    literals: &[u8],
+    lit_len: usize,
+    offset: u16,
+    match_len: usize,
+) {
+    let ml = match_len - MIN_MATCH;
+    let token = (lit_len.min(15) as u8) << 4 | (ml.min(15) as u8);
+    out.push(token);
+    if lit_len >= 15 {
+        push_length(out, lit_len - 15);
+    }
+    out.extend_from_slice(literals);
+    out.extend_from_slice(&offset.to_le_bytes());
+    if ml >= 15 {
+        push_length(out, ml - 15);
+    }
+}
+
+fn emit_last_literals(out: &mut Vec<u8>, literals: &[u8]) {
+    let lit_len = literals.len();
+    let token = (lit_len.min(15) as u8) << 4;
+    out.push(token);
+    if lit_len >= 15 {
+        push_length(out, lit_len - 15);
+    }
+    out.extend_from_slice(literals);
+}
+
+fn push_length(out: &mut Vec<u8>, mut rest: usize) {
+    while rest >= 255 {
+        out.push(255);
+        rest -= 255;
+    }
+    out.push(rest as u8);
+}
+
+/// Decompresses an LZ4 block. `max_size` bounds the output (protects
+/// against corrupt input).
+pub fn decompress(mut input: &[u8], max_size: usize) -> Result<Vec<u8>, &'static str> {
+    let mut out: Vec<u8> = Vec::new();
+    if input.is_empty() {
+        return Ok(out);
+    }
+    loop {
+        let (&token, rest) = input.split_first().ok_or("truncated token")?;
+        input = rest;
+        // Literals.
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            lit_len += read_length(&mut input)?;
+        }
+        if input.len() < lit_len {
+            return Err("truncated literals");
+        }
+        if out.len() + lit_len > max_size {
+            return Err("output exceeds declared size");
+        }
+        out.extend_from_slice(&input[..lit_len]);
+        input = &input[lit_len..];
+        if input.is_empty() {
+            return Ok(out); // End of block after literals.
+        }
+        // Match.
+        if input.len() < 2 {
+            return Err("truncated offset");
+        }
+        let offset = u16::from_le_bytes([input[0], input[1]]) as usize;
+        input = &input[2..];
+        if offset == 0 || offset > out.len() {
+            return Err("bad match offset");
+        }
+        let mut match_len = (token & 0x0f) as usize;
+        if match_len == 15 {
+            match_len += read_length(&mut input)?;
+        }
+        match_len += MIN_MATCH;
+        if out.len() + match_len > max_size {
+            return Err("output exceeds declared size");
+        }
+        // Overlapping copy, byte by byte.
+        let start = out.len() - offset;
+        for i in 0..match_len {
+            let b = out[start + i];
+            out.push(b);
+        }
+    }
+}
+
+fn read_length(input: &mut &[u8]) -> Result<usize, &'static str> {
+    let mut total = 0usize;
+    loop {
+        let (&b, rest) = input.split_first().ok_or("truncated length")?;
+        *input = rest;
+        total += b as usize;
+        if b != 255 {
+            return Ok(total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let compressed = compress(data);
+        let back = decompress(&compressed, data.len()).expect("decompress");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn short_incompressible() {
+        roundtrip(b"abc");
+        roundtrip(b"abcdefghijk");
+    }
+
+    #[test]
+    fn repetitive_compresses() {
+        let data = b"the quick brown fox the quick brown fox the quick brown fox jumps!".repeat(20);
+        let compressed = compress(&data);
+        assert!(
+            compressed.len() < data.len() / 2,
+            "expected compression: {} vs {}",
+            compressed.len(),
+            data.len()
+        );
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_runs() {
+        let data = vec![7u8; 10_000];
+        let compressed = compress(&data);
+        assert!(compressed.len() < 100);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let text = "Lorem ipsum dolor sit amet, consectetur adipiscing elit. ".repeat(50);
+        roundtrip(text.as_bytes());
+    }
+
+    #[test]
+    fn random_data_roundtrip() {
+        let mut seed = 12345u64;
+        let mut data = Vec::new();
+        for _ in 0..5000 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            data.push((seed % 7) as u8 * 13); // Semi-repetitive.
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupt_input_rejected() {
+        // A match offset pointing before the start of output.
+        let bad = vec![0x01, b'x', 0x10, 0x00];
+        assert!(decompress(&bad, 1000).is_err());
+        // Truncated.
+        assert!(decompress(&[0xF0], 1000).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! LEB128 variable-length integers ("small numbers in one byte, larger
+//! numbers in two bytes, etc." — paper §3.8).
+
+/// Encoding error kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended in the middle of a value.
+    UnexpectedEof,
+    /// A varint ran longer than 10 bytes (not a valid u64).
+    Overlong,
+    /// A checksum or structural check failed.
+    Corrupt,
+    /// The magic header was wrong.
+    BadMagic,
+    /// Content was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            DecodeError::UnexpectedEof => "unexpected end of input",
+            DecodeError::Overlong => "overlong varint",
+            DecodeError::Corrupt => "corrupt data (checksum or structure)",
+            DecodeError::BadMagic => "bad magic header",
+            DecodeError::BadUtf8 => "invalid UTF-8 content",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Appends `value` as LEB128.
+pub fn push_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a usize as LEB128.
+pub fn push_usize(out: &mut Vec<u8>, value: usize) {
+    push_u64(out, value as u64);
+}
+
+/// Appends a signed value with zigzag encoding (small magnitudes stay
+/// small).
+pub fn push_i64(out: &mut Vec<u8>, value: i64) {
+    push_u64(out, ((value << 1) ^ (value >> 63)) as u64);
+}
+
+/// Reads a LEB128 value, advancing `input`.
+pub fn read_u64(input: &mut &[u8]) -> Result<u64, DecodeError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = input.split_first().ok_or(DecodeError::UnexpectedEof)?;
+        *input = rest;
+        if shift >= 64 {
+            return Err(DecodeError::Overlong);
+        }
+        value |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads a usize.
+pub fn read_usize(input: &mut &[u8]) -> Result<usize, DecodeError> {
+    Ok(read_u64(input)? as usize)
+}
+
+/// Reads a zigzag-encoded signed value.
+pub fn read_i64(input: &mut &[u8]) -> Result<i64, DecodeError> {
+    let raw = read_u64(input)?;
+    Ok(((raw >> 1) as i64) ^ -((raw & 1) as i64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u64() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            push_u64(&mut buf, v);
+            let mut s = buf.as_slice();
+            assert_eq!(read_u64(&mut s).unwrap(), v);
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn roundtrip_i64() {
+        for v in [0i64, 1, -1, 63, -64, 64, -65, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            push_i64(&mut buf, v);
+            let mut s = buf.as_slice();
+            assert_eq!(read_i64(&mut s).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn single_byte_for_small() {
+        let mut buf = Vec::new();
+        push_u64(&mut buf, 90);
+        assert_eq!(buf.len(), 1);
+        push_i64(&mut buf, -5);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut s: &[u8] = &[0x80];
+        assert_eq!(read_u64(&mut s), Err(DecodeError::UnexpectedEof));
+        let mut s: &[u8] = &[];
+        assert_eq!(read_u64(&mut s), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn overlong_detected() {
+        let mut s: &[u8] = &[0x80; 11];
+        assert_eq!(read_u64(&mut s), Err(DecodeError::Overlong));
+    }
+}

@@ -1,0 +1,175 @@
+//! Robustness battery for the storage and wire codecs: every corruption
+//! must surface as an error, never a panic or a silently wrong document.
+
+use eg_encoding::{decode, decode_bundle, encode, encode_bundle, lz4, EncodeOpts};
+use egwalker::testgen::random_oplog;
+use egwalker::OpLog;
+use proptest::prelude::*;
+
+fn sample_oplog() -> OpLog {
+    random_oplog(7, 50, 3, 0.3)
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive single-byte corruption of the whole-file format.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn file_format_detects_every_single_byte_flip() {
+    let oplog = sample_oplog();
+    let bytes = encode(&oplog, EncodeOpts::default());
+    for i in 0..bytes.len() {
+        let mut corrupted = bytes.clone();
+        corrupted[i] ^= 0x10;
+        // Must not panic; CRC32 catches any single flip.
+        assert!(
+            decode(&corrupted).is_err(),
+            "flip at byte {i}/{} went undetected",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn file_format_detects_every_truncation() {
+    let oplog = sample_oplog();
+    let bytes = encode(&oplog, EncodeOpts::default());
+    for cut in 0..bytes.len() {
+        assert!(decode(&bytes[..cut]).is_err(), "truncation at {cut}");
+    }
+}
+
+#[test]
+fn file_format_roundtrips_under_all_option_combinations() {
+    let oplog = sample_oplog();
+    let expected = oplog.checkout_tip().content.to_string();
+    for compress in [false, true] {
+        for keep_deleted in [false, true] {
+            for cache in [false, true] {
+                let opts = EncodeOpts {
+                    compress_content: compress,
+                    keep_deleted_content: keep_deleted,
+                    cache_final_doc: cache,
+                };
+                let bytes = encode(&oplog, opts);
+                let decoded = decode(&bytes).unwrap_or_else(|e| {
+                    panic!("decode failed for {opts:?}: {e}");
+                });
+                assert_eq!(decoded.oplog.len(), oplog.len(), "{opts:?}");
+                if keep_deleted {
+                    // Full fidelity: replay must reproduce the document.
+                    assert_eq!(
+                        decoded.oplog.checkout_tip().content.to_string(),
+                        expected,
+                        "{opts:?}"
+                    );
+                }
+                if cache {
+                    assert_eq!(decoded.cached_doc.as_deref(), Some(expected.as_str()));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random garbage must never panic any decoder.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn file_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn bundle_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_bundle(&bytes);
+    }
+
+    #[test]
+    fn lz4_decompressor_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+        max in 0usize..4096,
+    ) {
+        let _ = lz4::decompress(&bytes, max);
+    }
+
+    /// LZ4 round-trips arbitrary binary data.
+    #[test]
+    fn lz4_roundtrip_random(bytes in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let packed = lz4::compress(&bytes);
+        let unpacked = lz4::decompress(&packed, bytes.len().max(1)).unwrap();
+        prop_assert_eq!(unpacked, bytes);
+    }
+
+    /// LZ4 round-trips highly repetitive data (the match-heavy path).
+    #[test]
+    fn lz4_roundtrip_repetitive(
+        unit in prop::collection::vec(any::<u8>(), 1..8),
+        reps in 1usize..200,
+        tail in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut data: Vec<u8> = Vec::new();
+        for _ in 0..reps {
+            data.extend_from_slice(&unit);
+        }
+        data.extend_from_slice(&tail);
+        let packed = lz4::compress(&data);
+        let unpacked = lz4::decompress(&packed, data.len()).unwrap();
+        prop_assert_eq!(unpacked, data);
+    }
+
+    /// Whole pipeline: random oplog → encode → decode → same document.
+    #[test]
+    fn encode_decode_replay_roundtrip(
+        seed in 0u64..1_000_000,
+        steps in 1usize..60,
+        replicas in 1usize..4,
+        merge_prob in 0.0f64..0.5,
+    ) {
+        let oplog = random_oplog(seed, steps, replicas, merge_prob);
+        let bytes = encode(&oplog, EncodeOpts::default());
+        let decoded = decode(&bytes).unwrap();
+        prop_assert_eq!(
+            decoded.oplog.checkout_tip().content.to_string(),
+            oplog.checkout_tip().content.to_string()
+        );
+    }
+
+    /// Bundle wire format: random oplog → bundle → encode → decode → apply.
+    #[test]
+    fn bundle_wire_roundtrip(
+        seed in 0u64..1_000_000,
+        steps in 1usize..50,
+        replicas in 1usize..4,
+        merge_prob in 0.0f64..0.5,
+    ) {
+        let oplog = random_oplog(seed, steps, replicas, merge_prob);
+        let bundle = oplog.bundle_since(&[]);
+        let wire = encode_bundle(&bundle);
+        let decoded = decode_bundle(&wire).unwrap();
+        prop_assert_eq!(&decoded, &bundle);
+        let mut peer = OpLog::new();
+        peer.apply_bundle(&decoded).unwrap();
+        prop_assert_eq!(
+            peer.checkout_tip().content.to_string(),
+            oplog.checkout_tip().content.to_string()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decompression bombs: the max_size bound is enforced.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lz4_respects_max_size() {
+    let data = vec![b'x'; 10_000];
+    let packed = lz4::compress(&data);
+    // Refusing to inflate past the declared bound.
+    assert!(lz4::decompress(&packed, 100).is_err());
+    assert_eq!(lz4::decompress(&packed, 10_000).unwrap(), data);
+}

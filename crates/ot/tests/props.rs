@@ -1,0 +1,190 @@
+//! Property tests for the OT baseline's primitives: the classic TP1
+//! convergence property of `transform`, the semantics of `compose`, and
+//! apply/length invariants — all on randomised operations.
+
+use eg_ot::{compose, transform, TextOp};
+use eg_rope::Rope;
+use proptest::prelude::*;
+
+/// A random operation valid on a document of `doc_len` characters.
+fn op_strategy(doc_len: usize) -> impl Strategy<Value = TextOp> {
+    // A couple of edits at random positions, assembled left to right.
+    prop::collection::vec(
+        (
+            0usize..=doc_len,
+            prop_oneof![
+                "[a-z]{1,5}".prop_map(Edit::Ins),
+                (1usize..4).prop_map(Edit::Del),
+            ],
+        ),
+        0..4,
+    )
+    .prop_map(move |mut edits| {
+        edits.sort_by_key(|(pos, _)| *pos);
+        let mut op = TextOp::identity();
+        let mut cursor = 0usize;
+        for (pos, edit) in edits {
+            if pos < cursor {
+                continue; // overlapping edit; skip to keep the op valid
+            }
+            op.retain(pos - cursor);
+            cursor = pos;
+            match edit {
+                Edit::Ins(text) => op.insert(&text),
+                Edit::Del(n) => {
+                    let n = n.min(doc_len - pos);
+                    if n == 0 {
+                        continue;
+                    }
+                    op.delete(n);
+                    cursor += n;
+                }
+            }
+        }
+        op.retain(doc_len - cursor);
+        op.trim();
+        op
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Edit {
+    Ins(String),
+    Del(usize),
+}
+
+fn doc_strategy() -> impl Strategy<Value = String> {
+    "[a-z ]{0,30}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// TP1: b ∘ transform(a, b) ≡ a ∘ transform(b, a) — both replicas
+    /// converge after exchanging transformed operations.
+    #[test]
+    fn tp1_convergence((doc, a, b) in doc_strategy().prop_flat_map(|doc| {
+        let n = doc.chars().count();
+        (Just(doc), op_strategy(n), op_strategy(n))
+    })) {
+        // Replica 1 applies a, then b transformed against a.
+        let mut doc1 = Rope::from_str(&doc);
+        a.apply_to(&mut doc1);
+        transform(&b, &a, false).apply_to(&mut doc1);
+
+        // Replica 2 applies b, then a transformed against b.
+        let mut doc2 = Rope::from_str(&doc);
+        b.apply_to(&mut doc2);
+        transform(&a, &b, true).apply_to(&mut doc2);
+
+        prop_assert_eq!(doc1.to_string(), doc2.to_string());
+    }
+
+    /// Composition: applying `compose(a, b)` equals applying `a` then `b`.
+    #[test]
+    fn compose_equals_sequential((doc, a, b) in doc_strategy().prop_flat_map(|doc| {
+        let n = doc.chars().count();
+        (Just(doc), op_strategy(n), op_strategy(n).prop_flat_map(move |mid| Just(mid)))
+    })) {
+        // Build b against the document *after* a.
+        let mut after_a = Rope::from_str(&doc);
+        a.apply_to(&mut after_a);
+        let b_ops = op_for_doc(&b, after_a.len_chars());
+
+        let mut sequential = after_a.clone();
+        b_ops.apply_to(&mut sequential);
+
+        let mut composed = Rope::from_str(&doc);
+        compose(&a, &b_ops).apply_to(&mut composed);
+
+        prop_assert_eq!(sequential.to_string(), composed.to_string());
+    }
+
+    /// pre_len/post_len bookkeeping matches what apply does.
+    #[test]
+    fn lengths_match_apply((doc, a) in doc_strategy().prop_flat_map(|doc| {
+        let n = doc.chars().count();
+        (Just(doc), op_strategy(n))
+    })) {
+        let n = doc.chars().count();
+        prop_assert!(a.pre_len() <= n);
+        let mut rope = Rope::from_str(&doc);
+        a.apply_to(&mut rope);
+        // The implicit trailing retain preserves everything past pre_len.
+        prop_assert_eq!(rope.len_chars(), n - a.pre_len() + a.post_len());
+    }
+
+    /// Transforming against the identity is the identity transformation.
+    #[test]
+    fn transform_against_identity((doc, a) in doc_strategy().prop_flat_map(|doc| {
+        let n = doc.chars().count();
+        (Just(doc), op_strategy(n))
+    })) {
+        let id = TextOp::identity();
+        let t = transform(&a, &id, true);
+        let mut doc1 = Rope::from_str(&doc);
+        a.apply_to(&mut doc1);
+        let mut doc2 = Rope::from_str(&doc);
+        t.apply_to(&mut doc2);
+        prop_assert_eq!(doc1.to_string(), doc2.to_string());
+    }
+}
+
+/// Clamps an arbitrary strategy-generated op so it is valid on a document
+/// of `n` chars (regenerating the trailing retain).
+fn op_for_doc(op: &TextOp, n: usize) -> TextOp {
+    if op.pre_len() <= n {
+        return op.clone();
+    }
+    // Rebuild, dropping edits beyond the document end.
+    let mut out = TextOp::identity();
+    let mut consumed = 0usize;
+    for c in &op.components {
+        match c {
+            eg_ot::Component::Retain(k) => {
+                let k = (*k).min(n - consumed);
+                out.retain(k);
+                consumed += k;
+            }
+            eg_ot::Component::Ins(s) => out.insert(s),
+            eg_ot::Component::Del(k) => {
+                let k = (*k).min(n - consumed);
+                out.delete(k);
+                consumed += k;
+            }
+        }
+        if consumed >= n {
+            break;
+        }
+    }
+    out.trim();
+    out
+}
+
+#[test]
+fn figure1_transform() {
+    // The paper's Figure 1 as raw OT: Insert(3, "l") vs Insert(4, "!").
+    let a = TextOp::ins(3, "l");
+    let b = TextOp::ins(4, "!");
+    let mut doc1 = Rope::from_str("Helo");
+    a.apply_to(&mut doc1);
+    transform(&b, &a, false).apply_to(&mut doc1);
+    assert_eq!(doc1.to_string(), "Hello!");
+
+    let mut doc2 = Rope::from_str("Helo");
+    b.apply_to(&mut doc2);
+    transform(&a, &b, true).apply_to(&mut doc2);
+    assert_eq!(doc2.to_string(), "Hello!");
+}
+
+#[test]
+fn delete_delete_same_char() {
+    // Concurrent deletion of the same character must not delete twice.
+    let a = TextOp::del(2, 1);
+    let b = TextOp::del(2, 1);
+    let mut doc = Rope::from_str("abcd");
+    a.apply_to(&mut doc);
+    let t = transform(&b, &a, false);
+    t.apply_to(&mut doc);
+    assert_eq!(doc.to_string(), "abd");
+}

@@ -1,0 +1,161 @@
+//! The span traits shared by every RLE structure in the suite.
+
+/// A type with a length, measured in the number of atomic items it represents.
+///
+/// A span of length 5 stands for 5 consecutive single-item operations (for
+/// example 5 inserted characters, or 5 consecutive event IDs).
+pub trait HasLength {
+    /// The number of atomic items this span represents.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the span represents no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A span that can be split into two pieces at an item boundary.
+pub trait SplitableSpan: Clone {
+    /// Truncates `self` to `[0, at)` and returns the remainder `[at, len)`.
+    ///
+    /// `at` must satisfy `0 < at < self.len()`; splitting at the ends is the
+    /// caller's responsibility to avoid (it would produce an empty span).
+    fn truncate(&mut self, at: usize) -> Self;
+
+    /// Truncates `self` to `[at, len)` and returns the head `[0, at)`.
+    ///
+    /// The default implementation is written in terms of [`Self::truncate`].
+    fn truncate_keeping_right(&mut self, at: usize) -> Self {
+        let mut head = self.clone();
+        let tail = head.truncate(at);
+        *self = tail;
+        head
+    }
+}
+
+/// A span that can absorb an adjacent span, extending its length.
+pub trait MergableSpan: Clone {
+    /// Returns `true` if `other` directly follows `self` and the two can be
+    /// represented as a single run.
+    fn can_append(&self, other: &Self) -> bool;
+
+    /// Appends `other` onto the end of `self`.
+    ///
+    /// Callers must only invoke this when [`Self::can_append`] returned
+    /// `true`.
+    fn append(&mut self, other: Self);
+
+    /// Prepends `other` at the front of `self`.
+    ///
+    /// Callers must only invoke this when `other.can_append(self)` returned
+    /// `true`. The default implementation swaps and appends.
+    fn prepend(&mut self, mut other: Self) {
+        std::mem::swap(self, &mut other);
+        self.append(other);
+    }
+}
+
+/// A span that knows its own position on the RLE key axis.
+///
+/// [`crate::RleVec`] uses this to binary-search for the span containing a
+/// given key. A span with `rle_key() == k` and `len() == n` covers keys
+/// `[k, k + n)`.
+pub trait HasRleKey {
+    /// The first key covered by this span.
+    fn rle_key(&self) -> usize;
+}
+
+/// A generic `(value, length)` run: `len` consecutive items which all carry
+/// the same value.
+///
+/// # Examples
+///
+/// ```
+/// use eg_rle::{HasLength, MergableSpan, RleRun};
+/// let mut run = RleRun { val: 'x', len: 3 };
+/// assert!(run.can_append(&RleRun { val: 'x', len: 2 }));
+/// run.append(RleRun { val: 'x', len: 2 });
+/// assert_eq!(run.len(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RleRun<T> {
+    /// The value shared by every item in the run.
+    pub val: T,
+    /// The number of items in the run.
+    pub len: usize,
+}
+
+impl<T> RleRun<T> {
+    /// Creates a new run of `len` items valued `val`.
+    pub fn new(val: T, len: usize) -> Self {
+        Self { val, len }
+    }
+}
+
+impl<T> HasLength for RleRun<T> {
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl<T: Clone> SplitableSpan for RleRun<T> {
+    fn truncate(&mut self, at: usize) -> Self {
+        debug_assert!(at > 0 && at < self.len);
+        let rem = Self {
+            val: self.val.clone(),
+            len: self.len - at,
+        };
+        self.len = at;
+        rem
+    }
+}
+
+impl<T: Clone + PartialEq> MergableSpan for RleRun<T> {
+    fn can_append(&self, other: &Self) -> bool {
+        self.val == other.val
+    }
+
+    fn append(&mut self, other: Self) {
+        self.len += other.len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rle_run_split_and_merge() {
+        let mut run = RleRun::new(7u32, 10);
+        let tail = run.truncate(4);
+        assert_eq!(run, RleRun::new(7, 4));
+        assert_eq!(tail, RleRun::new(7, 6));
+        let mut a = run;
+        assert!(a.can_append(&tail));
+        a.append(tail);
+        assert_eq!(a, RleRun::new(7, 10));
+    }
+
+    #[test]
+    fn truncate_keeping_right_default() {
+        let mut run = RleRun::new('a', 8);
+        let head = run.truncate_keeping_right(3);
+        assert_eq!(head, RleRun::new('a', 3));
+        assert_eq!(run, RleRun::new('a', 5));
+    }
+
+    #[test]
+    fn prepend_default() {
+        let mut b = RleRun::new(1u8, 2);
+        let a = RleRun::new(1u8, 3);
+        b.prepend(a);
+        assert_eq!(b, RleRun::new(1u8, 5));
+    }
+
+    #[test]
+    fn mismatched_values_do_not_merge() {
+        let a = RleRun::new(1, 2);
+        let b = RleRun::new(2, 2);
+        assert!(!a.can_append(&b));
+    }
+}

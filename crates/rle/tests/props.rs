@@ -1,0 +1,111 @@
+//! Property-based tests for the RLE span laws.
+
+use eg_rle::{
+    merge_spans, DTRange, HasLength, IntervalMap, KVPair, MergableSpan, RleRun, RleVec,
+    SplitableSpan,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Splitting a range and re-appending the halves is the identity.
+    #[test]
+    fn dtrange_split_append_identity(start in 0usize..1000, len in 2usize..100, at in 1usize..99) {
+        prop_assume!(at < len);
+        let orig = DTRange::from(start..start + len);
+        let mut a = orig;
+        let b = a.truncate(at);
+        prop_assert_eq!(a.len() + b.len(), orig.len());
+        prop_assert_eq!(a.end, b.start);
+        let mut merged = a;
+        merged.append(b);
+        prop_assert_eq!(merged, orig);
+    }
+
+    /// truncate_keeping_right is consistent with truncate.
+    #[test]
+    fn truncate_keeping_right_consistent(len in 2usize..100, at in 1usize..99) {
+        prop_assume!(at < len);
+        let orig = RleRun::new(42u8, len);
+        let mut right = orig;
+        let left = right.truncate_keeping_right(at);
+        prop_assert_eq!(left.len(), at);
+        prop_assert_eq!(right.len(), len - at);
+    }
+
+    /// merge_spans output is maximally merged and preserves total length.
+    #[test]
+    fn merge_spans_canonical(splits in proptest::collection::vec(1usize..5, 0..20)) {
+        // Build contiguous ranges from the split widths, with occasional gaps.
+        let mut spans = Vec::new();
+        let mut pos = 0;
+        for (i, w) in splits.iter().enumerate() {
+            if i % 7 == 3 {
+                pos += 2; // introduce a gap
+            }
+            spans.push(DTRange::from(pos..pos + w));
+            pos += w;
+        }
+        let total: usize = spans.iter().map(|s| s.len()).sum();
+        let merged = merge_spans(spans);
+        let merged_total: usize = merged.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, merged_total);
+        for w in merged.windows(2) {
+            prop_assert!(w[0].end < w[1].start, "adjacent spans should have merged");
+        }
+    }
+
+    /// RleVec::find agrees with a linear scan.
+    #[test]
+    fn rlevec_find_matches_scan(ranges in proptest::collection::vec((0usize..50, 1usize..5), 1..20)) {
+        // Lay the ranges out in ascending key order with possible gaps.
+        let mut v: RleVec<DTRange> = RleVec::new();
+        let mut flat: Vec<DTRange> = Vec::new();
+        let mut key = 0;
+        for (gap, len) in ranges {
+            key += gap;
+            let r = DTRange::from(key..key + len);
+            v.push(r);
+            flat.push(r);
+            key += len;
+        }
+        for probe in 0..key + 2 {
+            let expect = flat.iter().find(|r| r.contains(probe));
+            let got = v.find_with_offset(probe);
+            match expect {
+                Some(r) => {
+                    let (e, off) = got.expect("should find");
+                    prop_assert!(e.contains(probe));
+                    prop_assert_eq!(e.start + off, probe);
+                    prop_assert!(e.contains_range(r));
+                }
+                None => prop_assert!(got.is_none()),
+            }
+        }
+    }
+
+    /// KVPair split keys stay aligned.
+    #[test]
+    fn kvpair_split_keys(key in 0usize..1000, len in 2usize..50, at in 1usize..49) {
+        prop_assume!(at < len);
+        let mut kv = KVPair(key, RleRun::new('z', len));
+        let tail = kv.truncate(at);
+        prop_assert_eq!(kv.end(), tail.0);
+        prop_assert_eq!(tail.end(), key + len);
+    }
+
+    /// IntervalMap::set/get matches a dense model.
+    #[test]
+    fn intervalmap_model(ops in proptest::collection::vec((0usize..100, 1usize..30, 0u8..4), 1..60)) {
+        let mut model: Vec<Option<u8>> = vec![None; 140];
+        let mut map: IntervalMap<u8> = IntervalMap::new();
+        for (start, len, val) in ops {
+            map.set((start..start + len).into(), val);
+            for slot in model.iter_mut().take(start + len).skip(start) {
+                *slot = Some(val);
+            }
+        }
+        for (k, expect) in model.iter().enumerate() {
+            prop_assert_eq!(map.get(k).map(|(_, v)| v), *expect, "probe {}", k);
+        }
+    }
+}

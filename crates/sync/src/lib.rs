@@ -1,0 +1,41 @@
+//! Replication layer for the Eg-walker suite: causal broadcast between
+//! replicas over a simulated network.
+//!
+//! The paper assumes "a reliable broadcast protocol that detects and
+//! retransmits lost messages, but makes no other assumptions about the
+//! network" (§2.1), and a causal delivery rule: "if any parents are
+//! missing, the replica waits for them to arrive before adding them to the
+//! graph" (§2.2). This crate implements exactly that layer, so the whole
+//! system — editor, oplog, walker, wire format, delivery — can be exercised
+//! end to end:
+//!
+//! * [`Replica`] couples an [`egwalker::OpLog`] with a live
+//!   [`egwalker::Branch`], generates events for local edits, and ingests
+//!   remote [`egwalker::EventBundle`]s with a causal buffer for
+//!   out-of-order arrival.
+//! * [`NetworkSim`] is a deterministic discrete-event network: per-link
+//!   random delay, probabilistic loss, reordering, partitions — plus
+//!   anti-entropy digest exchange, which together with re-delivery gives
+//!   the reliable-broadcast guarantee the paper assumes.
+//!
+//! Determinism: every run is a pure function of the seed and the edit
+//! script, which makes convergence failures replayable.
+//!
+//! # Examples
+//!
+//! ```
+//! use eg_sync::NetworkSim;
+//!
+//! let mut net = NetworkSim::new(&["alice", "bob"], 42);
+//! net.edit_insert(0, 0, "hello");
+//! net.edit_insert(1, 0, "world ");
+//! net.run_until_quiescent(10_000);
+//! assert!(net.all_converged());
+//! assert_eq!(net.replica(0).text(), net.replica(1).text());
+//! ```
+
+mod network;
+mod replica;
+
+pub use network::{LinkConfig, NetStats, NetworkSim};
+pub use replica::{ReceiveOutcome, Replica, ReplicaStats};

@@ -1,0 +1,380 @@
+//! [`NetworkSim`]: a deterministic discrete-event network connecting
+//! replicas.
+//!
+//! Broadcast bundles travel as encoded bytes (exercising the wire codec)
+//! through per-link queues with seeded random delay and loss. Lost
+//! messages are repaired by anti-entropy: digest exchange followed by a
+//! delta bundle, which is the "detects and retransmits lost messages" half
+//! of the paper's reliable-broadcast assumption (§2.1).
+
+use crate::replica::Replica;
+use eg_encoding::{decode_bundle, encode_bundle};
+use egwalker::EventBundle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Behaviour of every link in the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Minimum delivery delay, in ticks.
+    pub min_delay: u64,
+    /// Maximum delivery delay, in ticks (inclusive).
+    pub max_delay: u64,
+    /// Probability of losing a message, in parts per thousand.
+    pub drop_per_mille: u16,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            min_delay: 1,
+            max_delay: 8,
+            drop_per_mille: 0,
+        }
+    }
+}
+
+/// Counters for the whole simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Broadcast messages enqueued.
+    pub sent: usize,
+    /// Messages delivered to a replica.
+    pub delivered: usize,
+    /// Messages dropped by the lossy link.
+    pub dropped: usize,
+    /// Anti-entropy exchanges performed.
+    pub syncs: usize,
+    /// Total bytes moved (broadcast payloads only).
+    pub bytes: usize,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    deliver_at: u64,
+    /// Tie-break so equal-time messages deliver in send order.
+    seq: u64,
+    src: usize,
+    dst: usize,
+    payload: Vec<u8>,
+}
+
+/// A deterministic in-memory network of [`Replica`]s.
+///
+/// Time advances in integer ticks via [`NetworkSim::tick`]. Local edits
+/// broadcast a bundle to every peer reachable under the current partition;
+/// each message independently samples a delay and a drop from the seeded
+/// RNG. [`NetworkSim::run_until_quiescent`] then drains the network,
+/// running anti-entropy rounds to repair drops and partitions.
+#[derive(Debug)]
+pub struct NetworkSim {
+    replicas: Vec<Replica>,
+    in_flight: Vec<InFlight>,
+    now: u64,
+    next_seq: u64,
+    rng: StdRng,
+    link: LinkConfig,
+    /// Partition group of each replica; messages cross groups only when
+    /// the network is healed.
+    group: Vec<u32>,
+    stats: NetStats,
+}
+
+impl NetworkSim {
+    /// Creates a fully connected network of empty replicas.
+    pub fn new(names: &[&str], seed: u64) -> Self {
+        Self::with_link(names, seed, LinkConfig::default())
+    }
+
+    /// [`NetworkSim::new`] with an explicit link model.
+    pub fn with_link(names: &[&str], seed: u64, link: LinkConfig) -> Self {
+        assert!(link.min_delay <= link.max_delay, "invalid delay range");
+        assert!(link.drop_per_mille <= 1000, "invalid drop probability");
+        NetworkSim {
+            replicas: names.iter().map(|n| Replica::new(n)).collect(),
+            in_flight: Vec::new(),
+            now: 0,
+            next_seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            link,
+            group: vec![0; names.len()],
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Returns `true` if the network has no replicas.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Read access to a replica.
+    pub fn replica(&self, i: usize) -> &Replica {
+        &self.replicas[i]
+    }
+
+    /// The current simulation time, in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Simulation counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Inserts text at replica `i` and broadcasts the resulting bundle.
+    pub fn edit_insert(&mut self, i: usize, pos: usize, text: &str) {
+        let bundle = self.replicas[i].insert(pos, text);
+        self.broadcast(i, &bundle);
+    }
+
+    /// Deletes characters at replica `i` and broadcasts the resulting
+    /// bundle.
+    pub fn edit_delete(&mut self, i: usize, pos: usize, len: usize) {
+        let bundle = self.replicas[i].delete(pos, len);
+        self.broadcast(i, &bundle);
+    }
+
+    /// Splits the network: replicas in different groups stop exchanging
+    /// messages (in-flight messages crossing the new boundary are lost).
+    ///
+    /// `groups` assigns each listed replica to one group; unlisted replicas
+    /// keep group 0.
+    pub fn partition(&mut self, groups: &[&[usize]]) {
+        for g in self.group.iter_mut() {
+            *g = 0;
+        }
+        for (gi, members) in groups.iter().enumerate() {
+            for &m in *members {
+                self.group[m] = gi as u32;
+            }
+        }
+        // Messages already in flight across the new boundary are lost — a
+        // partition severs links mid-delivery. Anti-entropy repairs this
+        // after healing.
+        let group = &self.group;
+        let before = self.in_flight.len();
+        self.in_flight.retain(|m| group[m.src] == group[m.dst]);
+        self.stats.dropped += before - self.in_flight.len();
+    }
+
+    /// Heals all partitions. Anti-entropy (in
+    /// [`NetworkSim::run_until_quiescent`]) then reconciles the groups.
+    pub fn heal(&mut self) {
+        for g in self.group.iter_mut() {
+            *g = 0;
+        }
+    }
+
+    /// Sends `bundle` from replica `src` to every peer in the same
+    /// partition group, with per-message delay and loss.
+    pub fn broadcast(&mut self, src: usize, bundle: &EventBundle) {
+        if bundle.is_empty() {
+            return;
+        }
+        let payload = encode_bundle(bundle);
+        for dst in 0..self.replicas.len() {
+            if dst == src || self.group[dst] != self.group[src] {
+                continue;
+            }
+            self.stats.sent += 1;
+            if self.link.drop_per_mille > 0
+                && self.rng.gen_range(0..1000u32) < self.link.drop_per_mille as u32
+            {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let delay = self
+                .rng
+                .gen_range(self.link.min_delay..=self.link.max_delay);
+            self.stats.bytes += payload.len();
+            self.in_flight.push(InFlight {
+                deliver_at: self.now + delay,
+                seq: self.next_seq,
+                src,
+                dst,
+                payload: payload.clone(),
+            });
+            self.next_seq += 1;
+        }
+    }
+
+    /// Advances time by one tick, delivering every message that is due.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        let now = self.now;
+        let mut due: Vec<InFlight> = Vec::new();
+        self.in_flight.retain(|m| {
+            if m.deliver_at <= now {
+                due.push(m.clone());
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|m| (m.deliver_at, m.seq));
+        for m in due {
+            self.stats.delivered += 1;
+            match decode_bundle(&m.payload) {
+                Ok(bundle) => {
+                    self.replicas[m.dst].receive(&bundle);
+                }
+                Err(_) => unreachable!("simulator does not corrupt payloads"),
+            }
+        }
+    }
+
+    /// One anti-entropy exchange between replicas `i` and `j` (both
+    /// directions, immediate — this models a reliable repair channel).
+    pub fn sync_pair(&mut self, i: usize, j: usize) {
+        if self.group[i] != self.group[j] {
+            return;
+        }
+        self.stats.syncs += 1;
+        let delta_ij = self.replicas[i].bundle_since(&self.replicas[j].digest());
+        if !delta_ij.is_empty() {
+            let wire = encode_bundle(&delta_ij);
+            self.stats.bytes += wire.len();
+            let decoded = decode_bundle(&wire).expect("self-encoded bundle");
+            self.replicas[j].receive(&decoded);
+        }
+        let delta_ji = self.replicas[j].bundle_since(&self.replicas[i].digest());
+        if !delta_ji.is_empty() {
+            let wire = encode_bundle(&delta_ji);
+            self.stats.bytes += wire.len();
+            let decoded = decode_bundle(&wire).expect("self-encoded bundle");
+            self.replicas[i].receive(&decoded);
+        }
+    }
+
+    /// Returns `true` if every pair of replicas in the same group has the
+    /// same events and text.
+    pub fn all_converged(&self) -> bool {
+        for i in 0..self.replicas.len() {
+            for j in (i + 1)..self.replicas.len() {
+                if self.group[i] == self.group[j]
+                    && !self.replicas[i].converged_with(&self.replicas[j])
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Drains the network: ticks until no messages are in flight, then
+    /// runs anti-entropy rounds (ring order) until every replica in each
+    /// group converges.
+    ///
+    /// Returns `true` on convergence, `false` if `max_ticks` elapsed first
+    /// (which indicates a bug — convergence is guaranteed once delivery is
+    /// repaired).
+    pub fn run_until_quiescent(&mut self, max_ticks: u64) -> bool {
+        let deadline = self.now + max_ticks;
+        while !self.in_flight.is_empty() {
+            if self.now >= deadline {
+                return false;
+            }
+            self.tick();
+        }
+        // Repair losses and causal stalls: each round syncs the ring
+        // 0→1→…→n−1→0. Information spreads to everyone within two rounds.
+        let n = self.replicas.len();
+        for _round in 0..n.max(2) {
+            if self.all_converged() {
+                return true;
+            }
+            for i in 0..n {
+                self.sync_pair(i, (i + 1) % n);
+            }
+        }
+        self.all_converged()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_broadcast_converges() {
+        let mut net = NetworkSim::new(&["a", "b", "c"], 7);
+        net.edit_insert(0, 0, "alpha ");
+        net.edit_insert(1, 0, "bravo ");
+        net.edit_insert(2, 0, "charlie ");
+        assert!(net.run_until_quiescent(1000));
+        let text = net.replica(0).text();
+        assert_eq!(text.len(), "alpha bravo charlie ".len());
+        for i in 1..3 {
+            assert_eq!(net.replica(i).text(), text);
+        }
+    }
+
+    #[test]
+    fn lossy_network_repaired_by_anti_entropy() {
+        let link = LinkConfig {
+            min_delay: 1,
+            max_delay: 5,
+            drop_per_mille: 400,
+        };
+        let mut net = NetworkSim::with_link(&["a", "b", "c", "d"], 99, link);
+        for round in 0..20 {
+            let who = round % 4;
+            let len = net.replica(who).len_chars();
+            net.edit_insert(who, len / 2, "xy");
+        }
+        assert!(net.run_until_quiescent(10_000));
+        assert!(net.stats().dropped > 0, "seed should exercise loss");
+        assert!(net.all_converged());
+    }
+
+    #[test]
+    fn partition_then_heal() {
+        let mut net = NetworkSim::new(&["a", "b", "c", "d"], 3);
+        net.edit_insert(0, 0, "base ");
+        assert!(net.run_until_quiescent(1000));
+
+        net.partition(&[&[0, 1], &[2, 3]]);
+        net.edit_insert(0, 0, "left ");
+        net.edit_insert(2, 0, "right ");
+        assert!(net.run_until_quiescent(1000));
+        // Sides diverged.
+        assert_ne!(net.replica(0).text(), net.replica(2).text());
+        assert_eq!(net.replica(0).text(), net.replica(1).text());
+        assert_eq!(net.replica(2).text(), net.replica(3).text());
+
+        net.heal();
+        assert!(net.run_until_quiescent(1000));
+        let text = net.replica(0).text();
+        assert!(text.contains("left ") && text.contains("right "));
+        for i in 1..4 {
+            assert_eq!(net.replica(i).text(), text);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let link = LinkConfig {
+                min_delay: 1,
+                max_delay: 9,
+                drop_per_mille: 150,
+            };
+            let mut net = NetworkSim::with_link(&["a", "b", "c"], seed, link);
+            for i in 0..15 {
+                net.edit_insert(i % 3, 0, "ab");
+                if i % 4 == 3 {
+                    net.tick();
+                }
+            }
+            assert!(net.run_until_quiescent(10_000));
+            net.replica(0).text()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

@@ -1,0 +1,287 @@
+//! [`Replica`]: one collaborating device — an oplog, a live document, and
+//! the causal delivery buffer.
+
+use eg_dag::RemoteId;
+use eg_rle::{DTRange, HasLength};
+use egwalker::{Branch, BundleError, EventBundle, Frontier, OpLog};
+
+/// Counters describing a replica's replication behaviour, for tests and
+/// the examples' narration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Bundles applied directly on arrival.
+    pub applied_direct: usize,
+    /// Bundles that had to wait in the causal buffer first.
+    pub buffered: usize,
+    /// Bundles that turned out to be pure duplicates.
+    pub duplicates: usize,
+    /// Events ingested from remote bundles.
+    pub remote_events: usize,
+}
+
+/// What [`Replica::receive`] did with a bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiveOutcome {
+    /// The bundle (and possibly previously buffered ones) applied; this many
+    /// new events were ingested in total.
+    Applied(usize),
+    /// The bundle is causally premature and was buffered.
+    Buffered,
+    /// Every event in the bundle was already known.
+    Duplicate,
+    /// The bundle was structurally invalid and dropped.
+    Rejected,
+}
+
+/// One collaborating replica (paper §2.1): the full editing history, the
+/// materialised document, and a buffer of causally premature bundles.
+///
+/// Local edits apply to the rope immediately ("without waiting for a
+/// network round-trip"); remote bundles are merged through the walker,
+/// which transforms their indexes against any concurrent local edits.
+#[derive(Debug, Clone)]
+pub struct Replica {
+    name: String,
+    /// The event graph and operations (durable state).
+    pub oplog: OpLog,
+    /// The live document (text + version).
+    pub doc: Branch,
+    /// Causal buffer: bundles whose parents have not all arrived yet.
+    pending: Vec<EventBundle>,
+    stats: ReplicaStats,
+}
+
+impl Replica {
+    /// Creates an empty replica named `name` (the name is its agent ID on
+    /// the wire, so it must be unique among collaborators).
+    pub fn new(name: &str) -> Self {
+        let mut oplog = OpLog::new();
+        oplog.get_or_create_agent(name);
+        Replica {
+            name: name.to_string(),
+            oplog,
+            doc: Branch::new(),
+            pending: Vec::new(),
+            stats: ReplicaStats::default(),
+        }
+    }
+
+    /// The replica's name / agent ID.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current document text.
+    pub fn text(&self) -> String {
+        self.doc.content.to_string()
+    }
+
+    /// The number of characters in the document.
+    pub fn len_chars(&self) -> usize {
+        self.doc.len_chars()
+    }
+
+    /// Replication counters.
+    pub fn stats(&self) -> ReplicaStats {
+        self.stats
+    }
+
+    /// The number of bundles waiting in the causal buffer.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The replica's current version in network form (its digest for
+    /// anti-entropy).
+    pub fn digest(&self) -> Vec<RemoteId> {
+        self.oplog.remote_version()
+    }
+
+    /// Everything this replica knows that a peer with `digest` is missing.
+    pub fn bundle_since(&self, digest: &[RemoteId]) -> EventBundle {
+        self.oplog.bundle_since(digest)
+    }
+
+    /// Inserts `text` at `pos` in the local document, returning the bundle
+    /// to broadcast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is beyond the end of the document or `text` is
+    /// empty.
+    pub fn insert(&mut self, pos: usize, text: &str) -> EventBundle {
+        assert!(pos <= self.doc.len_chars(), "insert out of bounds");
+        let before = self.doc.version.clone();
+        let agent = self.oplog.get_or_create_agent(&self.name);
+        self.oplog.add_insert_at(agent, &before, pos, text);
+        self.doc.merge(&self.oplog);
+        self.local_bundle(&before)
+    }
+
+    /// Deletes `len` characters at `pos`, returning the bundle to
+    /// broadcast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or empty.
+    pub fn delete(&mut self, pos: usize, len: usize) -> EventBundle {
+        assert!(pos + len <= self.doc.len_chars(), "delete out of bounds");
+        let before = self.doc.version.clone();
+        let agent = self.oplog.get_or_create_agent(&self.name);
+        self.oplog.add_delete_at(agent, &before, pos, len);
+        self.doc.merge(&self.oplog);
+        self.local_bundle(&before)
+    }
+
+    /// The events between `before` and the current version, as a bundle.
+    fn local_bundle(&self, before: &Frontier) -> EventBundle {
+        self.oplog.bundle_since_local(before)
+    }
+
+    /// Ingests a remote bundle with causal buffering.
+    ///
+    /// Premature bundles are stashed; each successful application retries
+    /// the stash to a fixpoint, so delivery order does not matter as long
+    /// as everything arrives eventually.
+    pub fn receive(&mut self, bundle: &EventBundle) -> ReceiveOutcome {
+        match self.try_apply(bundle) {
+            Ok(new) if new.is_empty() => {
+                self.stats.duplicates += 1;
+                ReceiveOutcome::Duplicate
+            }
+            Ok(new) => {
+                self.stats.applied_direct += 1;
+                let mut total = new.len();
+                total += self.drain_pending();
+                self.stats.remote_events += total;
+                self.doc.merge(&self.oplog);
+                ReceiveOutcome::Applied(total)
+            }
+            Err(BundleError::MissingParents(_)) => {
+                self.stats.buffered += 1;
+                // Keep at most one copy of identical bundles.
+                if !self.pending.contains(bundle) {
+                    self.pending.push(bundle.clone());
+                }
+                ReceiveOutcome::Buffered
+            }
+            Err(BundleError::Malformed(_)) => ReceiveOutcome::Rejected,
+        }
+    }
+
+    fn try_apply(&mut self, bundle: &EventBundle) -> Result<DTRange, BundleError> {
+        self.oplog.apply_bundle(bundle)
+    }
+
+    /// Retries buffered bundles until none can make progress. Returns the
+    /// number of events ingested.
+    fn drain_pending(&mut self) -> usize {
+        let mut total = 0;
+        loop {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < self.pending.len() {
+                match self.oplog.apply_bundle(&self.pending[i].clone()) {
+                    Ok(new) => {
+                        total += new.len();
+                        self.pending.swap_remove(i);
+                        progressed = true;
+                    }
+                    Err(BundleError::MissingParents(_)) => i += 1,
+                    Err(BundleError::Malformed(_)) => {
+                        self.pending.swap_remove(i);
+                    }
+                }
+            }
+            if !progressed {
+                return total;
+            }
+        }
+    }
+
+    /// Two-way state comparison: `true` if both replicas have the same
+    /// events and the same text.
+    pub fn converged_with(&self, other: &Replica) -> bool {
+        let mut a = self.digest();
+        let mut b = other.digest();
+        a.sort();
+        b.sort();
+        a == b && self.text() == other.text()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_edits_apply_immediately() {
+        let mut r = Replica::new("alice");
+        r.insert(0, "hello");
+        r.insert(5, " world");
+        r.delete(0, 1);
+        assert_eq!(r.text(), "ello world");
+    }
+
+    #[test]
+    fn direct_exchange_converges() {
+        let mut a = Replica::new("alice");
+        let mut b = Replica::new("bob");
+        let ba = a.insert(0, "from alice ");
+        let bb = b.insert(0, "from bob ");
+        assert!(matches!(b.receive(&ba), ReceiveOutcome::Applied(11)));
+        assert!(matches!(a.receive(&bb), ReceiveOutcome::Applied(9)));
+        assert!(a.converged_with(&b));
+    }
+
+    #[test]
+    fn out_of_order_delivery_buffers_then_applies() {
+        let mut a = Replica::new("alice");
+        let mut b = Replica::new("bob");
+        let first = a.insert(0, "one ");
+        let second = a.insert(4, "two");
+        // Deliver in the wrong order.
+        assert_eq!(b.receive(&second), ReceiveOutcome::Buffered);
+        assert_eq!(b.pending_len(), 1);
+        assert!(matches!(b.receive(&first), ReceiveOutcome::Applied(7)));
+        assert_eq!(b.pending_len(), 0);
+        assert!(a.converged_with(&b));
+        assert_eq!(b.stats().buffered, 1);
+    }
+
+    #[test]
+    fn duplicates_are_detected() {
+        let mut a = Replica::new("alice");
+        let mut b = Replica::new("bob");
+        let bundle = a.insert(0, "x");
+        assert!(matches!(b.receive(&bundle), ReceiveOutcome::Applied(1)));
+        assert_eq!(b.receive(&bundle), ReceiveOutcome::Duplicate);
+    }
+
+    #[test]
+    fn concurrent_positions_transform() {
+        // The Figure 1 scenario, end to end through replicas.
+        let mut u1 = Replica::new("user1");
+        let mut u2 = Replica::new("user2");
+        let seed = u1.insert(0, "Helo");
+        u2.receive(&seed);
+        let b1 = u1.insert(3, "l"); // "Hello"
+        let b2 = u2.insert(4, "!"); // "Helo!"
+        u2.receive(&b1);
+        u1.receive(&b2);
+        assert_eq!(u1.text(), "Hello!");
+        assert_eq!(u2.text(), "Hello!");
+    }
+
+    #[test]
+    fn anti_entropy_bundle_since() {
+        let mut a = Replica::new("alice");
+        let mut b = Replica::new("bob");
+        a.insert(0, "shared");
+        let missing = a.bundle_since(&b.digest());
+        b.receive(&missing);
+        // Now in sync: the delta is empty.
+        assert!(a.bundle_since(&b.digest()).is_empty());
+        assert!(b.bundle_since(&a.digest()).is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! JSON interchange for editing traces, modelled on the `editing-traces`
+//! repository's concurrent-trace format: a list of transactions, each with
+//! parent transaction indexes, an agent, and index-based patches.
+
+use eg_dag::Frontier;
+use eg_rle::HasLength;
+use egwalker::{ListOpKind, OpLog};
+use serde::{Deserialize, Serialize};
+
+/// One patch: at `pos`, delete `del` characters, then insert `ins`.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Patch {
+    /// Character index.
+    pub pos: usize,
+    /// Characters deleted.
+    pub del: usize,
+    /// Inserted text.
+    pub ins: String,
+}
+
+/// One transaction: a run of patches by one agent at one version.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Txn {
+    /// Indexes of parent transactions (empty for roots).
+    pub parents: Vec<usize>,
+    /// Index into [`JsonTrace::agents`].
+    pub agent: usize,
+    /// The patches, applied in order.
+    pub patches: Vec<Patch>,
+}
+
+/// A whole trace in interchange form.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct JsonTrace {
+    /// Agent names.
+    pub agents: Vec<String>,
+    /// Transactions in causal order.
+    pub txns: Vec<Txn>,
+}
+
+/// Exports an oplog as an interchange trace (one transaction per graph
+/// run, one patch per op run).
+pub fn export(oplog: &OpLog) -> JsonTrace {
+    let agents: Vec<String> = (0..oplog.agents.num_agents())
+        .map(|i| oplog.agents.agent_name(i as u32).to_string())
+        .collect();
+    // Map event LV -> txn index for parent resolution.
+    let mut txns: Vec<Txn> = Vec::new();
+    let mut txn_of_lv: Vec<(usize, usize)> = Vec::new(); // (end_lv, txn_idx)
+    let find_txn = |txn_of_lv: &[(usize, usize)], lv: usize| -> usize {
+        match txn_of_lv.binary_search_by(|&(end, _)| {
+            if lv < end {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Less
+            }
+        }) {
+            Err(i) => txn_of_lv[i].1,
+            Ok(i) => txn_of_lv[i].1,
+        }
+    };
+    // Transactions must end wherever another event's parent points, so
+    // that parent references resolve to transaction tips on import.
+    let mut cuts: Vec<usize> = Vec::new();
+    for entry in oplog.graph.iter() {
+        for &p in entry.parents.iter() {
+            cuts.push(p + 1);
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    for entry in oplog.graph.iter() {
+        // A graph entry can span several agents and cut points; split.
+        let mut lv = entry.span.start;
+        let mut first_in_entry = true;
+        while lv < entry.span.end {
+            let agent_span = oplog.agents.lv_to_agent_span(lv);
+            let mut seg_len = agent_span.seq_range.len().min(entry.span.end - lv);
+            // Clip at the next cut point.
+            if let Err(idx) = cuts.binary_search(&(lv + 1)) {
+                if let Some(&c) = cuts.get(idx) {
+                    if c > lv && c < lv + seg_len {
+                        seg_len = c - lv;
+                    }
+                }
+            } else if let Some(&c) = cuts.iter().find(|&&c| c > lv) {
+                if c < lv + seg_len {
+                    seg_len = c - lv;
+                }
+            }
+            let seg = (lv..lv + seg_len).into();
+            let parents: Vec<usize> = if first_in_entry {
+                entry
+                    .parents
+                    .iter()
+                    .map(|&p| find_txn(&txn_of_lv, p))
+                    .collect()
+            } else {
+                vec![txns.len() - 1]
+            };
+            let mut patches = Vec::new();
+            for (_lvs, run) in oplog.ops_in(seg) {
+                match run.kind {
+                    ListOpKind::Ins => patches.push(Patch {
+                        pos: run.loc.start,
+                        del: 0,
+                        ins: oplog.content_slice(run.content.unwrap()),
+                    }),
+                    ListOpKind::Del => patches.push(Patch {
+                        pos: run.loc.start,
+                        del: run.loc.len(),
+                        ins: String::new(),
+                    }),
+                }
+            }
+            txns.push(Txn {
+                parents,
+                agent: agent_span.agent as usize,
+                patches,
+            });
+            txn_of_lv.push((seg.start + seg_len, txns.len() - 1));
+            lv += seg_len;
+            first_in_entry = false;
+        }
+    }
+    JsonTrace { agents, txns }
+}
+
+/// Imports an interchange trace into a fresh oplog.
+pub fn import(trace: &JsonTrace) -> OpLog {
+    let mut oplog = OpLog::new();
+    let agents: Vec<_> = trace
+        .agents
+        .iter()
+        .map(|n| oplog.get_or_create_agent(n))
+        .collect();
+    let mut txn_tips: Vec<Frontier> = Vec::with_capacity(trace.txns.len());
+    for txn in &trace.txns {
+        let mut frontier = if txn.parents.is_empty() {
+            Frontier::root()
+        } else {
+            let lvs: Vec<usize> = txn
+                .parents
+                .iter()
+                .flat_map(|&p| txn_tips[p].iter().copied())
+                .collect();
+            oplog.graph.find_dominators(&lvs)
+        };
+        for patch in &txn.patches {
+            if patch.del > 0 {
+                let lvs =
+                    oplog.add_delete_at(agents[txn.agent], &frontier.clone(), patch.pos, patch.del);
+                frontier = Frontier::new_1(lvs.last());
+            }
+            if !patch.ins.is_empty() {
+                let lvs = oplog.add_insert_at(
+                    agents[txn.agent],
+                    &frontier.clone(),
+                    patch.pos,
+                    &patch.ins,
+                );
+                frontier = Frontier::new_1(lvs.last());
+            }
+        }
+        txn_tips.push(frontier);
+    }
+    oplog
+}
+
+/// Serialises a trace to JSON.
+pub fn to_json(trace: &JsonTrace) -> String {
+    serde_json::to_string(trace).expect("trace serialisation cannot fail")
+}
+
+/// Parses a trace from JSON.
+pub fn from_json(s: &str) -> Result<JsonTrace, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::spec::builtin_specs;
+
+    #[test]
+    fn roundtrip_preserves_replay() {
+        for spec in builtin_specs(0.002) {
+            let oplog = generate(&spec);
+            let expected = oplog.checkout_tip().content.to_string();
+            let trace = export(&oplog);
+            let json = to_json(&trace);
+            let parsed = from_json(&json).unwrap();
+            assert_eq!(parsed, trace);
+            let imported = import(&parsed);
+            assert_eq!(imported.len(), oplog.len(), "{}", spec.name);
+            let got = imported.checkout_tip().content.to_string();
+            assert_eq!(got, expected, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn export_simple() {
+        let mut oplog = OpLog::new();
+        let a = oplog.get_or_create_agent("alice");
+        oplog.add_insert(a, 0, "hi");
+        oplog.add_delete(a, 0, 1);
+        let t = export(&oplog);
+        assert_eq!(t.agents, vec!["alice"]);
+        assert_eq!(t.txns.len(), 1);
+        assert_eq!(t.txns[0].patches.len(), 2);
+    }
+}

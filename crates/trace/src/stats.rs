@@ -1,0 +1,114 @@
+//! Table 1 statistics (paper §4.1).
+
+use eg_dag::Frontier;
+use eg_rle::HasLength;
+use egwalker::{ListOpKind, OpLog};
+use serde::{Deserialize, Serialize};
+
+/// The columns of the paper's Table 1, computed from an oplog.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TraceStats {
+    /// Total editing events (each inserted or deleted character is one).
+    pub events: usize,
+    /// Mean number of concurrent branches per event: the average size of
+    /// the frontier (minus one) as the graph is swept in causal order.
+    pub avg_concurrency: f64,
+    /// Number of linear runs in the event graph.
+    pub graph_runs: usize,
+    /// Number of distinct authors.
+    pub authors: usize,
+    /// Characters inserted over the whole trace.
+    pub chars_inserted: usize,
+    /// Percentage of inserted characters still present at the end.
+    pub chars_remaining_pct: f64,
+    /// Final document size in bytes (UTF-8).
+    pub final_size_bytes: usize,
+}
+
+/// Computes the Table 1 statistics for an oplog.
+///
+/// `final_len_bytes` can be supplied if the caller already materialised the
+/// final document (otherwise the oplog is replayed).
+pub fn trace_stats(oplog: &OpLog, final_doc_bytes: Option<usize>) -> TraceStats {
+    let events = oplog.len();
+    // Average concurrency: sweep the graph in LV order, tracking the
+    // frontier size after each event.
+    let mut frontier = Frontier::root();
+    let mut acc: f64 = 0.0;
+    for entry in oplog.graph.iter() {
+        frontier.advance_by(entry.span.last(), &entry.parents);
+        acc += (frontier.len() - 1) as f64 * entry.span.len() as f64;
+    }
+    let avg_concurrency = if events == 0 {
+        0.0
+    } else {
+        acc / events as f64
+    };
+
+    let mut chars_inserted = 0usize;
+    if events > 0 {
+        for (lvs, run) in oplog.ops_in((0..events).into()) {
+            if run.kind == ListOpKind::Ins {
+                chars_inserted += lvs.len();
+            }
+        }
+    }
+    let final_size_bytes =
+        final_doc_bytes.unwrap_or_else(|| oplog.checkout_tip().content.len_bytes());
+    // "Chars remaining": double deletions of the same character (concurrent
+    // deletes) make the raw difference an approximation; measure the real
+    // document instead.
+    let final_chars = final_size_bytes; // ASCII-dominated filler text.
+    let chars_remaining_pct = if chars_inserted == 0 {
+        0.0
+    } else {
+        100.0 * final_chars.min(chars_inserted) as f64 / chars_inserted as f64
+    };
+
+    TraceStats {
+        events,
+        avg_concurrency,
+        graph_runs: oplog.graph.num_entries(),
+        authors: oplog.agents.num_agents(),
+        chars_inserted,
+        chars_remaining_pct,
+        final_size_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stats() {
+        let mut oplog = OpLog::new();
+        let a = oplog.get_or_create_agent("alice");
+        oplog.add_insert(a, 0, "hello world");
+        oplog.add_delete(a, 0, 6);
+        let s = trace_stats(&oplog, None);
+        assert_eq!(s.events, 17);
+        assert_eq!(s.avg_concurrency, 0.0);
+        assert_eq!(s.graph_runs, 1);
+        assert_eq!(s.authors, 1);
+        assert_eq!(s.chars_inserted, 11);
+        assert_eq!(s.final_size_bytes, 5);
+        assert!((s.chars_remaining_pct - 45.45).abs() < 0.1);
+    }
+
+    #[test]
+    fn concurrency_measured() {
+        let mut oplog = OpLog::new();
+        let a = oplog.get_or_create_agent("alice");
+        let b = oplog.get_or_create_agent("bob");
+        oplog.add_insert(a, 0, "xx");
+        let base = oplog.version().clone();
+        oplog.add_insert_at(a, &base, 0, "aa");
+        oplog.add_insert_at(b, &base, 2, "bb");
+        let s = trace_stats(&oplog, None);
+        // Events 4,5 ran while the other branch (2,3) was open.
+        assert!(s.avg_concurrency > 0.0);
+        assert_eq!(s.graph_runs, 2);
+        assert_eq!(s.authors, 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Collaborative undo/redo on top of the event graph.
+//!
+//! Undo never rewrites history — events are immutable (paper §2.2) — so
+//! the session appends *inverse* events: undoing an insertion deletes
+//! exactly the surviving inserted characters (even if remote users deleted
+//! some of them first), and undoing a deletion restores the text, aliased
+//! to the original characters so deeper undo keeps working. Everything
+//! replicates like any other edit.
+//!
+//! Run with: `cargo run --example collaborative_undo`
+
+use eg_walker_suite::core_crate::session::Session;
+
+fn main() {
+    let mut alice = Session::new("alice");
+    let mut bob = Session::new("bob");
+
+    // Alice drafts a sentence; bob receives it.
+    alice.insert(0, "The quick brown fox jumps over the lazy dog.");
+    sync(&mut alice, &mut bob);
+    println!("draft:      {:?}", alice.text());
+
+    // Bob bolds his opinion in the middle while alice appends hers.
+    bob.insert(19, " (citation needed)");
+    alice.insert(44, " Fin.");
+    sync(&mut bob, &mut alice);
+    sync(&mut alice, &mut bob);
+    println!("both edit:  {:?}", alice.text());
+    assert_eq!(alice.text(), bob.text());
+
+    // Alice selects "quick brown " and deletes it.
+    alice.select(4, 16);
+    alice.delete_selection();
+    sync(&mut alice, &mut bob);
+    println!("deleted:    {:?}", alice.text());
+
+    // She reconsiders: undo restores the deleted words — and the undo
+    // itself replicates to bob.
+    alice.undo();
+    sync(&mut alice, &mut bob);
+    println!("undone:     {:?}", alice.text());
+    assert!(alice.text().contains("quick brown fox"));
+    assert_eq!(alice.text(), bob.text());
+
+    // Undoing further unwinds her own earlier edits, never bob's.
+    alice.undo(); // removes " Fin."
+    sync(&mut alice, &mut bob);
+    println!("undo more:  {:?}", alice.text());
+    assert!(alice.text().contains("(citation needed)"));
+    assert!(!alice.text().contains("Fin."));
+
+    // Redo brings it back.
+    alice.redo();
+    sync(&mut alice, &mut bob);
+    println!("redone:     {:?}", alice.text());
+    assert!(alice.text().ends_with("Fin."));
+    assert_eq!(alice.text(), bob.text());
+
+    // The caret survives remote edits: bob prepends a title while alice's
+    // caret sits at her last insertion.
+    let before = alice.selection().head;
+    bob.insert(0, "FABLES\n");
+    sync(&mut bob, &mut alice);
+    let after = alice.selection().head;
+    println!("caret moved {} -> {} as the title arrived", before, after);
+    assert_eq!(after, before + "FABLES\n".len());
+}
+
+/// Ships every pending bundle from `src` to `dst`.
+fn sync(src: &mut Session, dst: &mut Session) {
+    for bundle in src.take_outbox() {
+        dst.merge_remote(&bundle);
+    }
+}

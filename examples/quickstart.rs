@@ -1,0 +1,39 @@
+//! Quickstart: concurrent editing, merging, and convergence.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use eg_walker_suite::{Branch, OpLog};
+
+fn main() {
+    // A replica's durable state is an OpLog: the append-only event graph.
+    let mut oplog = OpLog::new();
+    let alice = oplog.get_or_create_agent("alice");
+    let bob = oplog.get_or_create_agent("bob");
+
+    // Alice types the seed text (paper Figure 1).
+    oplog.add_insert(alice, 0, "Helo");
+    let v = oplog.version().clone();
+
+    // Concurrently: alice fixes the typo while bob appends an exclamation
+    // mark. Both edits are parented on the same version.
+    oplog.add_insert_at(alice, &v, 3, "l");
+    oplog.add_insert_at(bob, &v, 4, "!");
+
+    // Checking out replays the graph, transforming concurrent operations.
+    let doc = oplog.checkout_tip();
+    println!("merged: {:?}", doc.content.to_string());
+    assert_eq!(doc.content.to_string(), "Hello!");
+
+    // Live documents merge incrementally: only the conflict window is
+    // replayed, not the whole history (paper §3.6).
+    let mut live = Branch::new();
+    live.merge(&oplog);
+    oplog.add_insert(alice, 6, " Nice to meet you.");
+    live.merge(&oplog); // applies just the new events
+    println!("after more typing: {:?}", live.content.to_string());
+
+    // Historical versions are a replay away (time travel).
+    let old = oplog.checkout(&v);
+    println!("historical checkout: {:?}", old.content.to_string());
+    assert_eq!(old.content.to_string(), "Helo");
+}

@@ -1,0 +1,120 @@
+//! End-to-end integration: generate a trace → export/import JSON → encode/
+//! decode the binary format → merge with all three algorithms — everything
+//! must stay consistent.
+
+use eg_walker_suite::encoding::{decode, encode, EncodeOpts};
+use eg_walker_suite::trace::{builtin_specs, generate, json, trace_stats};
+use eg_walker_suite::{crdt_ref::CrdtDoc, ot::replay_ot};
+use egwalker::convert::to_crdt_ops;
+
+#[test]
+fn full_pipeline_all_traces() {
+    for spec in builtin_specs(0.002) {
+        // 1. Generate.
+        let oplog = generate(&spec);
+        let expected = oplog.checkout_tip().content.to_string();
+        assert!(!expected.is_empty(), "{}", spec.name);
+
+        // 2. Statistics are sane.
+        let stats = trace_stats(&oplog, Some(expected.len()));
+        assert_eq!(stats.events, oplog.len());
+        assert!(stats.authors >= 1);
+
+        // 3. JSON interchange round-trips the replay result.
+        let exported = json::export(&oplog);
+        let reimported = json::import(&json::from_json(&json::to_json(&exported)).unwrap());
+        assert_eq!(
+            reimported.checkout_tip().content.to_string(),
+            expected,
+            "{}",
+            spec.name
+        );
+
+        // 4. Binary format round-trips (with cached doc).
+        let bytes = encode(
+            &oplog,
+            EncodeOpts {
+                cache_final_doc: true,
+                ..Default::default()
+            },
+        );
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded.cached_doc.as_deref(), Some(expected.as_str()));
+        assert_eq!(
+            decoded.oplog.checkout_tip().content.to_string(),
+            expected,
+            "{}",
+            spec.name
+        );
+
+        // 5. The reference CRDT converges to a document with exactly the
+        // same surviving characters. (On traces with deeply nested
+        // same-position concurrency the CRDT's causal-order application may
+        // order sibling runs differently from the walker's replay order —
+        // both are deterministic and convergent; see DESIGN.md "Known
+        // limitations".)
+        let ops = to_crdt_ops(&oplog);
+        let mut crdt = CrdtDoc::new();
+        crdt.apply_all(&oplog, &ops);
+        let crdt_text = crdt.to_string();
+        let mut x: Vec<char> = crdt_text.chars().collect();
+        let mut y: Vec<char> = expected.chars().collect();
+        x.sort_unstable();
+        y.sort_unstable();
+        assert_eq!(x, y, "{}", spec.name);
+        if oplog.graph.num_entries() == 1 {
+            assert_eq!(crdt_text, expected, "{}", spec.name);
+        }
+
+        // 6. OT replays deterministically with the same final length class
+        // (see the eg-ot crate docs for why exact equality only holds on
+        // sequential histories).
+        let (ot_doc, _) = replay_ot(&oplog);
+        let (ot_doc2, _) = replay_ot(&oplog);
+        assert_eq!(ot_doc, ot_doc2, "{}", spec.name);
+        if oplog.graph.num_entries() == 1 {
+            assert_eq!(ot_doc, expected, "{}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn cross_replica_sync_with_all_layers() {
+    use eg_walker_suite::{Frontier, OpLog};
+    // Two replicas collaborate by shipping *encoded files* to each other.
+    let mut a = OpLog::new();
+    let alice = a.get_or_create_agent("alice");
+    a.add_insert(alice, 0, "state of the art");
+    let mut b_file = encode(&a, EncodeOpts::default());
+
+    // Replica B loads A's file and keeps editing.
+    let mut b = decode(&b_file).unwrap().oplog;
+    let bob = b.get_or_create_agent("bob");
+    let mut vb = b.version().clone();
+    for _ in 0..50 {
+        let lvs = b.add_insert_at(bob, &vb, 0, "b");
+        vb = Frontier::new_1(lvs.last());
+    }
+
+    // Meanwhile A edits too.
+    let mut va = a.version().clone();
+    for _ in 0..50 {
+        let len = a.checkout(&va).len_chars();
+        let lvs = a.add_insert_at(alice, &va, len, "a");
+        va = Frontier::new_1(lvs.last());
+    }
+
+    // Exchange via files.
+    b_file = encode(&b, EncodeOpts::default());
+    let b_copy = decode(&b_file).unwrap().oplog;
+    a.merge_oplog(&b_copy);
+    let a_file = encode(&a, EncodeOpts::default());
+    let a_copy = decode(&a_file).unwrap().oplog;
+    b.merge_oplog(&a_copy);
+
+    assert_eq!(a.len(), b.len());
+    assert_eq!(
+        a.checkout_tip().content.to_string(),
+        b.checkout_tip().content.to_string()
+    );
+}

@@ -1,0 +1,140 @@
+//! Checks derived from the strong list specification (paper Definition
+//! C.2) on randomised histories:
+//!
+//! * **(1a) membership**: the final document contains exactly the inserted
+//!   characters that were never deleted;
+//! * **(1c) insertion position**: immediately after generating an insert,
+//!   the inserted text appears at the requested index of the generating
+//!   replica's document;
+//! * **(1b) list-order consistency**: characters present in two different
+//!   checkouts appear in the same relative order.
+
+use egwalker::testgen::{random_oplog, SmallRng};
+use egwalker::{Frontier, ListOpKind, OpLog};
+
+#[test]
+fn membership_matches_reference_sets() {
+    // (1a): the multiset of characters in the final document equals
+    // inserted-minus-deleted, computed independently from the converted
+    // CRDT op stream.
+    use egwalker::convert::{to_crdt_ops, CrdtOp};
+    for seed in 0..25u64 {
+        let oplog = random_oplog(seed, 120, 3, 0.35);
+        let mut alive: std::collections::BTreeMap<usize, char> = Default::default();
+        for op in to_crdt_ops(&oplog) {
+            match op {
+                CrdtOp::Ins { id, content, .. } => {
+                    for (k, c) in content.chars().enumerate() {
+                        alive.insert(id.start + k, c);
+                    }
+                }
+                CrdtOp::Del { target } => {
+                    for lv in target.iter() {
+                        alive.remove(&lv);
+                    }
+                }
+            }
+        }
+        let mut expected: Vec<char> = alive.values().copied().collect();
+        expected.sort_unstable();
+        let mut got: Vec<char> = oplog.checkout_tip().content.chars().collect();
+        got.sort_unstable();
+        assert_eq!(got, expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn insert_lands_at_requested_position() {
+    // (1c): after generating Insert(i, text) at a version, the document at
+    // the new version has `text` at index i.
+    let mut rng = SmallRng::new(777);
+    for seed in 0..15u64 {
+        let mut oplog = random_oplog(seed, 60, 3, 0.3);
+        let agent = oplog.get_or_create_agent("prober");
+        // Pick a random version and insert there.
+        let lv = rng.below(oplog.len());
+        let v = Frontier::new_1(lv);
+        let doc = oplog.checkout(&v);
+        let pos = rng.below(doc.len_chars() + 1);
+        let lvs = oplog.add_insert_at(agent, &v, pos, "PROBE");
+        let after = oplog.checkout(&[lvs.last()]);
+        assert_eq!(
+            after.content.slice_to_string(pos, 5),
+            "PROBE",
+            "seed {seed} pos {pos}"
+        );
+    }
+}
+
+#[test]
+fn list_order_is_consistent_across_versions() {
+    // (1b)/(2): characters visible in both an intermediate checkout and the
+    // final checkout appear in the same relative order. We tag characters
+    // with unique text to identify them.
+    let mut oplog = OpLog::new();
+    let a = oplog.get_or_create_agent("alice");
+    let b = oplog.get_or_create_agent("bob");
+    // Build a branchy history of uniquely-numbered words.
+    let mut versions = Vec::new();
+    oplog.add_insert(a, 0, "w0 ");
+    versions.push(oplog.version().clone());
+    let base = oplog.version().clone();
+    oplog.add_insert_at(a, &base, 0, "w1 ");
+    oplog.add_insert_at(b, &base, 3, "w2 ");
+    versions.push(oplog.version().clone());
+    let v2 = oplog.version().clone();
+    oplog.add_insert_at(a, &v2, 0, "w3 ");
+    versions.push(oplog.version().clone());
+
+    let final_doc = oplog.checkout_tip().content.to_string();
+    let order_in = |doc: &str, x: &str, y: &str| -> Option<bool> {
+        match (doc.find(x), doc.find(y)) {
+            (Some(i), Some(j)) => Some(i < j),
+            _ => None,
+        }
+    };
+    for v in &versions {
+        let doc = oplog.checkout(v).content.to_string();
+        for x in ["w0", "w1", "w2", "w3"] {
+            for y in ["w0", "w1", "w2", "w3"] {
+                if x == y {
+                    continue;
+                }
+                if let (Some(o1), Some(o2)) = (order_in(&doc, x, y), order_in(&final_doc, x, y)) {
+                    assert_eq!(o1, o2, "order of {x},{y} flipped between versions");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn deletes_are_no_ops_when_concurrent() {
+    // Two replicas delete the same character concurrently: exactly one
+    // character disappears (paper Lemma C.7 case 2).
+    let mut oplog = OpLog::new();
+    let a = oplog.get_or_create_agent("alice");
+    let b = oplog.get_or_create_agent("bob");
+    oplog.add_insert(a, 0, "abcde");
+    let base = oplog.version().clone();
+    oplog.add_delete_at(a, &base, 2, 1);
+    oplog.add_delete_at(b, &base, 2, 1);
+    assert_eq!(oplog.checkout_tip().content.to_string(), "abde");
+}
+
+#[test]
+fn kinds_accounting() {
+    // Sanity: every event is exactly one insert or delete.
+    for seed in 0..10u64 {
+        let oplog = random_oplog(seed, 80, 3, 0.3);
+        let mut n = 0;
+        for (lvs, run) in oplog.ops_in((0..oplog.len()).into()) {
+            match run.kind {
+                ListOpKind::Ins => assert!(run.content.is_some()),
+                ListOpKind::Del => assert!(run.content.is_none()),
+            }
+            n += lvs.end - lvs.start;
+        }
+        assert_eq!(n, oplog.len());
+    }
+}
