@@ -21,7 +21,7 @@ fn extend_with_remote(oplog: &OpLog, k: usize) -> OpLog {
     let remote = extended.get_or_create_agent("late-remote-peer");
     let back = oplog.len().saturating_sub(k + 1);
     let parents = if oplog.is_empty() { vec![] } else { vec![back] };
-    let text: String = std::iter::repeat('r').take(k).collect();
+    let text = "r".repeat(k);
     extended.add_insert_at(remote, &parents, 0, &text);
     extended
 }

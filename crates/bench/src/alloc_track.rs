@@ -56,8 +56,7 @@ pub fn current_bytes() -> usize {
 
 /// Resets the peak to the current level and returns the previous peak.
 pub fn reset_peak() -> usize {
-    let prev = PEAK.swap(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
-    prev
+    PEAK.swap(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed)
 }
 
 /// The high-water mark since the last [`reset_peak`].

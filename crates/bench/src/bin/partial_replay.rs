@@ -22,7 +22,7 @@ fn extend_with_remote(oplog: &OpLog, k: usize) -> (OpLog, Vec<usize>) {
     // the local tail (a realistic "peer was k keystrokes behind" merge).
     let back = oplog.len().saturating_sub(k).saturating_sub(1);
     let parents = if oplog.is_empty() { vec![] } else { vec![back] };
-    let text: String = std::iter::repeat('r').take(k).collect();
+    let text = "r".repeat(k);
     extended.add_insert_at(remote, &parents, 0, &text);
     (extended, tip.to_vec())
 }

@@ -243,10 +243,8 @@ proptest! {
         let mut cursor = tree.cursor_at_start();
         let mut flat = 0usize;
         loop {
-            if !tree.cursor_valid(&cursor) {
-                if !tree.cursor_next_entry(&mut cursor) {
-                    break;
-                }
+            if !tree.cursor_valid(&cursor) && !tree.cursor_next_entry(&mut cursor) {
+                break;
             }
             let e = *tree.entry_at(&cursor);
             let w = tree.offset_of(cursor.leaf, cursor.entry_idx);

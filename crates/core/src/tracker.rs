@@ -677,6 +677,15 @@ impl Tracker {
         self.tree.check();
     }
 }
+impl Tracker {
+    /// Debug helper: dumps the record sequence (id range, sp, se) in order.
+    pub fn dump_entries(&self) -> Vec<(DTRange, String, bool)> {
+        self.tree
+            .iter()
+            .map(|e| (e.id, format!("{:?}", e.sp), e.se_deleted))
+            .collect()
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -736,15 +745,5 @@ mod tests {
         let w = t.tree.total_widths();
         assert_eq!(w.cur, UNDERWATER_LEN);
         assert_eq!(w.end, UNDERWATER_LEN);
-    }
-}
-
-impl Tracker {
-    /// Debug helper: dumps the record sequence (id range, sp, se) in order.
-    pub fn dump_entries(&self) -> Vec<(DTRange, String, bool)> {
-        self.tree
-            .iter()
-            .map(|e| (e.id, format!("{:?}", e.sp), e.se_deleted))
-            .collect()
     }
 }

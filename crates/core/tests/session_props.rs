@@ -145,6 +145,6 @@ fn undo_is_replicated_like_any_edit() {
     assert_eq!(alice.text(), "");
     assert_eq!(bob.text(), "");
     // The history still records everything.
-    assert!(alice.oplog.len() > 0);
+    assert!(!alice.oplog.is_empty());
     assert_eq!(alice.oplog.len(), bob.oplog.len());
 }

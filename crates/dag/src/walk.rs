@@ -424,7 +424,7 @@ mod tests {
         g.push(&[2, 6], (7..10).into());
         let spans = [(0..10).into()];
         let steps = plan_walk(&g, &Frontier::root(), &spans, &[(4..7).into()]);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for s in &steps {
             for lv in s.consume.iter() {
                 assert!(!seen[lv], "event {lv} consumed twice");

@@ -84,7 +84,7 @@ proptest! {
     #[test]
     fn compose_equals_sequential((doc, a, b) in doc_strategy().prop_flat_map(|doc| {
         let n = doc.chars().count();
-        (Just(doc), op_strategy(n), op_strategy(n).prop_flat_map(move |mid| Just(mid)))
+        (Just(doc), op_strategy(n), op_strategy(n).prop_flat_map(Just))
     })) {
         // Build b against the document *after* a.
         let mut after_a = Rope::from_str(&doc);

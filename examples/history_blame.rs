@@ -28,7 +28,7 @@ fn main() {
     oplog.add_delete_at(alice, &v_fruit, 10, 1);
     let tip = oplog.version().clone();
     let doc = oplog.checkout_tip();
-    println!("document:\n{}", doc.content.to_string());
+    println!("document:\n{}", doc.content);
 
     // --- Blame: who wrote each character? --------------------------------
     println!("--- blame ---");

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds and runs every program in examples/, failing on the first broken
+# one. Used by CI to keep the facade crate's public API exercised; handy
+# locally too:  ./scripts/run_examples.sh [--release]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile="${1:-}"
+for ex in examples/*.rs; do
+    name="$(basename "$ex" .rs)"
+    echo "=== example: $name ==="
+    # shellcheck disable=SC2086
+    cargo run --quiet $profile --example "$name"
+done
+echo "all examples ran successfully"

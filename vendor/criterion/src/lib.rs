@@ -1,0 +1,364 @@
+//! A minimal, API-compatible stand-in for the subset of `criterion` this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io (the same constraint
+//! that led to the in-tree LZ4 implementation in `eg-encoding`), so the
+//! Criterion surface the benches use — groups, `bench_function`,
+//! `bench_with_input`, `sample_size`, [`BenchmarkId`] and the
+//! `criterion_group!`/`criterion_main!` macros — is implemented here over
+//! `std::time::Instant`.
+//!
+//! Reporting is intentionally simple: for each benchmark it prints the
+//! minimum, median and mean wall-clock time per iteration. There are no
+//! HTML reports, statistical regressions, or plots; those belong to real
+//! criterion. Honouring `--bench`/`--test` harness arguments keeps
+//! `cargo bench` and `cargo test --benches` working, and a `quick` filter
+//! argument is accepted positionally like criterion's.
+
+use std::time::{Duration, Instant};
+
+/// Per-run configuration, shared by every group.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    /// Samples per benchmark (each sample times a batch of iterations).
+    sample_count: usize,
+    /// Target wall-clock budget per benchmark.
+    target_time: Duration,
+    /// Substring filter from the command line; only matching ids run.
+    filter: Option<String>,
+    /// `--test` mode: run each benchmark once, don't measure.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: 20,
+            target_time: Duration::from_millis(600),
+            filter: None,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies harness command-line arguments (`--bench`, `--test`,
+    /// `--exact`, and a positional filter), mirroring what cargo passes.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--exact" | "--nocapture" | "-q" | "--quiet" => {}
+                "--test" => self.test_mode = true,
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
+                        self.sample_count = n;
+                    }
+                }
+                other if !other.starts_with('-') => {
+                    self.filter = Some(other.to_string());
+                }
+                _ => {} // ignore unknown flags rather than failing the harness
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count: None,
+        }
+    }
+
+    /// Benches a standalone function (no group).
+    pub fn bench_function<F>(&mut self, id: impl IntoLabel, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        run_one(self, None, &label, f);
+    }
+}
+
+/// A named collection of benchmarks with shared settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n);
+        self
+    }
+
+    /// Overrides the time budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.target_time = t;
+        self
+    }
+
+    /// Benches a closure under this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoLabel, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        let samples = self.sample_count;
+        let name = self.name.clone();
+        run_one_grouped(self.criterion, &name, samples, &label, f);
+        self
+    }
+
+    /// Benches a closure over a borrowed input under this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API parity; dropping works too).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one_grouped<F>(
+    criterion: &mut Criterion,
+    group: &str,
+    samples: Option<usize>,
+    label: &str,
+    f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let full = format!("{}/{}", group, label);
+    let saved = criterion.sample_count;
+    if let Some(n) = samples {
+        criterion.sample_count = n;
+    }
+    run_one(criterion, Some(group), &full, f);
+    criterion.sample_count = saved;
+}
+
+fn run_one<F>(criterion: &Criterion, _group: Option<&str>, full_label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &criterion.filter {
+        if !full_label.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    if criterion.test_mode {
+        // Smoke mode: one iteration, no reporting.
+        f(&mut bencher);
+        println!("test {} ... ok", full_label);
+        return;
+    }
+
+    // Warm-up and calibration: find an iteration count so one sample
+    // lands near target_time / sample_count.
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let per_sample = criterion.target_time / criterion.sample_count.max(1) as u32;
+    let iters_per_sample = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 20) as u64;
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(criterion.sample_count);
+    for _ in 0..criterion.sample_count {
+        bencher.iters = iters_per_sample;
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter_ns.first().copied().unwrap_or(0.0);
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!(
+        "{:<40} time: [min {} median {} mean {}] ({} samples x {} iters)",
+        full_label,
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        per_iter_ns.len(),
+        iters_per_sample,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{:.1} ns", ns)
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times the closure handed to it by a benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` the requested number of iterations, timing the whole
+    /// batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A benchmark identifier made of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function sweeps).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark label.
+pub trait IntoLabel {
+    /// The rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoLabel for &String {
+    fn into_label(self) -> String {
+        self.clone()
+    }
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the harness `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("ot", 128).into_label(), "ot/128");
+        assert_eq!(BenchmarkId::from_parameter(42).into_label(), "42");
+    }
+
+    #[test]
+    fn bencher_runs_requested_iterations() {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 10);
+        assert!(b.elapsed > Duration::ZERO || count == 10);
+    }
+
+    #[test]
+    fn groups_measure_without_panicking() {
+        let mut c = Criterion {
+            sample_count: 3,
+            target_time: Duration::from_millis(5),
+            filter: None,
+            test_mode: false,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_count: 1,
+            target_time: Duration::from_millis(1),
+            filter: Some("nomatch".into()),
+            test_mode: false,
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran, "filtered-out benchmark must not run");
+    }
+}

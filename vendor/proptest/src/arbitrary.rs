@@ -1,0 +1,87 @@
+//! `any::<T>()` — default strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct AnyStrategy<T>(pub PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Biased toward ASCII like real proptest's default char strategy;
+        // occasionally samples a wider scalar value.
+        if rng.below(4) > 0 {
+            (0x20 + rng.below(0x5f)) as u8 as char
+        } else {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{fffd}')
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn any_covers_domain() {
+        let mut rng = TestRng::for_test("any");
+        let mut seen_true = false;
+        let mut seen_false = false;
+        let mut max_u16 = 0u16;
+        for _ in 0..2_000 {
+            match any::<bool>().sample(&mut rng) {
+                true => seen_true = true,
+                false => seen_false = true,
+            }
+            max_u16 = max_u16.max(any::<u16>().sample(&mut rng));
+        }
+        assert!(seen_true && seen_false);
+        assert!(max_u16 > u16::MAX / 2, "u16 samples suspiciously small");
+    }
+}

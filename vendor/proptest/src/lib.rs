@@ -1,0 +1,216 @@
+//! A minimal, API-compatible stand-in for the subset of `proptest` this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io (the same constraint
+//! that led to the in-tree LZ4 implementation in `eg-encoding`), so the
+//! property-testing surface the test suites rely on is implemented here
+//! from scratch:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` support);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`];
+//! * [`strategy::Strategy`] with `prop_map`, `prop_flat_map` and `boxed`;
+//! * range, tuple, [`strategy::Just`], `any::<T>()`, simple
+//!   regex-character-class string strategies, [`collection::vec`] and the
+//!   weighted [`prop_oneof!`] union.
+//!
+//! Differences from real proptest, by design: cases are generated from a
+//! deterministic per-test seed (derived from the test's module path and
+//! name) and there is **no shrinking** — a failing case reports the
+//! sampled inputs' `Debug` rendering instead of a minimised one. That
+//! trades debugging convenience for zero dependencies; the determinism
+//! means a failure always reproduces by re-running the same test.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for `bool` (mirrors `proptest::bool`).
+pub mod bool {
+    use crate::arbitrary::AnyStrategy;
+    use std::marker::PhantomData;
+
+    /// Uniform `bool` strategy.
+    pub const ANY: AnyStrategy<::core::primitive::bool> = AnyStrategy(PhantomData);
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    /// The whole crate under the short name real proptest's prelude uses.
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros. `#[macro_export]` places these at the crate root; the prelude
+// re-exports them so `use proptest::prelude::*` works as with real proptest.
+// ---------------------------------------------------------------------------
+
+/// Defines property tests: `fn name(binding in strategy, ...) { body }`.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` and any number
+/// of test functions, each annotated with its own outer attributes
+/// (typically `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __test_name = concat!(module_path!(), "::", stringify!($name));
+                let mut __rng = $crate::test_runner::TestRng::for_test(__test_name);
+                let mut __passed: u32 = 0;
+                let mut __rejected: u32 = 0;
+                let __max_rejects: u32 = __config.cases.saturating_mul(64).max(4096);
+                while __passed < __config.cases {
+                    // Record each sampled input's Debug rendering before it
+                    // is moved into the case, so a failure can report the
+                    // exact counterexample (there is no shrinking).
+                    let mut __case_inputs = ::std::string::String::new();
+                    $(let $pat = {
+                        let __sampled = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                        __case_inputs.push_str(&format!(
+                            "  {} = {:?}\n", stringify!($pat), __sampled
+                        ));
+                        __sampled
+                    };)+
+                    let __result: $crate::test_runner::TestCaseResult =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match __result {
+                        ::core::result::Result::Ok(()) => __passed += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            __rejected += 1;
+                            if __rejected > __max_rejects {
+                                panic!(
+                                    "{}: too many rejected cases ({} after {} passes); \
+                                     prop_assume! conditions are too strict",
+                                    __test_name, __rejected, __passed
+                                );
+                            }
+                        }
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            panic!(
+                                "{}: property failed at case {} (deterministic seed; \
+                                 re-run this test to reproduce)\n{}\nminimal input not \
+                                 searched (no shrinking); failing inputs:\n{}",
+                                __test_name, __passed, __msg, __case_inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                    stringify!($left), stringify!($right), __l, __r, format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Picks one of several strategies per sample, optionally weighted
+/// (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

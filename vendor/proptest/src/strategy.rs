@@ -1,0 +1,389 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy is just a sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates a value, then generates from a strategy derived from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Rejects generated values that fail the predicate (retrying; gives
+    /// up after a bounded number of attempts).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe sampling, used by [`BoxedStrategy`].
+trait DynStrategy<V> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.sample(rng)).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.source.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 10000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+/// Weighted choice between type-erased strategies (built by
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total_weight: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs at least one nonzero weight"
+        );
+        Union { arms, total_weight }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total_weight);
+        for (w, strat) in &self.arms {
+            if pick < *w as u64 {
+                return strat.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights covered above")
+    }
+}
+
+// --- integer and float ranges -------------------------------------------
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// --- strings -------------------------------------------------------------
+
+/// `&str` strategies interpret the string as a tiny regex subset:
+/// `[class]{m,n}` where the class holds literal characters and `a-z`
+/// ranges (e.g. `"[a-z ]{0,30}"`). A string not starting with `[` is
+/// generated literally.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        if !self.starts_with('[') {
+            // Not a class pattern: generate the literal string itself.
+            return (*self).to_string();
+        }
+        let (chars, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {:?}", self));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| chars[rng.below(chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[class]{m,n}`; returns the expanded alphabet and bounds.
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let close = pattern.find(']')?;
+    let class = &pattern[1..close];
+    let rest = &pattern[close + 1..];
+    let rest = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match rest.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+        None => {
+            let n = rest.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    // Expand the class: literals and `a-z` ranges.
+    let mut chars = Vec::new();
+    let class_chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < class_chars.len() {
+        if i + 2 < class_chars.len() && class_chars[i + 1] == '-' {
+            let (a, b) = (class_chars[i], class_chars[i + 2]);
+            if a > b {
+                return None;
+            }
+            for c in a..=b {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(class_chars[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+// --- tuples --------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..5_000 {
+            let a = (3usize..17).sample(&mut rng);
+            assert!((3..17).contains(&a));
+            let b = (0u16..=10_000).sample(&mut rng);
+            assert!(b <= 10_000);
+            let c = (0.0f64..0.8).sample(&mut rng);
+            assert!((0.0..0.8).contains(&c));
+            let d = (-5i32..5).sample(&mut rng);
+            assert!((-5..5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = TestRng::for_test("strings");
+        for _ in 0..2_000 {
+            let s = "[a-z]{1,5}".sample(&mut rng);
+            assert!((1..=5).contains(&s.chars().count()), "{:?}", s);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let s = "[a-z ]{0,30}".sample(&mut rng);
+            assert!(s.chars().count() <= 30);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+
+            let s = "[A-Z]{3,8}".sample(&mut rng);
+            assert!((3..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_uppercase()));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::for_test("combinators");
+        let strat = (0usize..10)
+            .prop_map(|n| n * 2)
+            .prop_flat_map(|n| (Just(n), 0..n.max(1)));
+        for _ in 0..1_000 {
+            let (n, k) = strat.sample(&mut rng);
+            assert!(n % 2 == 0 && n < 20);
+            assert!(k < n.max(1));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let mut rng = TestRng::for_test("union");
+        let strat = Union::new(vec![(3, Just(0u8).boxed()), (1, Just(1u8).boxed())]);
+        let ones: usize = (0..4_000).map(|_| strat.sample(&mut rng) as usize).sum();
+        // Expect about 1000 ones out of 4000; fail only on gross skew.
+        assert!((500..1500).contains(&ones), "ones = {}", ones);
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut rng = TestRng::for_test("filter");
+        let strat = (0usize..100).prop_filter("even", |n| n % 2 == 0);
+        for _ in 0..500 {
+            assert_eq!(strat.sample(&mut rng) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! A minimal, API-compatible stand-in for the subset of `serde` this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io (the same constraint
+//! that led to the in-tree LZ4 implementation in `eg-encoding`), so the
+//! small serde surface `eg-trace` relies on — `#[derive(Serialize,
+//! Deserialize)]` on named-field structs and unit enums, driven through
+//! `serde_json::{to_string, from_str}` — is implemented here from scratch.
+//!
+//! Unlike real serde's zero-copy visitor architecture, this stand-in
+//! round-trips through an owned JSON-like [`Value`] tree. That is slower
+//! but behaviourally equivalent for the interchange-format use case, and
+//! keeps the whole implementation small enough to audit.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An owned JSON-like value tree; the interchange point between
+/// [`Serialize`], [`Deserialize`] and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Non-negative integers (covers every integer field in this
+    /// workspace; negatives fall back to [`Value::Float`]).
+    UInt(u64),
+    /// Floating-point numbers (and negative integers).
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Arr(Vec<Value>),
+    /// Objects, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get_field(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] tree (stand-in for serde's `Serialize`).
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] tree (stand-in for serde's
+/// `Deserialize`).
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a [`Value`], validating its shape.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// --- primitive impls -----------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{} out of range", n))),
+                    // Integral floats are accepted, but range-checked
+                    // through u64 rather than saturated by `as`.
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f < u64::MAX as f64 => {
+                        <$t>::try_from(*f as u64)
+                            .map_err(|_| DeError::custom(format!("{} out of range", f)))
+                    }
+                    other => Err(DeError::custom(format!(
+                        "expected integer, found {:?}", other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(n) => Ok(*n as f64),
+            other => Err(DeError::custom(format!(
+                "expected number, found {:?}",
+                other
+            ))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, found {:?}", other))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected string, found {:?}",
+                other
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!(
+                "expected array, found {:?}",
+                other
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!(
+                "expected object, found {:?}",
+                other
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($len:literal => ($($name:ident : $idx:tt),+),)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Arr(items) if items.len() == $len => Ok((
+                        $($name::from_value(&items[$idx])?,)+
+                    )),
+                    other => Err(DeError::custom(format!(
+                        "expected {}-tuple array, found {:?}", $len, other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    1 => (A: 0),
+    2 => (A: 0, B: 1),
+    3 => (A: 0, B: 1, C: 2),
+    4 => (A: 0, B: 1, C: 2, D: 3),
+    5 => (A: 0, B: 1, C: 2, D: 3, E: 4),
+    6 => (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(usize::from_value(&42usize.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        let v: Vec<usize> = vec![1, 2, 3];
+        assert_eq!(Vec::<usize>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1usize, 2.5f64);
+        assert_eq!(<(usize, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn integral_floats_range_checked() {
+        assert_eq!(u8::from_value(&Value::Float(255.0)).unwrap(), 255);
+        assert!(u8::from_value(&Value::Float(256.0)).is_err());
+        assert!(u8::from_value(&Value::Float(-1.0)).is_err());
+        assert!(u8::from_value(&Value::Float(1.5)).is_err());
+        assert!(u64::from_value(&Value::Float(2.0f64.powi(64))).is_err());
+    }
+
+    #[test]
+    fn shape_errors_reported() {
+        assert!(usize::from_value(&Value::Str("x".into())).is_err());
+        assert!(Vec::<usize>::from_value(&Value::UInt(1)).is_err());
+        assert!(<(usize, usize)>::from_value(&Value::Arr(vec![Value::UInt(1)])).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Derive macros for the in-tree `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote` —
+//! the build environment has no registry access), which keeps support
+//! deliberately narrow: non-generic named-field structs and unit-variant
+//! enums, exactly the shapes `eg-trace` derives. Anything else is a
+//! compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we managed to parse out of the item under derive.
+enum Item {
+    /// A named-field struct: name + field names.
+    Struct(String, Vec<String>),
+    /// A unit-variant enum: name + variant names.
+    Enum(String, Vec<String>),
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skips outer attributes (`#[...]`, including doc comments) starting at
+/// `i`; returns the index of the first non-attribute token.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {}", other)),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {:?}", other)),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        return Err(format!(
+            "serde stand-in derive does not support generics (on `{}`)",
+            name
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "serde stand-in derive supports only brace-bodied items, found {:?} on `{}`",
+                other, name
+            ))
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    match kind.as_str() {
+        "struct" => {
+            // Fields: [attrs] [vis] name ':' type ','  — split on top-level
+            // commas, tracking angle-bracket depth so `Map<K, V>` types
+            // don't split a field in half.
+            let mut fields = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs(&body, j);
+                if j >= body.len() {
+                    break;
+                }
+                j = skip_vis(&body, j);
+                let field = match &body[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => return Err(format!("expected field name, found {}", other)),
+                };
+                fields.push(field);
+                // Scan past `: Type` to the next top-level comma.
+                let mut depth = 0i32;
+                while j < body.len() {
+                    match &body[j] {
+                        t if is_punct(t, '<') => depth += 1,
+                        t if is_punct(t, '>') => depth -= 1,
+                        t if is_punct(t, ',') && depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                j += 1; // consume the comma (or run off the end)
+            }
+            Ok(Item::Struct(name, fields))
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs(&body, j);
+                if j >= body.len() {
+                    break;
+                }
+                let variant = match &body[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => return Err(format!("expected variant name, found {}", other)),
+                };
+                j += 1;
+                if j < body.len() && !is_punct(&body[j], ',') {
+                    return Err(format!(
+                        "serde stand-in derive supports only unit enum variants (`{}::{}` has data)",
+                        name, variant
+                    ));
+                }
+                variants.push(variant);
+                j += 1; // consume the comma
+            }
+            Ok(Item::Enum(name, variants))
+        }
+        other => Err(format!("cannot derive serde impls for `{}` items", other)),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({:?});", msg)
+        .parse()
+        .unwrap()
+}
+
+/// Derives `serde::Serialize` (stand-in: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match item {
+        Item::Struct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{})),",
+                        f, f
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Obj(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives `serde::Deserialize` (stand-in: `fn from_value(&Value)`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match item {
+        Item::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get_field({f:?})\
+                            .ok_or_else(|| ::serde::DeError::custom(\
+                                concat!(\"missing field `\", {f:?}, \"` in {name}\")))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if !matches!(v, ::serde::Value::Obj(_)) {{\n\
+                             return Err(::serde::DeError::custom(concat!(\"expected object for {name}\")));\n\
+                         }}\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::DeError::custom(format!(\n\
+                                     \"unknown {name} variant `{{}}`\", other))),\n\
+                             }},\n\
+                             other => Err(::serde::DeError::custom(format!(\n\
+                                 \"expected string for {name}, found {{:?}}\", other))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
