@@ -5,7 +5,9 @@
 //! the reference CRDT must rebuild its whole state, so its load time equals
 //! its merge time (paper §4.3).
 
-use eg_bench::harness::{build_traces, fmt_time, parse_args, row, time_mean};
+use eg_bench::harness::{
+    build_traces, fmt_time, json_num, json_str, parse_args, row, time_mean, write_json,
+};
 use eg_crdt_ref::CrdtDoc;
 use eg_encoding::{decode_cached_doc_only, encode, EncodeOpts};
 use eg_ot::OtMerger;
@@ -32,6 +34,7 @@ fn main() {
             &widths
         )
     );
+    let mut json_rows = Vec::new();
     for (spec, oplog) in &traces {
         // Eg-walker merge: replay the full trace into an empty document.
         let eg_merge = time_mean(args.iters, || {
@@ -78,6 +81,17 @@ fn main() {
                 &widths
             )
         );
+        json_rows.push(vec![
+            ("name", json_str(&spec.name)),
+            ("events", json_num(oplog.len() as f64)),
+            ("eg_merge_s", json_num(eg_merge)),
+            ("eg_cached_load_s", json_num(eg_load)),
+            ("ot_merge_s", json_num(ot_merge)),
+            ("crdt_merge_s", json_num(crdt_merge)),
+        ]);
     }
     println!("(CRDT load time equals its merge time; Eg-walker/OT load the cached text.)");
+    if let Some(path) = &args.json {
+        write_json(path, "fig8_timings", args.scale, &json_rows);
+    }
 }

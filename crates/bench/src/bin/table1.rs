@@ -1,6 +1,6 @@
 //! Regenerates the paper's Table 1: statistics of the editing traces.
 
-use eg_bench::harness::{build_traces, parse_args, row};
+use eg_bench::harness::{build_traces, json_num, json_str, parse_args, row, write_json};
 use eg_trace::trace_stats;
 
 fn main() {
@@ -29,8 +29,19 @@ fn main() {
             &widths
         )
     );
+    let mut json_rows = Vec::new();
     for (spec, oplog) in &traces {
         let s = trace_stats(oplog, None);
+        json_rows.push(vec![
+            ("name", json_str(&spec.name)),
+            ("kind", json_str(&format!("{:?}", spec.kind))),
+            ("events", json_num(s.events as f64)),
+            ("avg_concurrency", json_num(s.avg_concurrency)),
+            ("graph_runs", json_num(s.graph_runs as f64)),
+            ("authors", json_num(s.authors as f64)),
+            ("chars_remaining_pct", json_num(s.chars_remaining_pct)),
+            ("final_size_bytes", json_num(s.final_size_bytes as f64)),
+        ]);
         println!(
             "{}",
             row(
@@ -64,5 +75,8 @@ fn main() {
                 &widths
             )
         );
+    }
+    if let Some(path) = &args.json {
+        write_json(path, "table1", args.scale, &json_rows);
     }
 }

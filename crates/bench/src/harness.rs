@@ -3,6 +3,7 @@
 
 use eg_trace::{builtin_specs, generate, TraceSpec};
 use egwalker::OpLog;
+use serde::Value;
 use std::time::Instant;
 
 /// Default fraction of the paper's trace sizes used by the quick-run
@@ -11,15 +12,19 @@ use std::time::Instant;
 pub const DEFAULT_SCALE: f64 = 0.02;
 
 /// Command-line options shared by the benchmark binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Trace scale relative to the paper (1.0 = paper size).
     pub scale: f64,
     /// Iterations for timing loops.
     pub iters: usize,
+    /// Where to additionally write results as JSON (bench-trajectory
+    /// capture; see `scripts/bench_trajectory.sh`).
+    pub json: Option<String>,
 }
 
-/// Parses `--scale <f>`, `--full` and `--iters <n>` from `std::env::args`.
+/// Parses `--scale <f>`, `--full`, `--iters <n>` and `--json <path>` from
+/// `std::env::args`.
 pub fn parse_args() -> BenchArgs {
     let mut args = BenchArgs {
         scale: std::env::var("EG_SCALE")
@@ -27,6 +32,7 @@ pub fn parse_args() -> BenchArgs {
             .and_then(|s| s.parse().ok())
             .unwrap_or(DEFAULT_SCALE),
         iters: 3,
+        json: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -47,11 +53,69 @@ pub fn parse_args() -> BenchArgs {
                     .expect("--iters needs a number");
                 i += 1;
             }
-            other => panic!("unknown argument {other}; supported: --scale <f> --full --iters <n>"),
+            "--json" => {
+                args.json = Some(
+                    argv.get(i + 1)
+                        .cloned()
+                        .expect("--json needs an output path"),
+                );
+                i += 1;
+            }
+            other => panic!(
+                "unknown argument {other}; supported: --scale <f> --full --iters <n> --json <path>"
+            ),
         }
         i += 1;
     }
     args
+}
+
+/// One bench-output row: ordered `(key, value)` pairs in the workspace's
+/// JSON [`Value`] model.
+pub type JsonRow = Vec<(&'static str, Value)>;
+
+/// Builds a string [`Value`].
+pub fn json_str(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+/// Builds a numeric [`Value`] (non-finite numbers become `null`).
+pub fn json_num(v: f64) -> Value {
+    if v.is_finite() {
+        Value::Float(v)
+    } else {
+        Value::Null
+    }
+}
+
+/// Writes one bench result file for trajectory capture:
+/// `{"bench": ..., "scale": ..., "rows": [{...}, ...]}`.
+pub fn write_json(path: &str, bench: &str, scale: f64, rows: &[JsonRow]) {
+    let doc = Value::Obj(vec![
+        ("bench".to_string(), json_str(bench)),
+        ("scale".to_string(), json_num(scale)),
+        (
+            "rows".to_string(),
+            Value::Arr(
+                rows.iter()
+                    .map(|row| {
+                        Value::Obj(
+                            row.iter()
+                                .map(|(k, v)| (k.to_string(), v.clone()))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut out = serde_json::to_string(&doc).expect("serialise bench JSON");
+    out.push('\n');
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir).expect("create bench-results dir");
+    }
+    std::fs::write(path, out).expect("write bench JSON");
+    eprintln!("wrote {path}");
 }
 
 /// Builds all seven traces at the given scale, reporting progress.

@@ -125,15 +125,29 @@ impl OpLog {
     /// Remote IDs in `have` that this replica has never seen are ignored:
     /// we may then send events the peer already knows, and application
     /// deduplicates them (events are immutable, so re-delivery is safe).
+    ///
+    /// Digest fast path: anti-entropy rounds overwhelmingly probe peers
+    /// that are already caught up, so when every tip of the local version
+    /// appears in `have` the graph walk (dominators + diff + run
+    /// extraction) is skipped entirely.
     pub fn bundle_since(&self, have: &[RemoteId]) -> EventBundle {
         let known: Vec<LV> = have.iter().filter_map(|id| self.remote_to_lv(id)).collect();
+        if self.version().iter().all(|tip| known.contains(tip)) {
+            return EventBundle::default();
+        }
         let frontier = self.graph.find_dominators(&known);
+        if frontier == *self.version() {
+            return EventBundle::default();
+        }
         self.bundle_since_local(&frontier)
     }
 
     /// [`OpLog::bundle_since`] for a local frontier: extracts the events in
     /// the current version's history but not in `Events(have)`.
     pub fn bundle_since_local(&self, have: &[LV]) -> EventBundle {
+        if have == self.version().as_slice() {
+            return EventBundle::default();
+        }
         let diff = self.graph.diff(have, self.version());
         debug_assert!(diff.only_a.is_empty());
         let mut runs = Vec::new();
@@ -346,6 +360,23 @@ mod tests {
             b.checkout_tip().content.to_string(),
             a.checkout_tip().content.to_string()
         );
+    }
+
+    #[test]
+    fn bundle_since_fast_path_on_caught_up_digest() {
+        // A peer whose digest names our exact frontier gets an empty
+        // bundle without a graph diff (the quiescent anti-entropy case).
+        let (a, b) = two_replica_logs();
+        assert!(a.bundle_since(&b.remote_version()).is_empty());
+        // Extra unknown ids in the digest don't defeat the fast path.
+        let mut digest = a.remote_version();
+        digest.push(RemoteId {
+            agent: "stranger".into(),
+            seq: 3,
+        });
+        assert!(a.bundle_since(&digest).is_empty());
+        // An empty oplog has nothing to send to anyone.
+        assert!(OpLog::new().bundle_since(&[]).is_empty());
     }
 
     #[test]

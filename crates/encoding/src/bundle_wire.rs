@@ -21,7 +21,7 @@
 //! ```
 
 use crate::crc::crc32;
-use crate::varint::{push_usize, read_usize, DecodeError};
+use crate::varint::{push_usize, read_usize, take, DecodeError};
 use eg_dag::RemoteId;
 use eg_rle::HasLength;
 use egwalker::{BundleRun, EventBundle, ListOpKind};
@@ -199,15 +199,6 @@ pub fn decode_bundle(bytes: &[u8]) -> Result<EventBundle, DecodeError> {
         return Err(DecodeError::Corrupt);
     }
     Ok(EventBundle { runs })
-}
-
-fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
-    if input.len() < n {
-        return Err(DecodeError::UnexpectedEof);
-    }
-    let (head, rest) = input.split_at(n);
-    *input = rest;
-    Ok(head)
 }
 
 #[cfg(test)]

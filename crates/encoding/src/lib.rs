@@ -25,6 +25,7 @@
 mod bundle_wire;
 mod comparisons;
 mod crc;
+mod digest_wire;
 mod event_graph;
 pub mod lz4;
 pub mod varint;
@@ -32,5 +33,9 @@ pub mod varint;
 pub use bundle_wire::{decode_bundle, encode_bundle};
 pub use comparisons::{encode_crdt_state, encode_verbose, verbose_event_count};
 pub use crc::crc32;
+pub use digest_wire::{
+    decode_bundle_batch, decode_digest, encode_bundle_batch, encode_digest, BUNDLE_BATCH_MAGIC,
+    DIGEST_MAGIC,
+};
 pub use event_graph::{decode, decode_cached_doc_only, encode, Decoded, EncodeOpts};
 pub use varint::DecodeError;

@@ -84,6 +84,17 @@ pub fn read_i64(input: &mut &[u8]) -> Result<i64, DecodeError> {
     Ok(((raw >> 1) as i64) ^ -((raw & 1) as i64))
 }
 
+/// Takes the next `n` raw bytes, advancing `input` (shared by the wire
+/// codecs for length-prefixed fields).
+pub fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
+    if input.len() < n {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let (head, rest) = input.split_at(n);
+    *input = rest;
+    Ok(head)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

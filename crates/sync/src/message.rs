@@ -1,0 +1,105 @@
+//! [`Message`]: what the sync engine puts on the wire.
+//!
+//! Exactly two message kinds exist, both framed by `eg-encoding` with
+//! magic + CRC so a transport can carry them as opaque bytes:
+//!
+//! * [`Message::Digest`] — per-document frontier digests, the compact
+//!   "what I have" probe of batched anti-entropy;
+//! * [`Message::Bundles`] — per-document event bundles, the coalesced
+//!   payload of an outbox flush or a digest repair.
+
+use crate::replica::DocId;
+use eg_dag::RemoteId;
+use eg_encoding::varint::DecodeError;
+use eg_encoding::{
+    decode_bundle_batch, decode_digest, encode_bundle_batch, encode_digest, BUNDLE_BATCH_MAGIC,
+    DIGEST_MAGIC,
+};
+use egwalker::EventBundle;
+
+/// One sync-engine message, as carried (encoded) by a
+/// [`crate::Transport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Per-document frontier digests: the sender's whole shard space in
+    /// network form.
+    Digest(Vec<(DocId, Vec<RemoteId>)>),
+    /// Batched per-document event bundles.
+    Bundles(Vec<(DocId, EventBundle)>),
+}
+
+impl Message {
+    /// Serialises the message for a transport.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Message::Digest(docs) => {
+                let raw: Vec<(u64, Vec<RemoteId>)> =
+                    docs.iter().map(|(d, v)| (d.0, v.clone())).collect();
+                encode_digest(&raw)
+            }
+            Message::Bundles(docs) => {
+                let raw: Vec<(u64, EventBundle)> =
+                    docs.iter().map(|(d, b)| (d.0, b.clone())).collect();
+                encode_bundle_batch(&raw)
+            }
+        }
+    }
+
+    /// Deserialises a message, dispatching on the frame magic.
+    pub fn decode(bytes: &[u8]) -> Result<Message, DecodeError> {
+        match bytes.get(..4) {
+            Some(magic) if magic == DIGEST_MAGIC => Ok(Message::Digest(
+                decode_digest(bytes)?
+                    .into_iter()
+                    .map(|(d, v)| (DocId(d), v))
+                    .collect(),
+            )),
+            Some(magic) if magic == BUNDLE_BATCH_MAGIC => Ok(Message::Bundles(
+                decode_bundle_batch(bytes)?
+                    .into_iter()
+                    .map(|(d, b)| (DocId(d), b))
+                    .collect(),
+            )),
+            _ => Err(DecodeError::BadMagic),
+        }
+    }
+
+    /// Returns `true` for [`Message::Digest`].
+    pub fn is_digest(&self) -> bool {
+        matches!(self, Message::Digest(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::Replica;
+
+    #[test]
+    fn digest_message_roundtrips() {
+        let mut r = Replica::new("alice");
+        r.insert_doc(DocId(1), 0, "a");
+        r.insert_doc(DocId(2), 0, "b");
+        let msg = Message::Digest(r.digest_all());
+        let decoded = Message::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+        assert!(decoded.is_digest());
+    }
+
+    #[test]
+    fn bundles_message_roundtrips() {
+        let mut r = Replica::new("alice");
+        let b1 = r.insert_doc(DocId(1), 0, "alpha");
+        let b2 = r.insert_doc(DocId(9), 0, "beta");
+        let msg = Message::Bundles(vec![(DocId(1), b1), (DocId(9), b2)]);
+        let decoded = Message::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+        assert!(!decoded.is_digest());
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(Message::decode(b"nonsense").is_err());
+        assert!(Message::decode(b"").is_err());
+    }
+}

@@ -1,104 +1,172 @@
-//! [`NetworkSim`]: a deterministic discrete-event network connecting
-//! replicas.
+//! [`NetworkSim`]: the deterministic sync engine driving replicas over a
+//! pluggable [`Transport`] and [`Topology`].
 //!
-//! Broadcast bundles travel as encoded bytes (exercising the wire codec)
-//! through per-link queues with seeded random delay and loss. Lost
-//! messages are repaired by anti-entropy: digest exchange followed by a
-//! delta bundle, which is the "detects and retransmits lost messages" half
-//! of the paper's reliable-broadcast assumption (§2.1).
+//! The engine owns the *policy-free* mechanics: applying local edits,
+//! flushing per-link [`Outbox`]es on a cadence, decoding deliveries,
+//! causal ingestion, relay marking, digest-based repair, and convergence
+//! detection. Everything shape-specific (who links to whom, who relays,
+//! who probes whom) lives behind the [`Topology`] trait, and everything
+//! medium-specific (delay, loss, ordering) behind [`Transport`] — so the
+//! simulated network is one configuration of the engine rather than its
+//! architecture.
+//!
+//! Determinism: every run is a pure function of the seed, the
+//! configuration and the edit script, which makes convergence failures
+//! replayable.
 
-use crate::replica::Replica;
-use eg_encoding::{decode_bundle, encode_bundle};
-use egwalker::EventBundle;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::message::Message;
+use crate::outbox::Outbox;
+use crate::replica::{DocId, ReceiveOutcome, Replica};
+use crate::topology::{Mesh, Star, Topology};
+use crate::transport::{InMemoryTransport, LinkConfig, NodeId, SendOutcome, Tick, Transport};
+use std::collections::{BTreeSet, HashMap};
 
-/// Behaviour of every link in the simulated network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LinkConfig {
-    /// Minimum delivery delay, in ticks.
-    pub min_delay: u64,
-    /// Maximum delivery delay, in ticks (inclusive).
-    pub max_delay: u64,
-    /// Probability of losing a message, in parts per thousand.
-    pub drop_per_mille: u16,
+/// Engine configuration (everything except the topology and the seed).
+///
+/// The default is a full-mesh-style eager configuration: default link
+/// model, `flush_every = 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Link behaviour of the in-memory transport.
+    pub link: LinkConfig,
+    /// Outbox flush cadence in ticks. `0` flushes immediately after every
+    /// local edit and delivery — per-edit eager broadcast, the
+    /// pre-refactor behaviour and the bandwidth baseline. Values > 0
+    /// batch: a link's pending runs coalesce until the next multiple of
+    /// `flush_every`.
+    pub flush_every: u64,
 }
 
-impl Default for LinkConfig {
-    fn default() -> Self {
-        LinkConfig {
-            min_delay: 1,
-            max_delay: 8,
-            drop_per_mille: 0,
+/// Counters for the whole simulation.
+///
+/// Byte counters measure **encoded wire size** — the length of the framed
+/// payload handed to the transport (`eg-encoding`'s bundle-batch and
+/// digest codecs) — counted at send time whether or not the message is
+/// subsequently lost, so topology comparisons report honest bandwidth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the transport.
+    pub sent: usize,
+    /// Messages delivered to a replica.
+    pub delivered: usize,
+    /// Messages lost (lossy link or partition cut).
+    pub dropped: usize,
+    /// Anti-entropy digest probes received and answered.
+    pub syncs: usize,
+    /// Total bytes put on the wire (digests + bundles).
+    pub bytes: usize,
+    /// Bytes spent on digest probes.
+    pub digest_bytes: usize,
+    /// Bytes spent on event-bundle payloads.
+    pub bundle_bytes: usize,
+}
+
+/// A deterministic multi-document sync engine over simulated nodes.
+///
+/// Time advances in integer ticks via [`NetworkSim::tick`]. Local edits
+/// mark per-link outboxes dirty; outboxes flush coalesced bundle batches
+/// on the configured cadence; [`NetworkSim::run_until_quiescent`] drains
+/// the network and runs digest rounds until every reachable component
+/// converges.
+#[derive(Debug)]
+pub struct NetworkSim {
+    replicas: Vec<Replica>,
+    topology: Box<dyn Topology>,
+    transport: Box<dyn Transport>,
+    /// Outboxes of each node, one per topology link.
+    outboxes: Vec<Vec<Outbox>>,
+    cfg: SimConfig,
+    now: Tick,
+    stats: NetStats,
+}
+
+/// Configures and builds a [`NetworkSim`]; see [`NetworkSim::builder`].
+pub struct SimBuilder {
+    names: Vec<String>,
+    seed: u64,
+    cfg: SimConfig,
+    topology: Option<Box<dyn Topology>>,
+}
+
+impl SimBuilder {
+    /// Sets the link model of the in-memory transport.
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.cfg.link = link;
+        self
+    }
+
+    /// Sets the outbox flush cadence (see [`SimConfig::flush_every`]).
+    pub fn flush_every(mut self, ticks: u64) -> Self {
+        self.cfg.flush_every = ticks;
+        self
+    }
+
+    /// Uses a full-mesh topology (the default).
+    pub fn mesh(mut self) -> Self {
+        self.topology = Some(Box::new(Mesh::new(self.names.len())));
+        self
+    }
+
+    /// Uses a star topology with node 0 as the hub.
+    pub fn star(self) -> Self {
+        self.star_hub(0)
+    }
+
+    /// Uses a star topology with an explicit hub.
+    pub fn star_hub(mut self, hub: NodeId) -> Self {
+        self.topology = Some(Box::new(Star::new(self.names.len(), hub)));
+        self
+    }
+
+    /// Uses a custom [`Topology`] implementation.
+    pub fn topology(mut self, topology: Box<dyn Topology>) -> Self {
+        assert_eq!(
+            topology.len(),
+            self.names.len(),
+            "topology size must match the replica count"
+        );
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> NetworkSim {
+        let n = self.names.len();
+        let topology = self.topology.unwrap_or_else(|| Box::new(Mesh::new(n)));
+        let outboxes = (0..n)
+            .map(|i| topology.links(i).into_iter().map(Outbox::new).collect())
+            .collect();
+        NetworkSim {
+            replicas: self.names.iter().map(|s| Replica::new(s)).collect(),
+            topology,
+            transport: Box::new(InMemoryTransport::new(self.cfg.link, self.seed)),
+            outboxes,
+            cfg: self.cfg,
+            now: 0,
+            stats: NetStats::default(),
         }
     }
 }
 
-/// Counters for the whole simulation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct NetStats {
-    /// Broadcast messages enqueued.
-    pub sent: usize,
-    /// Messages delivered to a replica.
-    pub delivered: usize,
-    /// Messages dropped by the lossy link.
-    pub dropped: usize,
-    /// Anti-entropy exchanges performed.
-    pub syncs: usize,
-    /// Total bytes moved (broadcast payloads only).
-    pub bytes: usize,
-}
-
-#[derive(Debug, Clone)]
-struct InFlight {
-    deliver_at: u64,
-    /// Tie-break so equal-time messages deliver in send order.
-    seq: u64,
-    src: usize,
-    dst: usize,
-    payload: Vec<u8>,
-}
-
-/// A deterministic in-memory network of [`Replica`]s.
-///
-/// Time advances in integer ticks via [`NetworkSim::tick`]. Local edits
-/// broadcast a bundle to every peer reachable under the current partition;
-/// each message independently samples a delay and a drop from the seeded
-/// RNG. [`NetworkSim::run_until_quiescent`] then drains the network,
-/// running anti-entropy rounds to repair drops and partitions.
-#[derive(Debug)]
-pub struct NetworkSim {
-    replicas: Vec<Replica>,
-    in_flight: Vec<InFlight>,
-    now: u64,
-    next_seq: u64,
-    rng: StdRng,
-    link: LinkConfig,
-    /// Partition group of each replica; messages cross groups only when
-    /// the network is healed.
-    group: Vec<u32>,
-    stats: NetStats,
-}
-
 impl NetworkSim {
-    /// Creates a fully connected network of empty replicas.
+    /// Creates a fully connected eager-broadcast network of empty
+    /// replicas (the classic configuration).
     pub fn new(names: &[&str], seed: u64) -> Self {
-        Self::with_link(names, seed, LinkConfig::default())
+        Self::builder(names, seed).build()
     }
 
     /// [`NetworkSim::new`] with an explicit link model.
     pub fn with_link(names: &[&str], seed: u64, link: LinkConfig) -> Self {
-        assert!(link.min_delay <= link.max_delay, "invalid delay range");
-        assert!(link.drop_per_mille <= 1000, "invalid drop probability");
-        NetworkSim {
-            replicas: names.iter().map(|n| Replica::new(n)).collect(),
-            in_flight: Vec::new(),
-            now: 0,
-            next_seq: 0,
-            rng: StdRng::seed_from_u64(seed),
-            link,
-            group: vec![0; names.len()],
-            stats: NetStats::default(),
+        Self::builder(names, seed).link(link).build()
+    }
+
+    /// Starts configuring an engine: topology, link model, flush cadence.
+    pub fn builder(names: &[&str], seed: u64) -> SimBuilder {
+        SimBuilder {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            seed,
+            cfg: SimConfig::default(),
+            topology: None,
         }
     }
 
@@ -118,7 +186,7 @@ impl NetworkSim {
     }
 
     /// The current simulation time, in ticks.
-    pub fn now(&self) -> u64 {
+    pub fn now(&self) -> Tick {
         self.now
     }
 
@@ -127,139 +195,118 @@ impl NetworkSim {
         self.stats
     }
 
-    /// Inserts text at replica `i` and broadcasts the resulting bundle.
-    pub fn edit_insert(&mut self, i: usize, pos: usize, text: &str) {
-        let bundle = self.replicas[i].insert(pos, text);
-        self.broadcast(i, &bundle);
+    /// Inserts text in the default document at replica `i`.
+    pub fn edit_insert(&mut self, i: NodeId, pos: usize, text: &str) {
+        self.edit_insert_doc(i, DocId::DEFAULT, pos, text);
     }
 
-    /// Deletes characters at replica `i` and broadcasts the resulting
-    /// bundle.
-    pub fn edit_delete(&mut self, i: usize, pos: usize, len: usize) {
-        let bundle = self.replicas[i].delete(pos, len);
-        self.broadcast(i, &bundle);
+    /// Deletes characters from the default document at replica `i`.
+    pub fn edit_delete(&mut self, i: NodeId, pos: usize, len: usize) {
+        self.edit_delete_doc(i, DocId::DEFAULT, pos, len);
     }
 
-    /// Splits the network: replicas in different groups stop exchanging
-    /// messages (in-flight messages crossing the new boundary are lost).
-    ///
-    /// `groups` assigns each listed replica to one group; unlisted replicas
-    /// keep group 0.
-    pub fn partition(&mut self, groups: &[&[usize]]) {
-        for g in self.group.iter_mut() {
-            *g = 0;
+    /// Inserts text in document `doc` at replica `i`, queueing the new
+    /// events for replication.
+    pub fn edit_insert_doc(&mut self, i: NodeId, doc: DocId, pos: usize, text: &str) {
+        self.replicas[i].insert_doc(doc, pos, text);
+        self.mark_relays(i, doc, None);
+        if self.cfg.flush_every == 0 {
+            self.flush_node(i);
         }
-        for (gi, members) in groups.iter().enumerate() {
-            for &m in *members {
-                self.group[m] = gi as u32;
-            }
-        }
-        // Messages already in flight across the new boundary are lost — a
-        // partition severs links mid-delivery. Anti-entropy repairs this
-        // after healing.
-        let group = &self.group;
-        let before = self.in_flight.len();
-        self.in_flight.retain(|m| group[m.src] == group[m.dst]);
-        self.stats.dropped += before - self.in_flight.len();
     }
 
-    /// Heals all partitions. Anti-entropy (in
-    /// [`NetworkSim::run_until_quiescent`]) then reconciles the groups.
+    /// Deletes `len` characters from document `doc` at replica `i`,
+    /// queueing the new events for replication.
+    pub fn edit_delete_doc(&mut self, i: NodeId, doc: DocId, pos: usize, len: usize) {
+        self.replicas[i].delete_doc(doc, pos, len);
+        self.mark_relays(i, doc, None);
+        if self.cfg.flush_every == 0 {
+            self.flush_node(i);
+        }
+    }
+
+    /// Splits the network into partition groups (see
+    /// [`Topology::set_partition`]); in-flight messages crossing a new
+    /// boundary are lost, as a partition severs links mid-delivery.
+    /// Anti-entropy repairs this after healing.
+    pub fn partition(&mut self, groups: &[&[NodeId]]) {
+        self.topology.set_partition(groups);
+        let Self {
+            topology,
+            transport,
+            stats,
+            ..
+        } = self;
+        stats.dropped += transport.cut(&mut |src, dst| !topology.linked(src, dst));
+    }
+
+    /// Heals all partitions. Pending outboxes and anti-entropy (in
+    /// [`NetworkSim::run_until_quiescent`]) then reconcile the groups.
     pub fn heal(&mut self) {
-        for g in self.group.iter_mut() {
-            *g = 0;
-        }
+        self.topology.heal();
     }
 
-    /// Sends `bundle` from replica `src` to every peer in the same
-    /// partition group, with per-message delay and loss.
-    pub fn broadcast(&mut self, src: usize, bundle: &EventBundle) {
-        if bundle.is_empty() {
-            return;
-        }
-        let payload = encode_bundle(bundle);
-        for dst in 0..self.replicas.len() {
-            if dst == src || self.group[dst] != self.group[src] {
-                continue;
-            }
-            self.stats.sent += 1;
-            if self.link.drop_per_mille > 0
-                && self.rng.gen_range(0..1000u32) < self.link.drop_per_mille as u32
-            {
-                self.stats.dropped += 1;
-                continue;
-            }
-            let delay = self
-                .rng
-                .gen_range(self.link.min_delay..=self.link.max_delay);
-            self.stats.bytes += payload.len();
-            self.in_flight.push(InFlight {
-                deliver_at: self.now + delay,
-                seq: self.next_seq,
-                src,
-                dst,
-                payload: payload.clone(),
-            });
-            self.next_seq += 1;
-        }
-    }
-
-    /// Advances time by one tick, delivering every message that is due.
+    /// Advances time by one tick: flushes outboxes that are due, then
+    /// delivers every message whose delay has elapsed.
     pub fn tick(&mut self) {
         self.now += 1;
-        let now = self.now;
-        let mut due: Vec<InFlight> = Vec::new();
-        self.in_flight.retain(|m| {
-            if m.deliver_at <= now {
-                due.push(m.clone());
-                false
-            } else {
-                true
-            }
-        });
-        due.sort_by_key(|m| (m.deliver_at, m.seq));
-        for m in due {
+        if self.cfg.flush_every > 0 && self.now % self.cfg.flush_every == 0 {
+            self.flush_all();
+        }
+        for d in self.transport.poll(self.now) {
             self.stats.delivered += 1;
-            match decode_bundle(&m.payload) {
-                Ok(bundle) => {
-                    self.replicas[m.dst].receive(&bundle);
+            let msg = Message::decode(&d.payload).expect("simulator does not corrupt payloads");
+            self.deliver(d.src, d.dst, msg);
+        }
+        if self.cfg.flush_every == 0 {
+            // Eager mode: relays (e.g. a star hub forwarding what it just
+            // received) go out on the same tick.
+            self.flush_all();
+        }
+    }
+
+    /// Drains the network: ticks until nothing is in flight and no outbox
+    /// is pending, then runs digest-exchange rounds until every reachable
+    /// component converges.
+    ///
+    /// Returns `true` on convergence, `false` if `max_ticks` elapsed
+    /// first (which indicates a bug — convergence is guaranteed once
+    /// delivery is repaired).
+    pub fn run_until_quiescent(&mut self, max_ticks: u64) -> bool {
+        let deadline = self.now + max_ticks;
+        let mut round = 0usize;
+        loop {
+            if self.transport.in_flight() == 0 {
+                self.flush_all();
+                if self.transport.in_flight() == 0 {
+                    // Nothing left to say spontaneously: check, then probe.
+                    if self.all_converged() {
+                        return true;
+                    }
+                    if self.now >= deadline {
+                        return false;
+                    }
+                    self.digest_round(round);
+                    round += 1;
                 }
-                Err(_) => unreachable!("simulator does not corrupt payloads"),
             }
+            if self.now >= deadline {
+                return false;
+            }
+            self.tick();
         }
     }
 
-    /// One anti-entropy exchange between replicas `i` and `j` (both
-    /// directions, immediate — this models a reliable repair channel).
-    pub fn sync_pair(&mut self, i: usize, j: usize) {
-        if self.group[i] != self.group[j] {
-            return;
-        }
-        self.stats.syncs += 1;
-        let delta_ij = self.replicas[i].bundle_since(&self.replicas[j].digest());
-        if !delta_ij.is_empty() {
-            let wire = encode_bundle(&delta_ij);
-            self.stats.bytes += wire.len();
-            let decoded = decode_bundle(&wire).expect("self-encoded bundle");
-            self.replicas[j].receive(&decoded);
-        }
-        let delta_ji = self.replicas[j].bundle_since(&self.replicas[i].digest());
-        if !delta_ji.is_empty() {
-            let wire = encode_bundle(&delta_ji);
-            self.stats.bytes += wire.len();
-            let decoded = decode_bundle(&wire).expect("self-encoded bundle");
-            self.replicas[i].receive(&decoded);
-        }
-    }
-
-    /// Returns `true` if every pair of replicas in the same group has the
-    /// same events and text.
+    /// Returns `true` if every pair of replicas that can currently reach
+    /// each other (directly or through relays) has the same events and
+    /// text in every document.
     pub fn all_converged(&self) -> bool {
-        for i in 0..self.replicas.len() {
-            for j in (i + 1)..self.replicas.len() {
-                if self.group[i] == self.group[j]
-                    && !self.replicas[i].converged_with(&self.replicas[j])
-                {
+        let n = self.replicas.len();
+        let comp = self.components();
+        let snaps: Vec<_> = self.replicas.iter().map(|r| r.snapshot()).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if comp[i] == comp[j] && snaps[i] != snaps[j] {
                     return false;
                 }
             }
@@ -267,33 +314,175 @@ impl NetworkSim {
         true
     }
 
-    /// Drains the network: ticks until no messages are in flight, then
-    /// runs anti-entropy rounds (ring order) until every replica in each
-    /// group converges.
-    ///
-    /// Returns `true` on convergence, `false` if `max_ticks` elapsed first
-    /// (which indicates a bug — convergence is guaranteed once delivery is
-    /// repaired).
-    pub fn run_until_quiescent(&mut self, max_ticks: u64) -> bool {
-        let deadline = self.now + max_ticks;
-        while !self.in_flight.is_empty() {
-            if self.now >= deadline {
-                return false;
-            }
-            self.tick();
-        }
-        // Repair losses and causal stalls: each round syncs the ring
-        // 0→1→…→n−1→0. Information spreads to everyone within two rounds.
+    /// Connected components of the current link graph (partition- and
+    /// topology-aware): the units within which convergence is required.
+    fn components(&self) -> Vec<usize> {
         let n = self.replicas.len();
-        for _round in 0..n.max(2) {
-            if self.all_converged() {
-                return true;
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0;
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
             }
-            for i in 0..n {
-                self.sync_pair(i, (i + 1) % n);
+            comp[start] = next;
+            let mut queue = vec![start];
+            while let Some(a) = queue.pop() {
+                for b in 0..n {
+                    if comp[b] == usize::MAX && self.topology.linked(a, b) {
+                        comp[b] = next;
+                        queue.push(b);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// Marks the outboxes `node` should propagate `doc` through, per the
+    /// topology's relay rule.
+    fn mark_relays(&mut self, node: NodeId, doc: DocId, from: Option<NodeId>) {
+        for peer in self.topology.relay_targets(node, from) {
+            if let Some(ob) = self.outboxes[node].iter_mut().find(|o| o.peer() == peer) {
+                ob.mark_dirty(doc);
             }
         }
-        self.all_converged()
+    }
+
+    /// Flushes every dirty outbox whose link is currently up.
+    fn flush_all(&mut self) {
+        for node in 0..self.replicas.len() {
+            self.flush_node(node);
+        }
+    }
+
+    /// Flushes `node`'s dirty outboxes (skipping severed links), sending
+    /// one coalesced bundle-batch message per link. Fan-out is cheap:
+    /// outboxes sharing a believed frontier share one graph walk (the
+    /// delta memo), and identical consecutive batches share one encode.
+    fn flush_node(&mut self, node: NodeId) {
+        let mut to_send: Vec<(NodeId, Message)> = Vec::new();
+        {
+            let Self {
+                replicas,
+                outboxes,
+                topology,
+                ..
+            } = self;
+            let replica = &replicas[node];
+            let mut deltas = HashMap::new();
+            for ob in outboxes[node].iter_mut() {
+                if ob.is_clean() || !topology.linked(node, ob.peer()) {
+                    continue;
+                }
+                if let Some(docs) = ob.flush_cached(replica, &mut deltas) {
+                    to_send.push((ob.peer(), Message::Bundles(docs)));
+                }
+            }
+        }
+        let mut encoded: Option<(usize, Vec<u8>)> = None;
+        for i in 0..to_send.len() {
+            let (peer, msg) = &to_send[i];
+            let payload = match &encoded {
+                Some((j, bytes)) if to_send[*j].1 == *msg => bytes.clone(),
+                _ => {
+                    let bytes = msg.encode();
+                    encoded = Some((i, bytes.clone()));
+                    bytes
+                }
+            };
+            self.send_payload(node, *peer, payload, false);
+        }
+    }
+
+    /// One anti-entropy round: the topology's scheduled digest probes.
+    fn digest_round(&mut self, round: usize) {
+        for (i, j) in self.topology.digest_pairs(round) {
+            if !self.topology.linked(i, j) {
+                continue;
+            }
+            let digest = Message::Digest(self.replicas[i].digest_all());
+            self.send_message(i, j, &digest);
+        }
+    }
+
+    /// Encodes and submits one message, updating the wire-size counters.
+    fn send_message(&mut self, src: NodeId, dst: NodeId, msg: &Message) {
+        let payload = msg.encode();
+        self.send_payload(src, dst, payload, msg.is_digest());
+    }
+
+    /// Submits an already-encoded message, updating the wire-size
+    /// counters.
+    fn send_payload(&mut self, src: NodeId, dst: NodeId, payload: Vec<u8>, is_digest: bool) {
+        self.stats.sent += 1;
+        self.stats.bytes += payload.len();
+        if is_digest {
+            self.stats.digest_bytes += payload.len();
+        } else {
+            self.stats.bundle_bytes += payload.len();
+        }
+        if self.transport.send(self.now, src, dst, payload) == SendOutcome::Dropped {
+            self.stats.dropped += 1;
+        }
+    }
+
+    /// Processes one delivered message at `dst`.
+    fn deliver(&mut self, src: NodeId, dst: NodeId, msg: Message) {
+        match msg {
+            Message::Bundles(docs) => {
+                for (doc, bundle) in &docs {
+                    let outcome = self.replicas[dst].receive_doc(*doc, bundle);
+                    if matches!(outcome, ReceiveOutcome::Applied(_)) {
+                        self.mark_relays(dst, *doc, Some(src));
+                    }
+                }
+            }
+            Message::Digest(docs) => {
+                self.stats.syncs += 1;
+                // Does the probe mention events we have never seen? Then
+                // the sender is ahead of us too: answer with our own
+                // digest so it pushes the difference back.
+                let behind = {
+                    let replica = &self.replicas[dst];
+                    docs.iter()
+                        .any(|(doc, ver)| ver.iter().any(|id| !replica.knows_remote(*doc, id)))
+                };
+                // Reset the reverse outbox to the digest's ground truth and
+                // flush it immediately: the reply is exactly the peer's gap,
+                // including documents its digest does not mention at all.
+                let mentioned: BTreeSet<DocId> = docs.iter().map(|(d, _)| *d).collect();
+                let reply = {
+                    let Self {
+                        replicas, outboxes, ..
+                    } = self;
+                    let replica = &replicas[dst];
+                    outboxes[dst]
+                        .iter_mut()
+                        .find(|o| o.peer() == src)
+                        .and_then(|ob| {
+                            for (doc, ver) in &docs {
+                                ob.observe_digest(replica, *doc, ver);
+                                ob.mark_dirty(*doc);
+                            }
+                            for doc in replica.doc_ids() {
+                                if !mentioned.contains(&doc) {
+                                    ob.observe_digest(replica, doc, &[]);
+                                    ob.mark_dirty(doc);
+                                }
+                            }
+                            ob.flush(replica)
+                        })
+                };
+                if let Some(docs_out) = reply {
+                    self.send_message(dst, src, &Message::Bundles(docs_out));
+                }
+                if behind {
+                    let mine = Message::Digest(self.replicas[dst].digest_all());
+                    self.send_message(dst, src, &mine);
+                }
+            }
+        }
     }
 }
 
@@ -376,5 +565,71 @@ mod tests {
             net.replica(0).text()
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn batched_outboxes_send_fewer_messages_than_eager() {
+        let script = |net: &mut NetworkSim| {
+            for i in 0..12 {
+                let len = net.replica(0).len_chars();
+                net.edit_insert(0, len, "word ");
+                net.edit_insert(1, 0, "x");
+                if i % 3 == 0 {
+                    net.tick();
+                }
+            }
+            assert!(net.run_until_quiescent(10_000));
+        };
+        let mut eager = NetworkSim::new(&["a", "b", "c"], 11);
+        script(&mut eager);
+        let mut batched = NetworkSim::builder(&["a", "b", "c"], 11)
+            .flush_every(4)
+            .build();
+        script(&mut batched);
+        assert_eq!(eager.replica(0).text(), batched.replica(0).text());
+        assert!(
+            batched.stats().sent < eager.stats().sent,
+            "batched {} vs eager {}",
+            batched.stats().sent,
+            eager.stats().sent
+        );
+        assert!(
+            batched.stats().bytes < eager.stats().bytes,
+            "batched {} vs eager {} bytes",
+            batched.stats().bytes,
+            eager.stats().bytes
+        );
+    }
+
+    #[test]
+    fn byte_accounting_splits_digest_and_bundle_traffic() {
+        let link = LinkConfig {
+            min_delay: 1,
+            max_delay: 4,
+            drop_per_mille: 350,
+        };
+        let mut net = NetworkSim::with_link(&["a", "b", "c"], 1234, link);
+        for i in 0..20 {
+            net.edit_insert(i % 3, 0, "abc");
+        }
+        assert!(net.run_until_quiescent(10_000));
+        let s = net.stats();
+        assert_eq!(s.bytes, s.digest_bytes + s.bundle_bytes);
+        assert!(s.bundle_bytes > 0);
+        // The lossy run must have needed digest repair.
+        assert!(s.syncs > 0);
+        assert!(s.digest_bytes > 0);
+    }
+
+    #[test]
+    fn multi_doc_edits_replicate_per_shard() {
+        let mut net = NetworkSim::new(&["a", "b"], 5);
+        net.edit_insert_doc(0, DocId(1), 0, "one");
+        net.edit_insert_doc(1, DocId(2), 0, "two");
+        assert!(net.run_until_quiescent(1000));
+        for i in 0..2 {
+            assert_eq!(net.replica(i).text_doc(DocId(1)), "one");
+            assert_eq!(net.replica(i).text_doc(DocId(2)), "two");
+        }
     }
 }

@@ -1,0 +1,154 @@
+//! [`Outbox`]: per-link batched anti-entropy state on the send side.
+//!
+//! The pre-refactor engine broadcast a tiny bundle for *every keystroke*
+//! to *every peer* — O(edits × replicas) messages. An outbox replaces
+//! that: each link tracks, per document, the frontier the sender believes
+//! the peer has, plus a dirty set of documents with unsent knowledge.
+//! Flushing coalesces everything pending across all dirty documents into
+//! one batched message, so a burst of typing travels as one run-length
+//! compressed delta instead of a message per character.
+//!
+//! The believed frontier is *optimistic*: it advances when we flush, even
+//! though the message may still be lost. Digest exchange repairs that —
+//! [`Outbox::observe_digest`] resets the belief to what the peer actually
+//! reports, and the next flush resends exactly the gap.
+
+use crate::replica::{DocId, Replica};
+use crate::transport::NodeId;
+use eg_dag::RemoteId;
+use egwalker::{EventBundle, Frontier};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Send-side delta state for one directed link.
+#[derive(Debug, Clone)]
+pub struct Outbox {
+    peer: NodeId,
+    /// Per document: the local frontier we believe the peer has reached.
+    known: BTreeMap<DocId, Frontier>,
+    /// Documents with local knowledge the peer (as far as we believe)
+    /// lacks.
+    dirty: BTreeSet<DocId>,
+}
+
+impl Outbox {
+    /// An outbox for the link to `peer`, assuming the peer knows nothing.
+    pub fn new(peer: NodeId) -> Self {
+        Outbox {
+            peer,
+            known: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+        }
+    }
+
+    /// The peer this outbox sends to.
+    pub fn peer(&self) -> NodeId {
+        self.peer
+    }
+
+    /// Records that `doc` gained events the peer may not have.
+    pub fn mark_dirty(&mut self, doc: DocId) {
+        self.dirty.insert(doc);
+    }
+
+    /// Returns `true` if nothing is pending.
+    pub fn is_clean(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// Replaces the believed-known frontier for `doc` with what the peer's
+    /// digest actually reports (ground truth beats optimism).
+    pub fn observe_digest(&mut self, local: &Replica, doc: DocId, version: &[RemoteId]) {
+        self.known
+            .insert(doc, local.map_remote_frontier(doc, version));
+    }
+
+    /// Coalesces every dirty document's pending events into one batch of
+    /// per-document bundles, advancing the believed frontiers. Returns
+    /// `None` when nothing new needs sending.
+    pub fn flush(&mut self, local: &Replica) -> Option<Vec<(DocId, EventBundle)>> {
+        self.flush_cached(local, &mut HashMap::new())
+    }
+
+    /// [`Outbox::flush`] with a shared delta memo: when a node flushes
+    /// many outboxes whose believed frontiers coincide (the broadcast
+    /// fan-out case), the per-document graph walk runs once instead of
+    /// once per peer.
+    pub fn flush_cached(
+        &mut self,
+        local: &Replica,
+        deltas: &mut HashMap<(DocId, Frontier), EventBundle>,
+    ) -> Option<Vec<(DocId, EventBundle)>> {
+        let mut out = Vec::new();
+        for doc in std::mem::take(&mut self.dirty) {
+            let known = self.known.entry(doc).or_default();
+            let delta = deltas
+                .entry((doc, known.clone()))
+                .or_insert_with(|| local.bundle_since_frontier(doc, known))
+                .clone();
+            *known = local.frontier_doc(doc);
+            if !delta.is_empty() {
+                out.push((doc, delta));
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_coalesces_a_burst_into_one_delta() {
+        let mut alice = Replica::new("alice");
+        let mut ob = Outbox::new(1);
+        for i in 0..10 {
+            alice.insert(i, "x");
+            ob.mark_dirty(DocId::DEFAULT);
+        }
+        let batch = ob.flush(&alice).expect("pending events");
+        assert_eq!(batch.len(), 1);
+        // Ten keystrokes coalesce into one run-compressed bundle.
+        assert_eq!(batch[0].1.num_events(), 10);
+        assert_eq!(batch[0].1.runs.len(), 1);
+        assert!(ob.is_clean());
+        // Nothing new: next flush is empty even if marked dirty again.
+        ob.mark_dirty(DocId::DEFAULT);
+        assert!(ob.flush(&alice).is_none());
+    }
+
+    #[test]
+    fn flush_batches_across_documents() {
+        let mut alice = Replica::new("alice");
+        alice.insert_doc(DocId(1), 0, "one");
+        alice.insert_doc(DocId(2), 0, "two");
+        let mut ob = Outbox::new(1);
+        ob.mark_dirty(DocId(1));
+        ob.mark_dirty(DocId(2));
+        let batch = ob.flush(&alice).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].0, DocId(1));
+        assert_eq!(batch[1].0, DocId(2));
+    }
+
+    #[test]
+    fn observe_digest_rewinds_optimistic_frontier() {
+        let mut alice = Replica::new("alice");
+        alice.insert(0, "hello");
+        let mut ob = Outbox::new(1);
+        ob.mark_dirty(DocId::DEFAULT);
+        // First flush: optimistically assume the peer got it…
+        assert!(ob.flush(&alice).is_some());
+        ob.mark_dirty(DocId::DEFAULT);
+        assert!(ob.flush(&alice).is_none());
+        // …but its digest says it has nothing (message was lost).
+        ob.observe_digest(&alice, DocId::DEFAULT, &[]);
+        ob.mark_dirty(DocId::DEFAULT);
+        let resent = ob.flush(&alice).unwrap();
+        assert_eq!(resent[0].1.num_events(), 5);
+    }
+}

@@ -1,12 +1,40 @@
-//! [`Replica`]: one collaborating device — an oplog, a live document, and
-//! the causal delivery buffer.
+//! [`Replica`]: one collaborating node — a keyed shard space of documents,
+//! each with its own oplog, live branch, and causal delivery buffer.
+//!
+//! The paper's replication model is per-document: an event graph, a
+//! materialised branch, and causal delivery of event bundles (§2.1–2.2).
+//! A real node serves *many* documents at once, so a [`Replica`] hosts a
+//! keyed map of [`DocId`] → document state with per-document frontiers;
+//! digests and bundles are always scoped to one shard. The single-document
+//! methods ([`Replica::insert`], [`Replica::receive`], …) operate on
+//! [`DocId::DEFAULT`] so simple call sites stay simple.
 
 use eg_dag::RemoteId;
-use eg_rle::{DTRange, HasLength};
+use eg_rle::HasLength;
 use egwalker::{Branch, BundleError, EventBundle, Frontier, OpLog};
+use std::collections::BTreeMap;
 
-/// Counters describing a replica's replication behaviour, for tests and
-/// the examples' narration.
+/// Identifies one document in a replica's shard space.
+///
+/// Document ids are global, application-assigned keys (a real deployment
+/// would hash a path or UUID into one); every digest and bundle on the
+/// wire is scoped to a `DocId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DocId(pub u64);
+
+impl DocId {
+    /// The document the single-document convenience APIs operate on.
+    pub const DEFAULT: DocId = DocId(0);
+}
+
+impl std::fmt::Display for DocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "doc{}", self.0)
+    }
+}
+
+/// Counters describing a replica's replication behaviour (summed across
+/// all documents), for tests and the examples' narration.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReplicaStats {
     /// Bundles applied directly on arrival.
@@ -19,7 +47,7 @@ pub struct ReplicaStats {
     pub remote_events: usize,
 }
 
-/// What [`Replica::receive`] did with a bundle.
+/// What [`Replica::receive_doc`] did with a bundle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReceiveOutcome {
     /// The bundle (and possibly previously buffered ones) applied; this many
@@ -33,21 +61,41 @@ pub enum ReceiveOutcome {
     Rejected,
 }
 
-/// One collaborating replica (paper §2.1): the full editing history, the
-/// materialised document, and a buffer of causally premature bundles.
+/// One document's replicated state: the event graph, the materialised
+/// branch, and the causal buffer for out-of-order bundles.
+#[derive(Debug, Clone)]
+struct DocState {
+    /// The event graph and operations (durable state).
+    oplog: OpLog,
+    /// The live document (text + version).
+    branch: Branch,
+    /// Causal buffer: bundles whose parents have not all arrived yet.
+    pending: Vec<EventBundle>,
+}
+
+impl DocState {
+    fn new(agent_name: &str) -> Self {
+        let mut oplog = OpLog::new();
+        oplog.get_or_create_agent(agent_name);
+        DocState {
+            oplog,
+            branch: Branch::new(),
+            pending: Vec::new(),
+        }
+    }
+}
+
+/// One collaborating node (paper §2.1), hosting a shard space of
+/// documents. Each document keeps the full editing history, the
+/// materialised text, and a buffer of causally premature bundles.
 ///
-/// Local edits apply to the rope immediately ("without waiting for a
+/// Local edits apply to the branch immediately ("without waiting for a
 /// network round-trip"); remote bundles are merged through the walker,
 /// which transforms their indexes against any concurrent local edits.
 #[derive(Debug, Clone)]
 pub struct Replica {
     name: String,
-    /// The event graph and operations (durable state).
-    pub oplog: OpLog,
-    /// The live document (text + version).
-    pub doc: Branch,
-    /// Causal buffer: bundles whose parents have not all arrived yet.
-    pending: Vec<EventBundle>,
+    docs: BTreeMap<DocId, DocState>,
     stats: ReplicaStats,
 }
 
@@ -55,13 +103,9 @@ impl Replica {
     /// Creates an empty replica named `name` (the name is its agent ID on
     /// the wire, so it must be unique among collaborators).
     pub fn new(name: &str) -> Self {
-        let mut oplog = OpLog::new();
-        oplog.get_or_create_agent(name);
         Replica {
             name: name.to_string(),
-            oplog,
-            doc: Branch::new(),
-            pending: Vec::new(),
+            docs: BTreeMap::new(),
             stats: ReplicaStats::default(),
         }
     }
@@ -71,97 +115,203 @@ impl Replica {
         &self.name
     }
 
-    /// The current document text.
-    pub fn text(&self) -> String {
-        self.doc.content.to_string()
-    }
-
-    /// The number of characters in the document.
-    pub fn len_chars(&self) -> usize {
-        self.doc.len_chars()
-    }
-
-    /// Replication counters.
+    /// Replication counters, summed across documents.
     pub fn stats(&self) -> ReplicaStats {
         self.stats
     }
 
-    /// The number of bundles waiting in the causal buffer.
-    pub fn pending_len(&self) -> usize {
-        self.pending.len()
+    /// The documents this replica holds at least one event for, in
+    /// ascending id order.
+    pub fn doc_ids(&self) -> Vec<DocId> {
+        self.docs
+            .iter()
+            .filter(|(_, d)| !d.oplog.is_empty())
+            .map(|(&id, _)| id)
+            .collect()
     }
 
-    /// The replica's current version in network form (its digest for
-    /// anti-entropy).
+    fn doc(&self, doc: DocId) -> Option<&DocState> {
+        self.docs.get(&doc)
+    }
+
+    // --- default-document conveniences ----------------------------------
+
+    /// The current text of the default document.
+    pub fn text(&self) -> String {
+        self.text_doc(DocId::DEFAULT)
+    }
+
+    /// The number of characters in the default document.
+    pub fn len_chars(&self) -> usize {
+        self.len_chars_doc(DocId::DEFAULT)
+    }
+
+    /// The default document's digest; see [`Replica::digest_doc`].
     pub fn digest(&self) -> Vec<RemoteId> {
-        self.oplog.remote_version()
+        self.digest_doc(DocId::DEFAULT)
     }
 
-    /// Everything this replica knows that a peer with `digest` is missing.
+    /// Everything the default document knows that a peer with `digest` is
+    /// missing.
     pub fn bundle_since(&self, digest: &[RemoteId]) -> EventBundle {
-        self.oplog.bundle_since(digest)
+        self.bundle_since_doc(DocId::DEFAULT, digest)
     }
 
-    /// Inserts `text` at `pos` in the local document, returning the bundle
-    /// to broadcast.
+    /// Inserts into the default document; see [`Replica::insert_doc`].
+    pub fn insert(&mut self, pos: usize, text: &str) -> EventBundle {
+        self.insert_doc(DocId::DEFAULT, pos, text)
+    }
+
+    /// Deletes from the default document; see [`Replica::delete_doc`].
+    pub fn delete(&mut self, pos: usize, len: usize) -> EventBundle {
+        self.delete_doc(DocId::DEFAULT, pos, len)
+    }
+
+    /// Ingests a bundle for the default document; see
+    /// [`Replica::receive_doc`].
+    pub fn receive(&mut self, bundle: &EventBundle) -> ReceiveOutcome {
+        self.receive_doc(DocId::DEFAULT, bundle)
+    }
+
+    // --- per-document API ------------------------------------------------
+
+    /// The current text of `doc` (empty if the replica has never seen it).
+    pub fn text_doc(&self, doc: DocId) -> String {
+        self.doc(doc)
+            .map(|d| d.branch.content.to_string())
+            .unwrap_or_default()
+    }
+
+    /// The number of characters in `doc`.
+    pub fn len_chars_doc(&self, doc: DocId) -> usize {
+        self.doc(doc).map_or(0, |d| d.branch.len_chars())
+    }
+
+    /// The replica's current version of `doc` in network form (its digest
+    /// for anti-entropy). Empty if the document is unknown.
+    pub fn digest_doc(&self, doc: DocId) -> Vec<RemoteId> {
+        self.doc(doc)
+            .map(|d| d.oplog.remote_version())
+            .unwrap_or_default()
+    }
+
+    /// Digests for every non-empty document, in ascending id order: the
+    /// replica's whole shard space in network form.
+    pub fn digest_all(&self) -> Vec<(DocId, Vec<RemoteId>)> {
+        self.docs
+            .iter()
+            .filter(|(_, d)| !d.oplog.is_empty())
+            .map(|(&id, d)| (id, d.oplog.remote_version()))
+            .collect()
+    }
+
+    /// Everything this replica knows about `doc` that a peer with `digest`
+    /// is missing.
+    pub fn bundle_since_doc(&self, doc: DocId, digest: &[RemoteId]) -> EventBundle {
+        self.doc(doc)
+            .map(|d| d.oplog.bundle_since(digest))
+            .unwrap_or_default()
+    }
+
+    /// [`Replica::bundle_since_doc`] against a *local* frontier, for
+    /// send-side delta tracking (outboxes). The frontier must have been
+    /// produced by this replica's own oplog for `doc`.
+    pub fn bundle_since_frontier(&self, doc: DocId, have: &Frontier) -> EventBundle {
+        self.doc(doc)
+            .map(|d| d.oplog.bundle_since_local(have))
+            .unwrap_or_default()
+    }
+
+    /// The local frontier of `doc` (root if unknown).
+    pub fn frontier_doc(&self, doc: DocId) -> Frontier {
+        self.doc(doc)
+            .map(|d| d.oplog.version().clone())
+            .unwrap_or_else(Frontier::root)
+    }
+
+    /// Reduces a peer-reported remote frontier to this replica's local
+    /// frontier form, dropping ids we have never seen.
+    pub fn map_remote_frontier(&self, doc: DocId, version: &[RemoteId]) -> Frontier {
+        match self.doc(doc) {
+            Some(d) => {
+                let known: Vec<_> = version
+                    .iter()
+                    .filter_map(|id| d.oplog.remote_to_lv(id))
+                    .collect();
+                d.oplog.graph.find_dominators(&known)
+            }
+            None => Frontier::root(),
+        }
+    }
+
+    /// Returns `true` if this replica has the event `id` in `doc`.
+    pub fn knows_remote(&self, doc: DocId, id: &RemoteId) -> bool {
+        self.doc(doc)
+            .is_some_and(|d| d.oplog.remote_to_lv(id).is_some())
+    }
+
+    /// Inserts `text` at `pos` in `doc`, returning the bundle to replicate.
     ///
     /// # Panics
     ///
     /// Panics if `pos` is beyond the end of the document or `text` is
     /// empty.
-    pub fn insert(&mut self, pos: usize, text: &str) -> EventBundle {
-        assert!(pos <= self.doc.len_chars(), "insert out of bounds");
-        let before = self.doc.version.clone();
-        let agent = self.oplog.get_or_create_agent(&self.name);
-        self.oplog.add_insert_at(agent, &before, pos, text);
-        self.doc.merge(&self.oplog);
-        self.local_bundle(&before)
+    pub fn insert_doc(&mut self, doc: DocId, pos: usize, text: &str) -> EventBundle {
+        let Self { name, docs, .. } = self;
+        let d = docs.entry(doc).or_insert_with(|| DocState::new(name));
+        assert!(pos <= d.branch.len_chars(), "insert out of bounds");
+        let before = d.branch.version.clone();
+        let agent = d.oplog.get_or_create_agent(name);
+        d.oplog.add_insert_at(agent, &before, pos, text);
+        d.branch.merge(&d.oplog);
+        d.oplog.bundle_since_local(&before)
     }
 
-    /// Deletes `len` characters at `pos`, returning the bundle to
-    /// broadcast.
+    /// Deletes `len` characters at `pos` in `doc`, returning the bundle to
+    /// replicate.
     ///
     /// # Panics
     ///
     /// Panics if the range is out of bounds or empty.
-    pub fn delete(&mut self, pos: usize, len: usize) -> EventBundle {
-        assert!(pos + len <= self.doc.len_chars(), "delete out of bounds");
-        let before = self.doc.version.clone();
-        let agent = self.oplog.get_or_create_agent(&self.name);
-        self.oplog.add_delete_at(agent, &before, pos, len);
-        self.doc.merge(&self.oplog);
-        self.local_bundle(&before)
+    pub fn delete_doc(&mut self, doc: DocId, pos: usize, len: usize) -> EventBundle {
+        let Self { name, docs, .. } = self;
+        let d = docs.entry(doc).or_insert_with(|| DocState::new(name));
+        assert!(pos + len <= d.branch.len_chars(), "delete out of bounds");
+        let before = d.branch.version.clone();
+        let agent = d.oplog.get_or_create_agent(name);
+        d.oplog.add_delete_at(agent, &before, pos, len);
+        d.branch.merge(&d.oplog);
+        d.oplog.bundle_since_local(&before)
     }
 
-    /// The events between `before` and the current version, as a bundle.
-    fn local_bundle(&self, before: &Frontier) -> EventBundle {
-        self.oplog.bundle_since_local(before)
-    }
-
-    /// Ingests a remote bundle with causal buffering.
+    /// Ingests a remote bundle for `doc` with causal buffering.
     ///
     /// Premature bundles are stashed; each successful application retries
     /// the stash to a fixpoint, so delivery order does not matter as long
     /// as everything arrives eventually.
-    pub fn receive(&mut self, bundle: &EventBundle) -> ReceiveOutcome {
-        match self.try_apply(bundle) {
+    pub fn receive_doc(&mut self, doc: DocId, bundle: &EventBundle) -> ReceiveOutcome {
+        let Self {
+            name, docs, stats, ..
+        } = self;
+        let d = docs.entry(doc).or_insert_with(|| DocState::new(name));
+        match d.oplog.apply_bundle(bundle) {
             Ok(new) if new.is_empty() => {
-                self.stats.duplicates += 1;
+                stats.duplicates += 1;
                 ReceiveOutcome::Duplicate
             }
             Ok(new) => {
-                self.stats.applied_direct += 1;
                 let mut total = new.len();
-                total += self.drain_pending();
-                self.stats.remote_events += total;
-                self.doc.merge(&self.oplog);
+                total += Self::drain_pending(d);
+                d.branch.merge(&d.oplog);
+                stats.applied_direct += 1;
+                stats.remote_events += total;
                 ReceiveOutcome::Applied(total)
             }
             Err(BundleError::MissingParents(_)) => {
-                self.stats.buffered += 1;
+                stats.buffered += 1;
                 // Keep at most one copy of identical bundles.
-                if !self.pending.contains(bundle) {
-                    self.pending.push(bundle.clone());
+                if !d.pending.contains(bundle) {
+                    d.pending.push(bundle.clone());
                 }
                 ReceiveOutcome::Buffered
             }
@@ -169,27 +319,23 @@ impl Replica {
         }
     }
 
-    fn try_apply(&mut self, bundle: &EventBundle) -> Result<DTRange, BundleError> {
-        self.oplog.apply_bundle(bundle)
-    }
-
     /// Retries buffered bundles until none can make progress. Returns the
     /// number of events ingested.
-    fn drain_pending(&mut self) -> usize {
+    fn drain_pending(d: &mut DocState) -> usize {
         let mut total = 0;
         loop {
             let mut progressed = false;
             let mut i = 0;
-            while i < self.pending.len() {
-                match self.oplog.apply_bundle(&self.pending[i].clone()) {
+            while i < d.pending.len() {
+                match d.oplog.apply_bundle(&d.pending[i].clone()) {
                     Ok(new) => {
                         total += new.len();
-                        self.pending.swap_remove(i);
+                        d.pending.swap_remove(i);
                         progressed = true;
                     }
                     Err(BundleError::MissingParents(_)) => i += 1,
                     Err(BundleError::Malformed(_)) => {
-                        self.pending.swap_remove(i);
+                        d.pending.swap_remove(i);
                     }
                 }
             }
@@ -199,14 +345,35 @@ impl Replica {
         }
     }
 
+    /// The number of bundles waiting in causal buffers, across all
+    /// documents.
+    pub fn pending_len(&self) -> usize {
+        self.docs.values().map(|d| d.pending.len()).sum()
+    }
+
+    /// The number of bundles waiting in `doc`'s causal buffer.
+    pub fn pending_len_doc(&self, doc: DocId) -> usize {
+        self.doc(doc).map_or(0, |d| d.pending.len())
+    }
+
+    /// Canonical comparable state: per non-empty document, the sorted
+    /// digest and the text.
+    pub(crate) fn snapshot(&self) -> Vec<(DocId, Vec<RemoteId>, String)> {
+        self.docs
+            .iter()
+            .filter(|(_, d)| !d.oplog.is_empty())
+            .map(|(&id, d)| {
+                let mut digest = d.oplog.remote_version();
+                digest.sort();
+                (id, digest, d.branch.content.to_string())
+            })
+            .collect()
+    }
+
     /// Two-way state comparison: `true` if both replicas have the same
-    /// events and the same text.
+    /// events and the same text in every document either of them holds.
     pub fn converged_with(&self, other: &Replica) -> bool {
-        let mut a = self.digest();
-        let mut b = other.digest();
-        a.sort();
-        b.sort();
-        a == b && self.text() == other.text()
+        self.snapshot() == other.snapshot()
     }
 }
 
@@ -283,5 +450,62 @@ mod tests {
         // Now in sync: the delta is empty.
         assert!(a.bundle_since(&b.digest()).is_empty());
         assert!(b.bundle_since(&a.digest()).is_empty());
+    }
+
+    #[test]
+    fn documents_are_isolated_shards() {
+        let mut r = Replica::new("alice");
+        r.insert_doc(DocId(1), 0, "first doc");
+        r.insert_doc(DocId(2), 0, "second doc");
+        assert_eq!(r.text_doc(DocId(1)), "first doc");
+        assert_eq!(r.text_doc(DocId(2)), "second doc");
+        assert_eq!(r.text_doc(DocId(3)), "");
+        assert_eq!(r.doc_ids(), vec![DocId(1), DocId(2)]);
+        // Digests are scoped per shard.
+        assert_eq!(r.digest_doc(DocId(1)).len(), 1);
+        assert!(r.digest_doc(DocId(3)).is_empty());
+        assert_ne!(r.digest_doc(DocId(1)), r.digest_doc(DocId(2)));
+    }
+
+    #[test]
+    fn per_doc_exchange_converges_independently() {
+        let mut a = Replica::new("alice");
+        let mut b = Replica::new("bob");
+        let d1 = DocId(10);
+        let d2 = DocId(20);
+        let b1 = a.insert_doc(d1, 0, "alpha");
+        let b2 = b.insert_doc(d2, 0, "beta");
+        // Cross-deliver: each side learns the other's document.
+        assert!(matches!(b.receive_doc(d1, &b1), ReceiveOutcome::Applied(5)));
+        assert!(matches!(a.receive_doc(d2, &b2), ReceiveOutcome::Applied(4)));
+        assert!(a.converged_with(&b));
+        assert_eq!(a.text_doc(d2), "beta");
+        assert_eq!(b.text_doc(d1), "alpha");
+    }
+
+    #[test]
+    fn converged_compares_whole_shard_space() {
+        let mut a = Replica::new("alice");
+        let mut b = Replica::new("bob");
+        let bundle = a.insert_doc(DocId(5), 0, "only in a");
+        assert!(!a.converged_with(&b));
+        b.receive_doc(DocId(5), &bundle);
+        assert!(a.converged_with(&b));
+        // A doc id mismatch is divergence even with identical content.
+        let c5 = a.insert_doc(DocId(6), 0, "z");
+        b.receive_doc(DocId(7), &c5);
+        assert!(!a.converged_with(&b));
+    }
+
+    #[test]
+    fn digest_all_lists_every_shard() {
+        let mut r = Replica::new("alice");
+        r.insert_doc(DocId(2), 0, "two");
+        r.insert_doc(DocId(9), 0, "nine");
+        let all = r.digest_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, DocId(2));
+        assert_eq!(all[1].0, DocId(9));
+        assert!(all.iter().all(|(_, v)| !v.is_empty()));
     }
 }

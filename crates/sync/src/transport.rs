@@ -1,0 +1,246 @@
+//! The [`Transport`] seam: how encoded sync messages move between nodes.
+//!
+//! The sync engine never touches a socket or a queue directly — it hands
+//! opaque payload bytes to a [`Transport`] and polls deliveries back out.
+//! [`InMemoryTransport`] is the deterministic simulated implementation
+//! (per-message random delay, probabilistic loss, reordering); a real
+//! deployment would implement the same four methods over TCP, QUIC, or a
+//! message broker without the engine changing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Index of a node in the sync engine (position in the replica vector).
+pub type NodeId = usize;
+
+/// Simulated time, in integer ticks.
+pub type Tick = u64;
+
+/// Behaviour of every link in the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Minimum delivery delay, in ticks.
+    pub min_delay: u64,
+    /// Maximum delivery delay, in ticks (inclusive).
+    pub max_delay: u64,
+    /// Probability of losing a message, in parts per thousand.
+    pub drop_per_mille: u16,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            min_delay: 1,
+            max_delay: 8,
+            drop_per_mille: 0,
+        }
+    }
+}
+
+/// A message handed back by [`Transport::poll`].
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// The sending node.
+    pub src: NodeId,
+    /// The receiving node.
+    pub dst: NodeId,
+    /// The encoded message.
+    pub payload: Vec<u8>,
+}
+
+/// What a transport did with a submitted message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message is in flight and will be delivered by a later poll.
+    Queued,
+    /// The message was lost at send time (lossy link).
+    Dropped,
+}
+
+/// Point-to-point movement of encoded messages between nodes.
+///
+/// Implementations own delay, loss, and ordering; the engine owns what to
+/// send and what delivery means. All methods must be deterministic given
+/// the construction seed.
+pub trait Transport: std::fmt::Debug {
+    /// Hands a payload to the network at time `now`.
+    fn send(&mut self, now: Tick, src: NodeId, dst: NodeId, payload: Vec<u8>) -> SendOutcome;
+
+    /// Drains every message due at or before `now`, in deterministic
+    /// (delivery time, send order) order.
+    fn poll(&mut self, now: Tick) -> Vec<Delivery>;
+
+    /// The number of messages queued but not yet delivered.
+    fn in_flight(&self) -> usize;
+
+    /// Drops queued messages for which `sever(src, dst)` returns `true`
+    /// (e.g. links cut by a partition), returning how many were lost.
+    fn cut(&mut self, sever: &mut dyn FnMut(NodeId, NodeId) -> bool) -> usize;
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    deliver_at: Tick,
+    /// Tie-break so equal-time messages deliver in send order.
+    seq: u64,
+    src: NodeId,
+    dst: NodeId,
+    payload: Vec<u8>,
+}
+
+/// A deterministic single-process transport: per-message seeded random
+/// delay and loss, which together with the engine's anti-entropy rounds
+/// models the paper's reliable-broadcast assumption (§2.1) over an
+/// unreliable network.
+#[derive(Debug)]
+pub struct InMemoryTransport {
+    link: LinkConfig,
+    rng: StdRng,
+    queue: Vec<InFlight>,
+    next_seq: u64,
+}
+
+impl InMemoryTransport {
+    /// Creates a transport with the given link model and RNG seed.
+    pub fn new(link: LinkConfig, seed: u64) -> Self {
+        assert!(link.min_delay <= link.max_delay, "invalid delay range");
+        assert!(link.drop_per_mille <= 1000, "invalid drop probability");
+        InMemoryTransport {
+            link,
+            rng: StdRng::seed_from_u64(seed),
+            queue: Vec::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn send(&mut self, now: Tick, src: NodeId, dst: NodeId, payload: Vec<u8>) -> SendOutcome {
+        if self.link.drop_per_mille > 0
+            && self.rng.gen_range(0..1000u32) < self.link.drop_per_mille as u32
+        {
+            return SendOutcome::Dropped;
+        }
+        let delay = self
+            .rng
+            .gen_range(self.link.min_delay..=self.link.max_delay);
+        self.queue.push(InFlight {
+            deliver_at: now + delay,
+            seq: self.next_seq,
+            src,
+            dst,
+            payload,
+        });
+        self.next_seq += 1;
+        SendOutcome::Queued
+    }
+
+    fn poll(&mut self, now: Tick) -> Vec<Delivery> {
+        let mut due: Vec<InFlight> = Vec::new();
+        self.queue.retain(|m| {
+            if m.deliver_at <= now {
+                due.push(m.clone());
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|m| (m.deliver_at, m.seq));
+        due.into_iter()
+            .map(|m| Delivery {
+                src: m.src,
+                dst: m.dst,
+                payload: m.payload,
+            })
+            .collect()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn cut(&mut self, sever: &mut dyn FnMut(NodeId, NodeId) -> bool) -> usize {
+        let before = self.queue.len();
+        self.queue.retain(|m| !sever(m.src, m.dst));
+        before - self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossless() -> InMemoryTransport {
+        InMemoryTransport::new(
+            LinkConfig {
+                min_delay: 1,
+                max_delay: 4,
+                drop_per_mille: 0,
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn delivers_within_delay_bounds() {
+        let mut t = lossless();
+        t.send(0, 0, 1, vec![1]);
+        t.send(0, 0, 2, vec![2]);
+        assert_eq!(t.in_flight(), 2);
+        let mut got = 0;
+        for now in 1..=4 {
+            got += t.poll(now).len();
+        }
+        assert_eq!(got, 2);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn equal_time_messages_deliver_in_send_order() {
+        let mut t = InMemoryTransport::new(
+            LinkConfig {
+                min_delay: 2,
+                max_delay: 2,
+                drop_per_mille: 0,
+            },
+            1,
+        );
+        for i in 0..10u8 {
+            t.send(0, 0, 1, vec![i]);
+        }
+        let due = t.poll(2);
+        let order: Vec<u8> = due.iter().map(|d| d.payload[0]).collect();
+        assert_eq!(order, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn lossy_link_drops_deterministically() {
+        let run = |seed| {
+            let mut t = InMemoryTransport::new(
+                LinkConfig {
+                    min_delay: 1,
+                    max_delay: 1,
+                    drop_per_mille: 500,
+                },
+                seed,
+            );
+            (0..100)
+                .filter(|_| t.send(0, 0, 1, vec![]) == SendOutcome::Dropped)
+                .count()
+        };
+        assert_eq!(run(42), run(42));
+        let dropped = run(42);
+        assert!((20..80).contains(&dropped), "drops wildly off: {dropped}");
+    }
+
+    #[test]
+    fn cut_severs_matching_messages() {
+        let mut t = lossless();
+        t.send(0, 0, 1, vec![]);
+        t.send(0, 1, 2, vec![]);
+        t.send(0, 2, 0, vec![]);
+        let lost = t.cut(&mut |src, _| src == 0);
+        assert_eq!(lost, 1);
+        assert_eq!(t.in_flight(), 2);
+    }
+}

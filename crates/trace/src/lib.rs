@@ -16,13 +16,18 @@
 //!   with latency, git-style asynchronous branching);
 //! * [`stats`] — Table 1 statistics computed from any oplog;
 //! * [`json`] — (de)serialisation of traces in a simple JSON format
-//!   modelled on the `editing-traces` repository's concurrent format.
+//!   modelled on the `editing-traces` repository's concurrent format;
+//! * [`workload`] — multi-document sync workloads: deterministic edit
+//!   scripts for driving `eg-sync` topologies (mesh vs star) over many
+//!   nodes and shards.
 
 pub mod gen;
 pub mod json;
 pub mod spec;
 pub mod stats;
+pub mod workload;
 
 pub use gen::generate;
 pub use spec::{builtin_specs, TraceKind, TraceSpec};
 pub use stats::{trace_stats, TraceStats};
+pub use workload::{apply_sync_workload, sync_workload, SyncOp, SyncWorkloadSpec};

@@ -1,0 +1,237 @@
+//! Multi-document sync workloads: deterministic edit scripts for driving
+//! an [`eg_sync::NetworkSim`] across many nodes and document shards.
+//!
+//! The Table 1 generators ([`crate::gen`]) produce one oplog per trace —
+//! the algorithm's input. The sync layer needs something different: a
+//! *script* of node-scoped, document-scoped edits interleaved with time,
+//! so the same workload can be replayed against different topologies
+//! (mesh vs star), flush cadences, and link models and their
+//! bytes-on-wire compared honestly. Positions are carried as raw hints
+//! and reduced modulo the live document length at apply time, so every
+//! edit is valid regardless of how deliveries interleaved.
+
+use eg_sync::{DocId, NetworkSim};
+use egwalker::testgen::SmallRng;
+
+/// Parameters of one sync workload.
+#[derive(Debug, Clone)]
+pub struct SyncWorkloadSpec {
+    /// Number of simulated nodes.
+    pub nodes: usize,
+    /// Number of document shards (ids `0..docs`).
+    pub docs: u64,
+    /// Total editing bursts to generate.
+    pub bursts: usize,
+    /// Characters typed (or deleted) per burst, `(min, max)` inclusive.
+    pub burst_len: (usize, usize),
+    /// Ticks of simulated time between bursts, `(min, max)` inclusive.
+    pub gap_ticks: (u64, u64),
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for SyncWorkloadSpec {
+    fn default() -> Self {
+        SyncWorkloadSpec {
+            nodes: 8,
+            docs: 2,
+            bursts: 64,
+            burst_len: (2, 12),
+            gap_ticks: (0, 3),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// One step of a sync workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncOp {
+    /// Insert `text` in `doc` at node `node`; `at` is reduced modulo the
+    /// live document length at apply time.
+    Insert {
+        /// Editing node.
+        node: usize,
+        /// Target document shard.
+        doc: u64,
+        /// Raw position hint.
+        at: u64,
+        /// Characters to type.
+        text: String,
+    },
+    /// Delete up to `len` characters in `doc` at node `node`.
+    Delete {
+        /// Editing node.
+        node: usize,
+        /// Target document shard.
+        doc: u64,
+        /// Raw position hint.
+        at: u64,
+        /// Characters to delete (clamped to the document).
+        len: usize,
+    },
+    /// Advance simulated time by this many ticks.
+    Ticks(u64),
+}
+
+/// Word-like filler, kept tiny and local (no dependency on the Table 1
+/// babbler so the script shape stays independent of the trace
+/// generators).
+fn babble(rng: &mut SmallRng, n: usize) -> String {
+    const SYLLABLES: &[&str] = &[
+        "ing", "ter", "al", "ed", "es", "re", "tion", "an", "de", "en", "the", "to",
+    ];
+    let mut out = String::with_capacity(n + 4);
+    while out.len() < n {
+        if !out.is_empty() && rng.below(5) == 0 {
+            out.push(' ');
+        }
+        out.push_str(SYLLABLES[rng.below(SYLLABLES.len())]);
+    }
+    out.truncate(n);
+    out
+}
+
+/// Generates a deterministic multi-document edit script.
+///
+/// Bursts model typing: one node picks a (skewed-popularity) document and
+/// types or deletes a run of characters, then time advances. Roughly one
+/// burst in six deletes; everything else inserts.
+pub fn sync_workload(spec: &SyncWorkloadSpec) -> Vec<SyncOp> {
+    assert!(spec.nodes > 0 && spec.docs > 0 && spec.burst_len.0 >= 1);
+    assert!(spec.burst_len.0 <= spec.burst_len.1);
+    assert!(spec.gap_ticks.0 <= spec.gap_ticks.1);
+    let mut rng = SmallRng::new(spec.seed);
+    let mut ops = Vec::with_capacity(spec.bursts * 2);
+    for _ in 0..spec.bursts {
+        let node = rng.below(spec.nodes);
+        // Skew document popularity: min of two draws biases toward low
+        // ids, giving a few hot shards and a long cool tail.
+        let doc = (rng
+            .below(spec.docs as usize)
+            .min(rng.below(spec.docs as usize))) as u64;
+        let len = spec.burst_len.0 + rng.below(spec.burst_len.1 - spec.burst_len.0 + 1);
+        let at = (rng.below(usize::MAX >> 1)) as u64;
+        if rng.below(6) == 0 {
+            ops.push(SyncOp::Delete { node, doc, at, len });
+        } else {
+            let text = babble(&mut rng, len);
+            ops.push(SyncOp::Insert {
+                node,
+                doc,
+                at,
+                text,
+            });
+        }
+        let gap =
+            spec.gap_ticks.0 + rng.below((spec.gap_ticks.1 - spec.gap_ticks.0 + 1) as usize) as u64;
+        if gap > 0 {
+            ops.push(SyncOp::Ticks(gap));
+        }
+    }
+    ops
+}
+
+/// Applies one script step to a sync engine, clamping position hints to
+/// the editing node's live view.
+pub fn apply_sync_op(net: &mut NetworkSim, op: &SyncOp) {
+    match op {
+        SyncOp::Insert {
+            node,
+            doc,
+            at,
+            text,
+        } => {
+            let len = net.replica(*node).len_chars_doc(DocId(*doc));
+            let pos = (*at as usize) % (len + 1);
+            net.edit_insert_doc(*node, DocId(*doc), pos, text);
+        }
+        SyncOp::Delete { node, doc, at, len } => {
+            let doc_len = net.replica(*node).len_chars_doc(DocId(*doc));
+            if doc_len == 0 {
+                return;
+            }
+            let pos = (*at as usize) % doc_len;
+            let n = (*len).min(doc_len - pos);
+            if n > 0 {
+                net.edit_delete_doc(*node, DocId(*doc), pos, n);
+            }
+        }
+        SyncOp::Ticks(n) => {
+            for _ in 0..*n {
+                net.tick();
+            }
+        }
+    }
+}
+
+/// Applies a whole script; see [`apply_sync_op`].
+pub fn apply_sync_workload(net: &mut NetworkSim, ops: &[SyncOp]) {
+    for op in ops {
+        apply_sync_op(net, op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let spec = SyncWorkloadSpec::default();
+        assert_eq!(sync_workload(&spec), sync_workload(&spec));
+        let other = SyncWorkloadSpec {
+            seed: 1,
+            ..spec.clone()
+        };
+        assert_ne!(sync_workload(&spec), sync_workload(&other));
+    }
+
+    #[test]
+    fn workload_respects_bounds() {
+        let spec = SyncWorkloadSpec {
+            nodes: 5,
+            docs: 3,
+            bursts: 200,
+            ..Default::default()
+        };
+        let ops = sync_workload(&spec);
+        let mut edits = 0;
+        for op in &ops {
+            match op {
+                SyncOp::Insert {
+                    node, doc, text, ..
+                } => {
+                    assert!(*node < 5 && *doc < 3);
+                    assert!((2..=12).contains(&text.len()));
+                    edits += 1;
+                }
+                SyncOp::Delete { node, doc, len, .. } => {
+                    assert!(*node < 5 && *doc < 3);
+                    assert!((2..=12).contains(len));
+                    edits += 1;
+                }
+                SyncOp::Ticks(n) => assert!((1..=3).contains(n)),
+            }
+        }
+        assert_eq!(edits, 200);
+    }
+
+    #[test]
+    fn workload_drives_a_sim_to_convergence() {
+        let spec = SyncWorkloadSpec {
+            nodes: 4,
+            docs: 3,
+            bursts: 40,
+            ..Default::default()
+        };
+        let ops = sync_workload(&spec);
+        let names: Vec<String> = (0..4).map(|i| format!("n{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let mut net = NetworkSim::new(&refs, 99);
+        apply_sync_workload(&mut net, &ops);
+        assert!(net.run_until_quiescent(50_000));
+        assert!(net.all_converged());
+        // The hot shard really is multi-writer.
+        assert!(net.replica(0).len_chars_doc(DocId(0)) > 0);
+    }
+}

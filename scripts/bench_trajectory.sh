@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Bench-trajectory capture: run the paper-figure harness binaries at a
+# fixed scale and store their JSON outputs under bench-results/, so runs
+# can be diffed across PRs (ROADMAP "bench trajectory capture").
+#
+# Usage: ./scripts/bench_trajectory.sh            # default EG_SCALE=0.02
+#        EG_SCALE=0.1 ./scripts/bench_trajectory.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${EG_SCALE:-0.02}"
+OUT_DIR="bench-results"
+mkdir -p "$OUT_DIR"
+
+echo "== bench trajectory @ EG_SCALE=$SCALE =="
+EG_SCALE="$SCALE" cargo run --release -q -p eg-bench --bin table1 -- \
+    --json "$OUT_DIR/table1.json"
+EG_SCALE="$SCALE" cargo run --release -q -p eg-bench --bin fig8_timings -- \
+    --json "$OUT_DIR/fig8.json"
+
+echo "== captured =="
+ls -l "$OUT_DIR"/*.json

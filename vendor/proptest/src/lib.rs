@@ -16,10 +16,15 @@
 //!
 //! Differences from real proptest, by design: cases are generated from a
 //! deterministic per-test seed (derived from the test's module path and
-//! name) and there is **no shrinking** — a failing case reports the
-//! sampled inputs' `Debug` rendering instead of a minimised one. That
-//! trades debugging convenience for zero dependencies; the determinism
-//! means a failure always reproduces by re-running the same test.
+//! name), and minimisation is **greedy over the RNG choice stream**
+//! rather than over typed value trees. When a case fails, the recorded
+//! stream of raw draws that produced it is shrunk (blocks deleted,
+//! elements binary-searched toward zero — see
+//! [`test_runner::shrink_choices`]) and regenerated until no smaller
+//! stream still fails, then the minimised inputs' `Debug` rendering is
+//! reported. Body panics (as opposed to `prop_assert!` failures) are
+//! treated as failures during minimisation too. The determinism means a
+//! failure always reproduces by re-running the same test.
 
 pub mod arbitrary;
 pub mod collection;
@@ -76,17 +81,15 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let __config: $crate::test_runner::ProptestConfig = $cfg;
                 let __test_name = concat!(module_path!(), "::", stringify!($name));
-                let mut __rng = $crate::test_runner::TestRng::for_test(__test_name);
-                let mut __passed: u32 = 0;
-                let mut __rejected: u32 = 0;
-                let __max_rejects: u32 = __config.cases.saturating_mul(64).max(4096);
-                while __passed < __config.cases {
-                    // Record each sampled input's Debug rendering before it
-                    // is moved into the case, so a failure can report the
-                    // exact counterexample (there is no shrinking).
+                // One case: sample every input from the given RNG, record
+                // the inputs' Debug rendering, run the body. The greedy
+                // minimiser re-runs this same closure on replayed choice
+                // streams.
+                let mut __run_case = |__rng: &mut $crate::test_runner::TestRng|
+                    -> (::std::string::String, $crate::test_runner::TestCaseResult) {
                     let mut __case_inputs = ::std::string::String::new();
                     $(let $pat = {
-                        let __sampled = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                        let __sampled = $crate::strategy::Strategy::sample(&($strat), __rng);
                         __case_inputs.push_str(&format!(
                             "  {} = {:?}\n", stringify!($pat), __sampled
                         ));
@@ -94,6 +97,15 @@ macro_rules! __proptest_impl {
                     };)+
                     let __result: $crate::test_runner::TestCaseResult =
                         (|| { $body ::core::result::Result::Ok(()) })();
+                    (__case_inputs, __result)
+                };
+                let mut __rng = $crate::test_runner::TestRng::for_test(__test_name);
+                let mut __passed: u32 = 0;
+                let mut __rejected: u32 = 0;
+                let __max_rejects: u32 = __config.cases.saturating_mul(64).max(4096);
+                while __passed < __config.cases {
+                    __rng.begin_case();
+                    let (__case_inputs, __result) = __run_case(&mut __rng);
                     match __result {
                         ::core::result::Result::Ok(()) => __passed += 1,
                         ::core::result::Result::Err(
@@ -111,11 +123,55 @@ macro_rules! __proptest_impl {
                         ::core::result::Result::Err(
                             $crate::test_runner::TestCaseError::Fail(__msg),
                         ) => {
+                            // Greedy minimisation: shrink the recorded
+                            // choice stream while its replay still fails
+                            // (a panicking candidate counts as failing).
+                            let __minimised = $crate::test_runner::with_silent_panic_hook(
+                                || $crate::test_runner::shrink_choices(
+                                __rng.choices().to_vec(),
+                                __config.max_shrink_iters,
+                                |__cand| {
+                                    let mut __replay =
+                                        $crate::test_runner::TestRng::replay(__cand.to_vec());
+                                    match ::std::panic::catch_unwind(
+                                        ::std::panic::AssertUnwindSafe(|| {
+                                            __run_case(&mut __replay).1
+                                        }),
+                                    ) {
+                                        ::core::result::Result::Ok(__r) => matches!(
+                                            __r,
+                                            ::core::result::Result::Err(
+                                                $crate::test_runner::TestCaseError::Fail(_)
+                                            )
+                                        ),
+                                        ::core::result::Result::Err(_) => true,
+                                    }
+                                },
+                            ));
+                            let mut __replay =
+                                $crate::test_runner::TestRng::replay(__minimised);
+                            // The minimum may fail only by panicking;
+                            // catch it so the fallback to the original
+                            // counterexample below stays reachable.
+                            let __min_outcome = ::std::panic::catch_unwind(
+                                ::std::panic::AssertUnwindSafe(|| __run_case(&mut __replay)),
+                            );
+                            let (__final_inputs, __final_msg) = match __min_outcome {
+                                ::core::result::Result::Ok((
+                                    __min_inputs,
+                                    ::core::result::Result::Err(
+                                        $crate::test_runner::TestCaseError::Fail(__m),
+                                    ),
+                                )) => (__min_inputs, __m),
+                                // Panicking minimum or generation drift:
+                                // fall back to the original counterexample.
+                                _ => (__case_inputs, __msg),
+                            };
                             panic!(
                                 "{}: property failed at case {} (deterministic seed; \
-                                 re-run this test to reproduce)\n{}\nminimal input not \
-                                 searched (no shrinking); failing inputs:\n{}",
-                                __test_name, __passed, __msg, __case_inputs
+                                 re-run this test to reproduce)\n{}\nminimal failing \
+                                 input (greedy choice-stream minimisation):\n{}",
+                                __test_name, __passed, __final_msg, __final_inputs
                             );
                         }
                     }

@@ -1,4 +1,5 @@
-//! Runner configuration, case outcomes, and the deterministic RNG.
+//! Runner configuration, case outcomes, the deterministic RNG, and the
+//! greedy input minimiser.
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -8,18 +9,27 @@ use rand::{RngCore, SeedableRng};
 pub struct ProptestConfig {
     /// Number of successful cases required for the property to pass.
     pub cases: u32,
+    /// Budget of candidate re-executions the greedy minimiser may spend
+    /// on a failing case (0 disables minimisation).
+    pub max_shrink_iters: u32,
 }
 
 impl ProptestConfig {
     /// A config running `cases` successful cases.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 4096,
+        }
     }
 }
 
@@ -48,13 +58,28 @@ impl TestCaseError {
 /// Outcome of one generated case.
 pub type TestCaseResult = Result<(), TestCaseError>;
 
+#[derive(Debug, Clone)]
+enum RngMode {
+    /// Fresh draws from the seeded generator.
+    Random(StdRng),
+    /// Replaying a recorded choice stream (exhausted positions read 0,
+    /// the minimal draw).
+    Replay { choices: Vec<u64>, pos: usize },
+}
+
 /// The RNG handed to strategies.
 ///
 /// Seeded deterministically from the test's fully-qualified name, so every
 /// run of a given test explores the same cases (a failure always
-/// reproduces by re-running the test).
+/// reproduces by re-running the test). Every draw is also recorded, which
+/// is what makes minimisation possible: a failing case is exactly its
+/// choice stream, and [`shrink_choices`] searches for a smaller stream
+/// whose replay still fails.
 #[derive(Debug, Clone)]
-pub struct TestRng(StdRng);
+pub struct TestRng {
+    mode: RngMode,
+    log: Vec<u64>,
+}
 
 impl TestRng {
     /// Builds the RNG for a named test.
@@ -65,12 +90,43 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        TestRng(StdRng::seed_from_u64(h))
+        TestRng {
+            mode: RngMode::Random(StdRng::seed_from_u64(h)),
+            log: Vec::new(),
+        }
+    }
+
+    /// Builds an RNG that replays a recorded choice stream; draws past
+    /// the end return 0 (the minimal choice).
+    pub fn replay(choices: Vec<u64>) -> Self {
+        TestRng {
+            mode: RngMode::Replay { choices, pos: 0 },
+            log: Vec::new(),
+        }
+    }
+
+    /// Clears the per-case draw log; call before sampling a new case.
+    pub fn begin_case(&mut self) {
+        self.log.clear();
+    }
+
+    /// The draws made since the last [`TestRng::begin_case`].
+    pub fn choices(&self) -> &[u64] {
+        &self.log
     }
 
     /// Next raw 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        self.0.next_u64()
+        let v = match &mut self.mode {
+            RngMode::Random(rng) => rng.next_u64(),
+            RngMode::Replay { choices, pos } => {
+                let v = choices.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                v
+            }
+        };
+        self.log.push(v);
+        v
     }
 
     /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
@@ -82,6 +138,119 @@ impl TestRng {
     /// Uniform draw from `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runs `f` with the global panic hook silenced, restoring the previous
+/// hook afterwards. The shrinker replays failing candidates under
+/// `catch_unwind`; without this, a panic-based property failure would
+/// print up to `max_shrink_iters` full panic reports during
+/// minimisation. The hook is process-global, so panics from tests
+/// running concurrently on other threads are muted for the duration of
+/// one shrink pass — the same trade-off real proptest makes.
+pub fn with_silent_panic_hook<R>(f: impl FnOnce() -> R) -> R {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = f();
+    std::panic::set_hook(prev);
+    result
+}
+
+/// Greedy choice-stream minimisation (the Hypothesis idea adapted to this
+/// stand-in): instead of shrinking typed value trees, shrink the raw
+/// stream of RNG draws that produced the failing case and regenerate.
+/// Because every sampler here maps smaller draws to "smaller" values
+/// (range starts, shorter collections, earlier `prop_oneof!` arms), a
+/// lexicographically smaller / shorter stream decodes to a simpler
+/// counterexample.
+///
+/// Two candidate moves run to a fixpoint (or until `max_iters` calls to
+/// `still_fails`):
+///
+/// 1. **block removal** — delete spans of draws, halving the span size
+///    down to single elements (this is what shortens generated `vec`s and
+///    drops whole sub-structures);
+/// 2. **per-element binary search** — for each draw, find the smallest
+///    value in `[0, current]` that still fails.
+///
+/// `still_fails` must re-run generation + property on the candidate
+/// stream and report whether it still fails; rejected or passing
+/// candidates are simply not accepted, so the result is always a genuine
+/// (locally minimal) counterexample.
+pub fn shrink_choices(
+    initial: Vec<u64>,
+    max_iters: u32,
+    mut still_fails: impl FnMut(&[u64]) -> bool,
+) -> Vec<u64> {
+    let mut best = initial;
+    let mut iters: u32 = 0;
+    loop {
+        let mut improved = false;
+
+        // Move 1: remove blocks, largest first.
+        let mut size = best.len().next_power_of_two().max(1);
+        while size >= 1 {
+            let mut start = 0;
+            while start < best.len() {
+                if iters >= max_iters {
+                    return best;
+                }
+                let end = (start + size).min(best.len());
+                let mut cand = Vec::with_capacity(best.len() - (end - start));
+                cand.extend_from_slice(&best[..start]);
+                cand.extend_from_slice(&best[end..]);
+                iters += 1;
+                if still_fails(&cand) {
+                    best = cand;
+                    improved = true;
+                    // Retry the same offset: the next block slid into it.
+                } else {
+                    start += size;
+                }
+            }
+            if size == 1 {
+                break;
+            }
+            size /= 2;
+        }
+
+        // Move 2: minimise each element by binary search.
+        for i in 0..best.len() {
+            if best[i] == 0 {
+                continue;
+            }
+            if iters >= max_iters {
+                return best;
+            }
+            let orig = best[i];
+            best[i] = 0;
+            iters += 1;
+            if still_fails(&best) {
+                improved = true;
+                continue;
+            }
+            // 0 passes: search (lo passes, hi fails) for the boundary.
+            let mut lo = 0u64;
+            let mut hi = orig;
+            while hi - lo > 1 && iters < max_iters {
+                let mid = lo + (hi - lo) / 2;
+                best[i] = mid;
+                iters += 1;
+                if still_fails(&best) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            best[i] = hi;
+            if hi != orig {
+                improved = true;
+            }
+        }
+
+        if !improved {
+            return best;
+        }
     }
 }
 
@@ -107,5 +276,59 @@ mod tests {
         for _ in 0..10_000 {
             assert!(rng.below(7) < 7);
         }
+    }
+
+    #[test]
+    fn replay_reproduces_and_pads_with_zero() {
+        let mut rng = TestRng::for_test("record");
+        rng.begin_case();
+        let original: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert_eq!(rng.choices(), original.as_slice());
+
+        let mut replayed = TestRng::replay(original.clone());
+        for &v in &original {
+            assert_eq!(replayed.next_u64(), v);
+        }
+        assert_eq!(replayed.next_u64(), 0, "exhausted stream reads zero");
+        assert_eq!(replayed.below(100), 0);
+    }
+
+    #[test]
+    fn shrinker_minimises_a_sum_condition() {
+        // "Fails" when the decoded total reaches 1000: the minimal
+        // counterexample is a single draw of exactly 1000.
+        let initial = vec![u64::MAX / 2; 16];
+        let min = shrink_choices(initial, 100_000, |c| {
+            c.iter().map(|&x| x as u128).sum::<u128>() >= 1000
+        });
+        assert_eq!(min, vec![1000]);
+    }
+
+    #[test]
+    fn shrinker_keeps_structure_the_failure_needs() {
+        // Failure needs at least 3 elements with element 2 being >= 5.
+        let initial = vec![999, 77, 42, 8, 13];
+        let min = shrink_choices(initial, 100_000, |c| c.len() >= 3 && c[2] >= 5);
+        assert_eq!(min, vec![0, 0, 5]);
+    }
+
+    #[test]
+    fn shrinker_respects_budget() {
+        let initial = vec![u64::MAX; 64];
+        let mut calls = 0u32;
+        let min = shrink_choices(initial.clone(), 10, |c| {
+            calls += 1;
+            c.iter().map(|&x| x as u128).sum::<u128>() >= 1
+        });
+        assert!(calls <= 10);
+        // Still a failing stream, just not fully minimised.
+        assert!(min.iter().map(|&x| x as u128).sum::<u128>() >= 1);
+    }
+
+    #[test]
+    fn shrinker_returns_input_when_budget_is_zero() {
+        let initial = vec![7, 8, 9];
+        let min = shrink_choices(initial.clone(), 0, |_| true);
+        assert_eq!(min, initial);
     }
 }

@@ -1,0 +1,57 @@
+//! End-to-end minimisation behaviour of the `proptest!` macro.
+
+use proptest::prelude::*;
+use proptest::test_runner::{shrink_choices, TestRng};
+
+proptest! {
+    /// A failing property panics with the minimised counterexample banner
+    /// (the shrinker re-runs generation on smaller choice streams).
+    #[test]
+    #[should_panic(expected = "minimal failing input")]
+    fn failing_property_reports_minimised_input(
+        v in prop::collection::vec(0u32..1000, 0..20),
+    ) {
+        prop_assert!(v.iter().map(|&x| x as u64).sum::<u64>() < 500);
+    }
+
+    /// Rejected (`prop_assume!`) cases do not interfere with passing runs.
+    #[test]
+    fn assume_still_works(n in 0usize..100) {
+        prop_assume!(n % 2 == 0);
+        prop_assert!(n % 2 == 0);
+    }
+}
+
+/// The minimiser drives generated values to the boundary of the failure
+/// condition: replaying the shrunk stream through a real strategy yields
+/// the smallest vector that still fails.
+#[test]
+fn shrunk_stream_decodes_to_minimal_vector() {
+    let strat = prop::collection::vec(0u32..1000, 0..20);
+
+    // Find a failing case the way the macro does.
+    let mut rng = TestRng::for_test("shrink_demo");
+    let failed = loop {
+        rng.begin_case();
+        let v = strat.sample(&mut rng);
+        if v.iter().map(|&x| x as u64).sum::<u64>() >= 500 {
+            break rng.choices().to_vec();
+        }
+    };
+
+    let minimised = shrink_choices(failed, 100_000, |cand| {
+        let mut replay = TestRng::replay(cand.to_vec());
+        let v = strat.sample(&mut replay);
+        v.iter().map(|&x| x as u64).sum::<u64>() >= 500
+    });
+
+    let mut replay = TestRng::replay(minimised);
+    let v = strat.sample(&mut replay);
+    let sum: u64 = v.iter().map(|&x| x as u64).sum();
+    assert!(sum >= 500, "minimised input must still fail");
+    // Greedy minimality: the sum sits close to the boundary and the
+    // vector is as short as the element cap allows (999 per element →
+    // at least one element, at most a small handful).
+    assert!(sum < 1000, "sum {sum} far from the 500 boundary");
+    assert!(v.len() <= 2, "vector not minimised: {v:?}");
+}

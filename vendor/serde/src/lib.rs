@@ -48,6 +48,12 @@ impl Value {
     }
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 /// Error produced when a [`Value`] does not match the expected shape.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeError(pub String);
