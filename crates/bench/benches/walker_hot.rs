@@ -1,0 +1,85 @@
+//! Walker hot-path microbenchmarks: the tracker-tree fanout sweep and the
+//! cursor-cache ablation, on the concurrent traces (C1/C2) whose merge
+//! time is dominated by tracker work.
+//!
+//! The shipped defaults — `TRACKER_FANOUT` and `WalkerOpts::cursor_cache`
+//! — were chosen from this bench; re-run it after changing the tracker's
+//! data layout:
+//!
+//! ```text
+//! EG_SCALE=0.02 cargo bench -p eg-bench --bench walker_hot
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eg_trace::{generate, spec_by_name};
+use egwalker::walker::{transformed_ops_with_fanout, WalkerOpts};
+use egwalker::OpLog;
+
+fn scale() -> f64 {
+    std::env::var("EG_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02)
+}
+
+fn concurrent_traces() -> Vec<(String, OpLog)> {
+    ["C1", "C2"]
+        .iter()
+        .map(|name| {
+            let spec = spec_by_name(name, scale()).expect("builtin trace");
+            (spec.name.clone(), generate(&spec))
+        })
+        .collect()
+}
+
+fn merge_with_fanout<const N: usize>(oplog: &OpLog, opts: WalkerOpts) -> usize {
+    let (_, ops) = transformed_ops_with_fanout::<N>(oplog, &[], oplog.version(), opts);
+    ops.len()
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let traces = concurrent_traces();
+    let mut group = c.benchmark_group("walker_hot/fanout");
+    group.sample_size(10);
+    for (name, oplog) in &traces {
+        let opts = WalkerOpts::default();
+        group.bench_with_input(BenchmarkId::new(name, 8), oplog, |b, o| {
+            b.iter(|| merge_with_fanout::<8>(o, opts))
+        });
+        group.bench_with_input(BenchmarkId::new(name, 16), oplog, |b, o| {
+            b.iter(|| merge_with_fanout::<16>(o, opts))
+        });
+        group.bench_with_input(BenchmarkId::new(name, 32), oplog, |b, o| {
+            b.iter(|| merge_with_fanout::<32>(o, opts))
+        });
+        group.bench_with_input(BenchmarkId::new(name, 64), oplog, |b, o| {
+            b.iter(|| merge_with_fanout::<64>(o, opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cursor_cache(c: &mut Criterion) {
+    let traces = concurrent_traces();
+    let mut group = c.benchmark_group("walker_hot/cursor_cache");
+    group.sample_size(10);
+    for (name, oplog) in &traces {
+        for cache in [true, false] {
+            let opts = WalkerOpts {
+                cursor_cache: cache,
+                ..Default::default()
+            };
+            let label = if cache { "on" } else { "off" };
+            group.bench_with_input(BenchmarkId::new(name, label), oplog, |b, o| {
+                b.iter(|| {
+                    let (_, ops) = egwalker::walker::transformed_ops(o, &[], o.version(), opts);
+                    ops.len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(walker_hot, bench_fanout, bench_cursor_cache);
+criterion_main!(walker_hot);

@@ -1,0 +1,290 @@
+//! Cross-run bench-trajectory diff: compares two captures of the
+//! `bench-results/` JSON files and flags regressions automatically, so
+//! nightly CI (and local runs of `scripts/bench_trajectory.sh`) no longer
+//! rely on eyeballing artifacts (ROADMAP "bench trajectory capture").
+//!
+//! ```text
+//! bench_diff --baseline <dir-or-file> --current <dir-or-file> \
+//!            [--threshold 0.5] [--min-seconds 1e-4] [--advisory-time]
+//! ```
+//!
+//! Rows are matched by their `name` field within each matching file name.
+//! Numeric fields ending in `_s` (seconds) are regression-checked: a
+//! current value more than `threshold` (fractional) above the baseline
+//! fails the run, unless both sides are below `min-seconds` (too small to
+//! measure reliably). Byte fields (`_bytes`) are near-deterministic
+//! allocation counts but only fail above `2 × threshold`, so allocator
+//! noise does not trip the bound while blowups still do. With
+//! `--advisory-time`, time regressions are printed but do not fail the
+//! run — for CI, where the fresh capture runs on a different machine
+//! class than the committed baseline and absolute `_s` comparisons are
+//! meaningless (bytes still enforce). Checked metrics present in the
+//! baseline but missing from the current capture are a hard failure —
+//! a renamed row or field must come with a refreshed baseline, not
+//! silently lose its regression check. An entirely empty baseline is
+//! fine (first capture of a new bench).
+
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    threshold: f64,
+    min_seconds: f64,
+    advisory_time: bool,
+}
+
+fn parse_args() -> Args {
+    let mut baseline = None;
+    let mut current = None;
+    let mut threshold = 0.5;
+    let mut min_seconds = 1e-4;
+    let mut advisory_time = false;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    argv.get(i + 1).expect("--baseline needs a path"),
+                ));
+                i += 1;
+            }
+            "--current" => {
+                current = Some(PathBuf::from(
+                    argv.get(i + 1).expect("--current needs a path"),
+                ));
+                i += 1;
+            }
+            "--threshold" => {
+                threshold = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threshold needs a number");
+                i += 1;
+            }
+            "--min-seconds" => {
+                min_seconds = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--min-seconds needs a number");
+                i += 1;
+            }
+            "--advisory-time" => advisory_time = true,
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    Args {
+        baseline: baseline.expect("--baseline is required"),
+        current: current.expect("--current is required"),
+        threshold,
+        min_seconds,
+        advisory_time,
+    }
+}
+
+/// `true` for field names the diff regression-checks.
+fn checked_field(field: &str) -> bool {
+    field.ends_with("_s") || field.ends_with("_bytes") || exact_field(field)
+}
+
+/// Machine-independent trace statistics (the `table1` columns): fully
+/// deterministic for a given generator and scale, so any change in
+/// either direction is generator drift and fails the diff exactly.
+fn exact_field(field: &str) -> bool {
+    matches!(
+        field,
+        "events" | "avg_concurrency" | "graph_runs" | "authors" | "chars_remaining_pct"
+    )
+}
+
+/// One numeric metric: `(file stem, row name, field, value)`.
+type Metric = (String, String, String, f64);
+
+/// `(file stem, row name, field) -> value` for every numeric field of
+/// every row of every bench JSON under `path` (a file or a directory),
+/// plus each file's recorded capture scale (stem -> scale).
+fn load(path: &Path) -> (Vec<Metric>, Vec<(String, f64)>) {
+    let files: Vec<PathBuf> = if path.is_dir() {
+        let mut v: Vec<PathBuf> = std::fs::read_dir(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        v.sort();
+        v
+    } else {
+        vec![path.to_path_buf()]
+    };
+    let mut out = Vec::new();
+    let mut scales = Vec::new();
+    for file in files {
+        let stem = file
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let text = match std::fs::read_to_string(&file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", file.display());
+                continue;
+            }
+        };
+        let doc: Value = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("skipping {} (bad JSON): {e}", file.display());
+                continue;
+            }
+        };
+        let Value::Obj(top) = &doc else { continue };
+        if let Some(scale) = top
+            .iter()
+            .find(|(k, _)| k == "scale")
+            .and_then(|(_, v)| match v {
+                Value::Float(f) => Some(*f),
+                Value::UInt(u) => Some(*u as f64),
+                _ => None,
+            })
+        {
+            scales.push((stem.clone(), scale));
+        }
+        let Some(Value::Arr(rows)) = top.iter().find(|(k, _)| k == "rows").map(|(_, v)| v) else {
+            continue;
+        };
+        for row in rows {
+            let Value::Obj(fields) = row else { continue };
+            let name = fields
+                .iter()
+                .find(|(k, _)| k == "name")
+                .and_then(|(_, v)| match v {
+                    Value::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            for (key, value) in fields {
+                let num = match value {
+                    Value::Float(f) => *f,
+                    Value::UInt(u) => *u as f64,
+                    _ => continue,
+                };
+                out.push((stem.clone(), name.clone(), key.clone(), num));
+            }
+        }
+    }
+    (out, scales)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let (baseline, baseline_scales) = load(&args.baseline);
+    let (current, current_scales) = load(&args.current);
+    // Captures at different EG_SCALE are not comparable at all — every
+    // metric shifts with trace size. Refuse rather than report bogus
+    // regressions (or mask real ones).
+    for (stem, cur_scale) in &current_scales {
+        if let Some((_, base_scale)) = baseline_scales.iter().find(|(s, _)| s == stem) {
+            if (cur_scale - base_scale).abs() > f64::EPSILON * base_scale.abs() {
+                eprintln!(
+                    "scale mismatch for {stem}: baseline captured at {base_scale}, current at {cur_scale} — re-capture both at the same EG_SCALE"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if baseline.is_empty() {
+        eprintln!(
+            "no baseline rows under {} — nothing to diff (first capture?)",
+            args.baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut regressions = 0usize;
+    let mut advisories = 0usize;
+    let mut compared = 0usize;
+    let mut missing = 0usize;
+
+    // A checked metric that exists in the baseline but not in the fresh
+    // capture means a bench or field was renamed/dropped without
+    // refreshing the baseline — its regression check would silently
+    // vanish. Fail loudly instead.
+    for (stem, name, field, _) in &baseline {
+        if !checked_field(field) {
+            continue;
+        }
+        let present = current
+            .iter()
+            .any(|(s, n, f, _)| s == stem && n == name && f == field);
+        if !present {
+            eprintln!("MISSING in current capture: {stem}/{name}/{field}");
+            missing += 1;
+        }
+    }
+    println!(
+        "{:<12} {:<6} {:<22} {:>12} {:>12} {:>8}",
+        "bench", "row", "field", "baseline", "current", "ratio"
+    );
+    for (stem, name, field, cur) in &current {
+        let Some((_, _, _, base)) = baseline
+            .iter()
+            .find(|(s, n, f, _)| s == stem && n == name && f == field)
+        else {
+            continue;
+        };
+        let checked_time = field.ends_with("_s");
+        if !checked_field(field) {
+            continue;
+        }
+        compared += 1;
+        let ratio = if *base > 0.0 { cur / base } else { f64::NAN };
+        let over = if exact_field(field) {
+            // Deterministic statistics: any drift, either direction.
+            cur != base
+        } else {
+            let limit = if checked_time {
+                1.0 + args.threshold
+            } else {
+                1.0 + 2.0 * args.threshold
+            };
+            let too_small = checked_time && *base < args.min_seconds && *cur < args.min_seconds;
+            ratio.is_finite() && ratio > limit && !too_small
+        };
+        let advisory_only = over && checked_time && args.advisory_time;
+        println!(
+            "{:<12} {:<6} {:<22} {:>12.4e} {:>12.4e} {:>7.2}x{}",
+            stem,
+            name,
+            field,
+            base,
+            cur,
+            ratio,
+            if advisory_only {
+                "  << slower (advisory: cross-machine)"
+            } else if over {
+                "  << REGRESSION"
+            } else {
+                ""
+            }
+        );
+        if advisory_only {
+            advisories += 1;
+        } else if over {
+            regressions += 1;
+        }
+    }
+    println!(
+        "compared {compared} metrics; {regressions} regression(s), {advisories} advisory, {missing} missing, beyond +{:.0}% (time) / +{:.0}% (bytes)",
+        args.threshold * 100.0,
+        args.threshold * 200.0
+    );
+    if regressions > 0 || missing > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -7,7 +7,7 @@
 //!   paper notes CRDT peak is within ~25% of steady).
 
 use eg_bench::alloc_track::{measure, TrackingAlloc};
-use eg_bench::harness::{build_traces, fmt_bytes, parse_args, row};
+use eg_bench::harness::{build_traces, fmt_bytes, json_num, json_str, parse_args, row, write_json};
 use eg_crdt_ref::CrdtDoc;
 use eg_ot::OtMerger;
 use egwalker::convert::to_crdt_ops;
@@ -36,6 +36,7 @@ fn main() {
             &widths
         )
     );
+    let mut json_rows = Vec::new();
     for (spec, oplog) in &traces {
         let (doc, eg_peak, eg_steady) = measure(|| oplog.checkout_tip());
         drop(doc);
@@ -68,5 +69,16 @@ fn main() {
                 &widths
             )
         );
+        json_rows.push(vec![
+            ("name", json_str(&spec.name)),
+            ("events", json_num(oplog.len() as f64)),
+            ("eg_peak_bytes", json_num(eg_peak as f64)),
+            ("eg_steady_bytes", json_num(eg_steady as f64)),
+            ("ot_peak_bytes", json_num(ot_peak as f64)),
+            ("crdt_steady_bytes", json_num(crdt_steady as f64)),
+        ]);
+    }
+    if let Some(path) = &args.json {
+        write_json(path, "fig10_memusage", args.scale, &json_rows);
     }
 }

@@ -1,7 +1,9 @@
 //! Regenerates the paper's Fig. 9: Eg-walker merge time with and without
 //! the §3.5 optimisations (internal-state clearing + fast-forward).
 
-use eg_bench::harness::{build_traces, fmt_time, parse_args, row, time_mean};
+use eg_bench::harness::{
+    build_traces, fmt_time, json_num, json_str, parse_args, row, time_mean, write_json,
+};
 use egwalker::{Branch, WalkerOpts};
 
 fn main() {
@@ -20,6 +22,7 @@ fn main() {
             &widths
         )
     );
+    let mut json_rows = Vec::new();
     for (spec, oplog) in &traces {
         let on = time_mean(args.iters, || {
             let mut b = Branch::new();
@@ -57,5 +60,14 @@ fn main() {
                 &widths
             )
         );
+        json_rows.push(vec![
+            ("name", json_str(&spec.name)),
+            ("events", json_num(oplog.len() as f64)),
+            ("opt_enabled_s", json_num(on)),
+            ("opt_disabled_s", json_num(off)),
+        ]);
+    }
+    if let Some(path) = &args.json {
+        write_json(path, "fig9_opts", args.scale, &json_rows);
     }
 }

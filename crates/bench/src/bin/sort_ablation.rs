@@ -46,6 +46,7 @@ fn main() {
                     WalkerOpts {
                         enable_clearing: true,
                         plan_order: order,
+                        ..Default::default()
                     },
                 );
                 std::hint::black_box(b.len_chars());

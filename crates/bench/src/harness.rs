@@ -136,13 +136,39 @@ pub fn build_traces(scale: f64) -> Vec<(TraceSpec, OpLog)> {
         .collect()
 }
 
-/// Times `f` over `iters` runs, returning the mean seconds.
+/// Times `f` over `iters` runs, returning the trimmed mean seconds.
+///
+/// With `iters >= 2`, one untimed warm-up run precedes measurement
+/// (caches, branch predictors, lazy allocations), each iteration is
+/// timed individually, and the top/bottom ~10% of samples are dropped
+/// before averaging once there are at least five — the same treatment
+/// as the vendored criterion stand-in, so the JSON the cross-run
+/// `bench_diff` consumes is stable against one-sided scheduler stalls.
+/// `iters == 1` stays a single cold run: callers use it for routines
+/// too expensive to repeat (e.g. quadratic OT merges).
 pub fn time_mean(iters: usize, mut f: impl FnMut()) -> f64 {
-    let t0 = Instant::now();
-    for _ in 0..iters.max(1) {
+    let iters = iters.max(1);
+    if iters == 1 {
+        let t0 = Instant::now();
         f();
+        return t0.elapsed().as_secs_f64();
     }
-    t0.elapsed().as_secs_f64() / iters.max(1) as f64
+    f(); // warm-up, untimed
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let trim = if samples.len() >= 5 {
+        (samples.len() / 10).max(1)
+    } else {
+        0
+    };
+    let kept = &samples[trim..samples.len() - trim];
+    kept.iter().sum::<f64>() / kept.len() as f64
 }
 
 /// Formats seconds like the paper's figures (ms / sec / min).

@@ -30,7 +30,7 @@
 
 mod tree;
 
-pub use tree::{ContentTree, Cursor, NodeIdx, Widths, NODE_IDX_NONE};
+pub use tree::{ContentTree, Cursor, NodeIdx, RunStep, Widths, DEFAULT_FANOUT, NODE_IDX_NONE};
 
 use eg_rle::{HasLength, MergableSpan, SplitableSpan};
 

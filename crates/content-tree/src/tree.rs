@@ -8,10 +8,11 @@ pub type NodeIdx = u32;
 /// Sentinel for "no node" (absent parent / end of leaf chain).
 pub const NODE_IDX_NONE: NodeIdx = u32::MAX;
 
-/// Maximum number of children of an internal node.
-const MAX_CHILDREN: usize = 16;
-/// Maximum number of entries in a leaf.
-const MAX_ENTRIES: usize = 16;
+/// Default fanout of a [`ContentTree`]: maximum children per internal node
+/// and maximum entries per leaf. Chosen by the `walker_hot` fanout sweep in
+/// `crates/bench/benches/walker_hot.rs` — re-run it when the entry type or
+/// workload changes materially.
+pub const DEFAULT_FANOUT: usize = 16;
 
 /// Subtree widths in the two tracked dimensions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -37,6 +38,52 @@ impl Widths {
         self.cur += other.cur;
         self.end += other.end;
         self.raw += other.raw;
+    }
+}
+
+/// A signed change to cached [`Widths`], for the O(depth) incremental
+/// repair path (mutations and RLE appends change ancestor totals by a
+/// known amount; recomputing node totals per level is O(depth × fanout)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct WidthsDelta {
+    cur: isize,
+    end: isize,
+    raw: isize,
+}
+
+impl WidthsDelta {
+    /// The delta of adding `w` from nothing.
+    fn gain(w: Widths) -> Self {
+        WidthsDelta {
+            cur: w.cur as isize,
+            end: w.end as isize,
+            raw: w.raw as isize,
+        }
+    }
+
+    /// The delta taking `before` to `after`.
+    fn change(before: Widths, after: Widths) -> Self {
+        WidthsDelta {
+            cur: after.cur as isize - before.cur as isize,
+            end: after.end as isize - before.end as isize,
+            raw: after.raw as isize - before.raw as isize,
+        }
+    }
+
+    fn accumulate(&mut self, other: WidthsDelta) {
+        self.cur += other.cur;
+        self.end += other.end;
+        self.raw += other.raw;
+    }
+
+    fn is_zero(&self) -> bool {
+        *self == WidthsDelta::default()
+    }
+
+    fn apply(&self, w: &mut Widths) {
+        w.cur = (w.cur as isize + self.cur) as usize;
+        w.end = (w.end as isize + self.end) as usize;
+        w.raw = (w.raw as isize + self.raw) as usize;
     }
 }
 
@@ -80,20 +127,40 @@ enum Node<E> {
 }
 
 /// The order-statistic B-tree. See the crate documentation.
+///
+/// `N` is the fanout: the maximum number of children of an internal node
+/// and of entries in a leaf. Larger fanouts mean shallower trees (cheaper
+/// descents and width repairs) but more linear scanning within nodes; the
+/// sweet spot depends on the entry type and workload, so it is a
+/// compile-time parameter swept by the `walker_hot` benchmark.
 #[derive(Debug, Clone)]
-pub struct ContentTree<E: TreeEntry> {
+pub struct ContentTree<E: TreeEntry, const N: usize = DEFAULT_FANOUT> {
     nodes: Vec<Node<E>>,
     root: NodeIdx,
     first_leaf: NodeIdx,
 }
 
-impl<E: TreeEntry> Default for ContentTree<E> {
+/// One step of a [`ContentTree::mutate_run`] batch, decided per entry by
+/// the caller's policy closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStep {
+    /// Mutate the next `n` raw units of the current entry (counting from
+    /// the policy's offset), splitting the entry as needed. `n` must be
+    /// `> 0` and not exceed the units remaining in the entry.
+    Mutate(usize),
+    /// Leave the entry untouched and move to the next one in the leaf.
+    Skip,
+    /// End the batch.
+    Stop,
+}
+
+impl<E: TreeEntry, const N: usize> Default for ContentTree<E, N> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E: TreeEntry> ContentTree<E> {
+impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
     /// Creates an empty tree (a single empty leaf).
     pub fn new() -> Self {
         ContentTree {
@@ -360,8 +427,14 @@ impl<E: TreeEntry> ContentTree<E> {
         &self.leaf(leaf).entries
     }
 
+    /// The successor of `leaf` in the leaf chain, or [`NODE_IDX_NONE`].
+    /// Used by callers probing a cached cursor's neighbourhood.
+    pub fn next_leaf(&self, leaf: NodeIdx) -> NodeIdx {
+        self.leaf(leaf).next
+    }
+
     /// Iterates all entries in order.
-    pub fn iter(&self) -> TreeIter<'_, E> {
+    pub fn iter(&self) -> TreeIter<'_, E, N> {
         TreeIter {
             tree: self,
             leaf: self.first_leaf,
@@ -372,6 +445,27 @@ impl<E: TreeEntry> ContentTree<E> {
     // ------------------------------------------------------------------
     // Mutation.
     // ------------------------------------------------------------------
+
+    /// Adds a known width change to the cached totals on the path from
+    /// `node` to the root — the O(depth) fast variant of
+    /// [`ContentTree::repair_path`] for structure-preserving updates.
+    fn repair_path_delta(&mut self, mut node: NodeIdx, d: WidthsDelta) {
+        if d.is_zero() {
+            return;
+        }
+        let mut parent = self.parent_of(node);
+        while parent != NODE_IDX_NONE {
+            let p = self.internal_mut(parent);
+            let pos = p
+                .children
+                .iter()
+                .position(|&c| c == node)
+                .expect("broken parent pointer");
+            d.apply(&mut p.widths[pos]);
+            node = parent;
+            parent = p.parent;
+        }
+    }
 
     /// Recomputes the cached widths on the path from `node` to the root.
     fn repair_path(&mut self, mut node: NodeIdx) {
@@ -392,7 +486,11 @@ impl<E: TreeEntry> ContentTree<E> {
 
     /// Splits an overflowing leaf, notifying for every moved entry.
     /// Returns the new leaf's index.
-    fn split_leaf<N: FnMut(&E, NodeIdx)>(&mut self, leaf_idx: NodeIdx, notify: &mut N) -> NodeIdx {
+    fn split_leaf<NF: FnMut(&E, NodeIdx)>(
+        &mut self,
+        leaf_idx: NodeIdx,
+        notify: &mut NF,
+    ) -> NodeIdx {
         let new_idx = self.nodes.len() as NodeIdx;
         let (moved, parent, next) = {
             let l = self.leaf_mut(leaf_idx);
@@ -446,7 +544,7 @@ impl<E: TreeEntry> ContentTree<E> {
             p.widths[pos] = w_after;
             p.children.insert(pos + 1, new_child);
             p.widths.insert(pos + 1, w_new);
-            p.children.len() > MAX_CHILDREN
+            p.children.len() > N
         };
         self.set_parent(new_child, parent);
         if overflow {
@@ -490,11 +588,11 @@ impl<E: TreeEntry> ContentTree<E> {
     ///
     /// Returns a cursor pointing at the start of the inserted content (which
     /// may be in the middle of a merged entry).
-    pub fn insert_at<N: FnMut(&E, NodeIdx)>(
+    pub fn insert_at<NF: FnMut(&E, NodeIdx)>(
         &mut self,
         cursor: Cursor,
         e: E,
-        notify: &mut N,
+        notify: &mut NF,
     ) -> Cursor {
         let leaf_idx = cursor.leaf;
         let mut entry_idx = cursor.entry_idx;
@@ -510,6 +608,9 @@ impl<E: TreeEntry> ContentTree<E> {
         }
 
         let e_len = e.len();
+        // Whatever the insertion path, ancestor totals grow by exactly the
+        // new entry's widths (boundary splits move units, net zero).
+        let net = WidthsDelta::gain(Widths::of(&e));
         if offset == 0 {
             // Try appending to the previous entry in this leaf.
             if entry_idx > 0 {
@@ -519,7 +620,7 @@ impl<E: TreeEntry> ContentTree<E> {
                     let at = prev.len();
                     prev.append(e.clone());
                     notify(&e, leaf_idx);
-                    self.repair_path(leaf_idx);
+                    self.repair_path_delta(leaf_idx, net);
                     return Cursor {
                         leaf: leaf_idx,
                         entry_idx: entry_idx - 1,
@@ -527,14 +628,14 @@ impl<E: TreeEntry> ContentTree<E> {
                     };
                 }
             }
-            self.insert_entries_at(leaf_idx, entry_idx, vec![e], notify);
+            self.insert_entries_at(leaf_idx, entry_idx, vec![e], Some(net), notify);
         } else {
             // Split the containing entry and insert in between.
             let tail = {
                 let l = self.leaf_mut(leaf_idx);
                 l.entries[entry_idx].truncate(offset)
             };
-            self.insert_entries_at(leaf_idx, entry_idx + 1, vec![e, tail], notify);
+            self.insert_entries_at(leaf_idx, entry_idx + 1, vec![e, tail], Some(net), notify);
             entry_idx += 1;
         }
 
@@ -551,12 +652,18 @@ impl<E: TreeEntry> ContentTree<E> {
 
     /// Inserts `extra` entries at `entry_idx` of `leaf_idx`, splitting on
     /// overflow and repairing widths. The caller re-locates positions after.
-    fn insert_entries_at<N: FnMut(&E, NodeIdx)>(
+    ///
+    /// `net` is the caller-known change to the subtree total (new material
+    /// only — pieces split off existing entries cancel out); when given
+    /// and no split occurs, the repair is O(depth) instead of
+    /// O(depth × fanout). `None` forces a full recompute.
+    fn insert_entries_at<NF: FnMut(&E, NodeIdx)>(
         &mut self,
         leaf_idx: NodeIdx,
         entry_idx: usize,
         extra: Vec<E>,
-        notify: &mut N,
+        net: Option<WidthsDelta>,
+        notify: &mut NF,
     ) {
         {
             let l = self.leaf_mut(leaf_idx);
@@ -565,11 +672,18 @@ impl<E: TreeEntry> ContentTree<E> {
             }
         }
         let mut last_new = leaf_idx;
-        while self.leaf(last_new).entries.len() > MAX_ENTRIES {
+        while self.leaf(last_new).entries.len() > N {
             last_new = self.split_leaf(last_new, notify);
         }
-        self.repair_path(leaf_idx);
-        if last_new != leaf_idx {
+        if last_new == leaf_idx {
+            match net {
+                Some(d) => self.repair_path_delta(leaf_idx, d),
+                None => self.repair_path(leaf_idx),
+            }
+        } else {
+            // Splits rewrote ancestor slots wholesale; recompute both
+            // changed root paths.
+            self.repair_path(leaf_idx);
             self.repair_path(last_new);
         }
     }
@@ -595,16 +709,16 @@ impl<E: TreeEntry> ContentTree<E> {
     /// Returns `(mutated_len, leaf, entry_idx)` locating the mutated piece.
     /// `notify` fires for entries relocated by splits (including pieces of
     /// the split entry itself).
-    pub fn mutate_entry<F, N>(
+    pub fn mutate_entry<F, NF>(
         &mut self,
         cursor: &Cursor,
         max_len: usize,
         mutate: F,
-        notify: &mut N,
+        notify: &mut NF,
     ) -> (usize, NodeIdx, usize)
     where
         F: FnOnce(&mut E),
-        N: FnMut(&E, NodeIdx),
+        NF: FnMut(&E, NodeIdx),
     {
         let leaf_idx = cursor.leaf;
         let mut entry_idx = cursor.entry_idx;
@@ -625,30 +739,137 @@ impl<E: TreeEntry> ContentTree<E> {
             }
         }
         // extra[0] (if split) is the piece we mutate, or the entry itself.
-        if target_shift == 1 {
+        let net = if target_shift == 1 {
             if len < extra[0].len() {
                 let post = extra[0].truncate(len);
                 extra.push(post);
             }
+            let before = Widths::of(&extra[0]);
             mutate(&mut extra[0]);
+            WidthsDelta::change(before, Widths::of(&extra[0]))
         } else {
             let l = self.leaf_mut(leaf_idx);
             if len < entry_len {
                 let post = l.entries[entry_idx].truncate(len);
                 extra.push(post);
             }
+            let before = Widths::of(&l.entries[entry_idx]);
             mutate(&mut l.entries[entry_idx]);
-        }
+            WidthsDelta::change(before, Widths::of(&l.entries[entry_idx]))
+        };
         if extra.is_empty() {
-            self.repair_path(leaf_idx);
+            self.repair_path_delta(leaf_idx, net);
             return (len, leaf_idx, entry_idx);
         }
-        self.insert_entries_at(leaf_idx, entry_idx + 1, extra, notify);
+        self.insert_entries_at(leaf_idx, entry_idx + 1, extra, Some(net), notify);
         entry_idx += target_shift;
         let (leaf_idx, entry_idx) = self.locate_after_insert(leaf_idx, entry_idx);
         // The mutated piece may have been relocated by a split; re-notify it.
         notify(&self.leaf(leaf_idx).entries[entry_idx].clone(), leaf_idx);
         (len, leaf_idx, entry_idx)
+    }
+
+    /// Mutates a run of consecutive entries within the leaf under `cursor`
+    /// in one pass, with a single width repair at the end — the batched
+    /// counterpart of repeated [`ContentTree::mutate_entry`] calls.
+    ///
+    /// For every entry from the cursor onwards (bounded by the leaf),
+    /// `policy(&entry, offset)` decides the [`RunStep`]: mutate a prefix of
+    /// the entry's remaining units (splitting boundary pieces as needed),
+    /// skip it, or stop. `offset` is nonzero only for the first entry (the
+    /// cursor's offset). The policy observes each entry *before* mutation
+    /// and is called exactly once per entry, so it may carry state (e.g.
+    /// record the sub-ranges it chose). `mutate` is applied to each chosen
+    /// piece; `notify` fires for entries relocated by overflow splits.
+    ///
+    /// Cached widths are stale while the batch runs and repaired once at
+    /// the end, so `policy`/`mutate` must not re-enter the tree.
+    pub fn mutate_run<P, F, NF>(
+        &mut self,
+        cursor: &Cursor,
+        mut policy: P,
+        mutate: F,
+        notify: &mut NF,
+    ) where
+        P: FnMut(&E, usize) -> RunStep,
+        F: Fn(&mut E),
+        NF: FnMut(&E, NodeIdx),
+    {
+        let leaf_idx = cursor.leaf;
+        let mut idx = cursor.entry_idx;
+        let mut off = cursor.offset;
+        let mut net = WidthsDelta::default();
+        loop {
+            let n_entries = self.leaf(leaf_idx).entries.len();
+            if idx >= n_entries {
+                break;
+            }
+            let entry_len = self.leaf(leaf_idx).entries[idx].len();
+            if off >= entry_len {
+                idx += 1;
+                off = 0;
+                continue;
+            }
+            match policy(&self.leaf(leaf_idx).entries[idx], off) {
+                RunStep::Stop => break,
+                RunStep::Skip => {
+                    idx += 1;
+                    off = 0;
+                }
+                RunStep::Mutate(n) => {
+                    assert!(n > 0 && off + n <= entry_len, "bad RunStep::Mutate length");
+                    if off > 0 {
+                        // Split off the untouched head; the piece to mutate
+                        // becomes the entry at idx + 1.
+                        let tail = self.leaf_mut(leaf_idx).entries[idx].truncate(off);
+                        self.leaf_mut(leaf_idx).entries.insert(idx + 1, tail);
+                        idx += 1;
+                        off = 0;
+                    }
+                    if n < self.leaf(leaf_idx).entries[idx].len() {
+                        // Split off the untouched tail.
+                        let tail = self.leaf_mut(leaf_idx).entries[idx].truncate(n);
+                        self.leaf_mut(leaf_idx).entries.insert(idx + 1, tail);
+                    }
+                    let piece = &mut self.leaf_mut(leaf_idx).entries[idx];
+                    let before = Widths::of(piece);
+                    mutate(piece);
+                    net.accumulate(WidthsDelta::change(before, Widths::of(piece)));
+                    idx += 1;
+                }
+            }
+        }
+        // Resolve any overflow from the batch's splits. The policy may
+        // have multiplied the leaf's entries well past 2N, and splitting
+        // inserts the right half directly after the split leaf — so walk
+        // the affected region [leaf_idx, original successor) left to
+        // right, re-splitting until every leaf in it fits. `stop` is
+        // captured first: all new leaves land before it.
+        let stop = self.leaf(leaf_idx).next;
+        let mut split_occurred = false;
+        let mut cur = leaf_idx;
+        while cur != stop {
+            if self.leaf(cur).entries.len() > N {
+                self.split_leaf(cur, notify);
+                split_occurred = true;
+                continue; // re-check `cur`: its kept half may still overflow
+            }
+            cur = self.leaf(cur).next;
+        }
+        // Repair widths: incrementally (O(depth)) when the structure is
+        // unchanged; otherwise fully, for every leaf of the region —
+        // splits refresh the immediate parent slots but a region spanning
+        // several internal nodes can leave stale totals off the first and
+        // last root paths.
+        if !split_occurred {
+            self.repair_path_delta(leaf_idx, net);
+        } else {
+            let mut cur = leaf_idx;
+            while cur != stop {
+                self.repair_path(cur);
+                cur = self.leaf(cur).next;
+            }
+        }
     }
 
     /// Deletes `del_len` units starting at `cur`-dimension position `pos`.
@@ -703,7 +924,13 @@ impl<E: TreeEntry> ContentTree<E> {
                     tail
                 };
                 let leaf_idx = cursor.leaf;
-                self.insert_entries_at(leaf_idx, cursor.entry_idx + 1, vec![tail], &mut no_notify);
+                self.insert_entries_at(
+                    leaf_idx,
+                    cursor.entry_idx + 1,
+                    vec![tail],
+                    None,
+                    &mut no_notify,
+                );
                 self.repair_path(leaf_idx);
                 return;
             }
@@ -747,7 +974,7 @@ impl<E: TreeEntry> ContentTree<E> {
             Node::Internal(n) => {
                 assert_eq!(n.parent, expected_parent, "bad parent at {idx}");
                 assert!(!n.children.is_empty());
-                assert!(n.children.len() <= MAX_CHILDREN);
+                assert!(n.children.len() <= N);
                 assert_eq!(n.children.len(), n.widths.len());
                 let mut total = Widths::default();
                 for (i, &c) in n.children.iter().enumerate() {
@@ -759,7 +986,7 @@ impl<E: TreeEntry> ContentTree<E> {
             }
             Node::Leaf(l) => {
                 assert_eq!(l.parent, expected_parent, "bad parent at leaf {idx}");
-                assert!(l.entries.len() <= MAX_ENTRIES);
+                assert!(l.entries.len() <= N);
                 let mut total = Widths::default();
                 for e in &l.entries {
                     assert!(!e.is_empty(), "empty entry stored");
@@ -776,13 +1003,13 @@ impl<E: TreeEntry> ContentTree<E> {
 }
 
 /// Iterator over the tree's entries in order. See [`ContentTree::iter`].
-pub struct TreeIter<'a, E: TreeEntry> {
-    tree: &'a ContentTree<E>,
+pub struct TreeIter<'a, E: TreeEntry, const N: usize = DEFAULT_FANOUT> {
+    tree: &'a ContentTree<E, N>,
     leaf: NodeIdx,
     entry_idx: usize,
 }
 
-impl<'a, E: TreeEntry> Iterator for TreeIter<'a, E> {
+impl<'a, E: TreeEntry, const N: usize> Iterator for TreeIter<'a, E, N> {
     type Item = &'a E;
 
     fn next(&mut self) -> Option<&'a E> {

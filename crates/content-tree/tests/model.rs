@@ -1,6 +1,6 @@
 //! Model-based tests: the B-tree against a flat `Vec` of units.
 
-use eg_content_tree::{ContentTree, NodeIdx, TreeEntry};
+use eg_content_tree::{ContentTree, NodeIdx, RunStep, TreeEntry};
 use eg_rle::{HasLength, MergableSpan, SplitableSpan};
 use proptest::prelude::*;
 
@@ -104,7 +104,7 @@ impl Model {
     }
 }
 
-fn flatten(tree: &ContentTree<TestSpan>) -> Vec<Unit> {
+fn flatten<const N: usize>(tree: &ContentTree<TestSpan, N>) -> Vec<Unit> {
     let mut out = Vec::new();
     for e in tree.iter() {
         for i in 0..e.len {
@@ -130,6 +130,15 @@ enum Op {
         cur: bool,
         end: bool,
     },
+    /// Same as `Mutate`, but through the span-batched `mutate_run` API:
+    /// up to `len` cur-visible units from the position, skipping
+    /// cur-invisible entries, bounded by the leaf.
+    MutateRun {
+        pos_bp: u16,
+        len: usize,
+        cur: bool,
+        end: bool,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -143,11 +152,19 @@ fn op_strategy() -> impl Strategy<Value = Op> {
                 end
             }
         ),
+        (0u16..=10_000, 1usize..24, any::<bool>(), any::<bool>()).prop_map(
+            |(pos_bp, len, cur, end)| Op::MutateRun {
+                pos_bp,
+                len,
+                cur,
+                end
+            }
+        ),
     ]
 }
 
-fn apply_ops(ops: &[Op]) -> (ContentTree<TestSpan>, Model) {
-    let mut tree: ContentTree<TestSpan> = ContentTree::new();
+fn apply_ops<const N: usize>(ops: &[Op]) -> (ContentTree<TestSpan, N>, Model) {
+    let mut tree: ContentTree<TestSpan, N> = ContentTree::new();
     let mut model = Model::default();
     let mut next_id = 0usize;
     for op in ops {
@@ -208,6 +225,53 @@ fn apply_ops(ops: &[Op]) -> (ContentTree<TestSpan>, Model) {
                     u.end = end;
                 }
             }
+            Op::MutateRun {
+                pos_bp,
+                len,
+                cur,
+                end,
+            } => {
+                let total = model.total_cur();
+                if total == 0 {
+                    continue;
+                }
+                let k = (pos_bp as usize * (total - 1)) / 10_000;
+                let (cursor, _) = tree.cursor_at_cur_unit(k);
+                // Batch: mutate up to `len` cur-visible units, skipping
+                // cur-invisible entries, within the cursor's leaf. The
+                // policy records the chosen id ranges for mirroring.
+                let mut remaining = len;
+                let mut picked: Vec<(usize, usize)> = Vec::new();
+                tree.mutate_run(
+                    &cursor,
+                    |e, off| {
+                        if remaining == 0 {
+                            return RunStep::Stop;
+                        }
+                        if e.width_cur() == 0 {
+                            return RunStep::Skip;
+                        }
+                        let take = remaining.min(e.len - off);
+                        picked.push((e.start + off, take));
+                        remaining -= take;
+                        RunStep::Mutate(take)
+                    },
+                    |e| {
+                        e.cur = cur;
+                        e.end = end;
+                    },
+                    &mut |_, _| {},
+                );
+                assert!(!picked.is_empty(), "cursor entry must be mutable");
+                for &(start, n) in &picked {
+                    for u in model.units.iter_mut() {
+                        if (start..start + n).contains(&u.id) {
+                            u.cur = cur;
+                            u.end = end;
+                        }
+                    }
+                }
+            }
         }
         tree.check();
         assert_eq!(flatten(&tree), model.units, "content mismatch");
@@ -220,7 +284,7 @@ proptest! {
 
     #[test]
     fn model_equivalence(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        let (tree, model) = apply_ops(&ops);
+        let (tree, model) = apply_ops::<16>(&ops);
         // Verify order statistics at every cur position.
         let total = model.total_cur();
         let got = tree.total_widths();
@@ -235,10 +299,24 @@ proptest! {
         }
     }
 
+    /// Splitting behaviour is fanout-dependent; re-run the model at a tiny
+    /// fanout (deep trees, frequent splits) and a large one (wide leaves).
+    #[test]
+    fn model_equivalence_fanout_4(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let (tree, model) = apply_ops::<4>(&ops);
+        prop_assert_eq!(flatten(&tree), model.units);
+    }
+
+    #[test]
+    fn model_equivalence_fanout_64(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let (tree, model) = apply_ops::<64>(&ops);
+        prop_assert_eq!(flatten(&tree), model.units);
+    }
+
     /// `offset_of` (the upward walk) agrees with the model for every entry.
     #[test]
     fn offsets_match(ops in proptest::collection::vec(op_strategy(), 1..80)) {
-        let (tree, model) = apply_ops(&ops);
+        let (tree, model) = apply_ops::<16>(&ops);
         // Walk every entry via a cursor and compare offset_of with a scan.
         let mut cursor = tree.cursor_at_start();
         let mut flat = 0usize;
@@ -259,6 +337,59 @@ proptest! {
         }
         prop_assert_eq!(flat, model.units.len());
     }
+}
+
+/// Regression: a `mutate_run` policy may split every entry it visits
+/// (here each length-3 entry becomes three), growing the leaf far past
+/// `2 * N` before overflow resolution runs. The resolution loop must
+/// re-split every over-full leaf in the affected region, not just the
+/// first and last.
+#[test]
+fn mutate_run_many_splits_keeps_invariants() {
+    let mut tree: ContentTree<TestSpan, 16> = ContentTree::new();
+    let mut model = Model::default();
+    // Fill one leaf to capacity with length-3 entries (gapped ids so they
+    // never merge).
+    for i in 0..16 {
+        let span = TestSpan {
+            start: i * 10,
+            len: 3,
+            cur: true,
+            end: true,
+        };
+        let cursor = tree.cursor_at_cur_pos(i * 3);
+        tree.insert_at(cursor, span, &mut |_, _| {});
+        for k in 0..3 {
+            model.units.push(Unit {
+                id: i * 10 + k,
+                cur: true,
+                end: true,
+            });
+        }
+    }
+    tree.check();
+    // Mutate one unit of every entry: 16 entries explode into 48.
+    let cursor = tree.cursor_at_cur_pos(0);
+    let mut picked: Vec<usize> = Vec::new();
+    tree.mutate_run(
+        &cursor,
+        |e, off| {
+            picked.push(e.start + off);
+            RunStep::Mutate(1)
+        },
+        |e| {
+            e.end = false;
+        },
+        &mut |_, _| {},
+    );
+    tree.check();
+    for u in model.units.iter_mut() {
+        if picked.contains(&u.id) {
+            u.end = false;
+        }
+    }
+    assert_eq!(flatten(&tree), model.units);
+    assert_eq!(tree.total_widths().end, model.units.len() - picked.len());
 }
 
 #[test]

@@ -16,10 +16,19 @@
 
 use crate::op::{ListOpKind, OpRun, TextOperation};
 use crate::OpLog;
-use eg_content_tree::{ContentTree, Cursor, NodeIdx, TreeEntry};
+use eg_content_tree::{ContentTree, Cursor, NodeIdx, RunStep, TreeEntry, NODE_IDX_NONE};
 use eg_dag::LV;
 use eg_rle::{DTRange, HasLength, IntervalMap, MergableSpan, SplitableSpan};
+use std::cell::Cell;
 use std::collections::BTreeMap;
+
+/// Fanout of the tracker's record tree. Chosen by the `walker_hot` fanout
+/// sweep (`cargo bench -p eg-bench --bench walker_hot`): on the C1/C2
+/// concurrent traces 16 and 32 are within noise of each other on C1 while
+/// 16 wins clearly on C2, and both beat 8 (deep trees: more descent and
+/// repair levels) and 64 (wide nodes: linear scans and `Vec` shifts
+/// dominate). Re-run the sweep after changing the record layout.
+pub const TRACKER_FANOUT: usize = 16;
 
 /// Origin sentinel: inserted at the start of the document.
 pub const ORIGIN_START: usize = usize::MAX;
@@ -178,14 +187,79 @@ impl DelTarget {
     }
 }
 
+/// The tracker's character-ID → tree-leaf index (the paper's "second
+/// B-tree", §3.4).
+///
+/// Real character IDs are insert-event LVs — a dense `0..num_events`
+/// space — so they index a flat vector directly: O(1) point lookups and a
+/// `fill` per split notification, an order of magnitude cheaper than the
+/// interval-map route the profile showed dominating C1/C2 merge time.
+/// Placeholder (underwater) IDs sit near `usize::MAX` and stay in an
+/// [`IntervalMap`], which handles their huge sparse ranges in O(pieces).
+#[derive(Debug, Default)]
+struct IdIndex {
+    /// Real IDs: `dense[lv]` is the leaf holding the record, or
+    /// [`NODE_IDX_NONE`] for ids never indexed.
+    dense: Vec<NodeIdx>,
+    /// Underwater IDs, keyed by their full `usize` range.
+    underwater: IntervalMap<NodeIdx>,
+}
+
+impl IdIndex {
+    /// Points every id of `ids` (one uniform span: all real or all
+    /// underwater) at `leaf`.
+    fn set(&mut self, ids: DTRange, leaf: NodeIdx) {
+        if ids.start >= UNDERWATER_START {
+            self.underwater.set(ids, leaf);
+            return;
+        }
+        debug_assert!(ids.end <= UNDERWATER_START, "span straddles id spaces");
+        if self.dense.len() < ids.end {
+            self.dense.resize(ids.end, NODE_IDX_NONE);
+        }
+        self.dense[ids.start..ids.end].fill(leaf);
+    }
+
+    /// The leaf indexed for `id`, if any.
+    fn get(&self, id: usize) -> Option<NodeIdx> {
+        if id >= UNDERWATER_START {
+            return self.underwater.get(id).map(|(_, leaf)| leaf);
+        }
+        self.dense
+            .get(id)
+            .copied()
+            .filter(|&leaf| leaf != NODE_IDX_NONE)
+    }
+
+    fn clear(&mut self) {
+        self.dense.clear();
+        self.underwater.clear();
+    }
+}
+
 /// The transient internal state of the Eg-walker algorithm.
+///
+/// `N` is the fanout of the record tree (see [`TRACKER_FANOUT`]); it is a
+/// parameter so the `walker_hot` benchmark can sweep it.
 #[derive(Debug)]
-pub struct Tracker {
-    tree: ContentTree<CrdtSpan>,
+pub struct Tracker<const N: usize = TRACKER_FANOUT> {
+    tree: ContentTree<CrdtSpan, N>,
     /// Character ID → tree leaf holding its record.
-    ins_loc: IntervalMap<NodeIdx>,
+    ins_loc: IdIndex,
     /// Delete-event LV (run start) → targets.
     del_targets: BTreeMap<LV, DelTarget>,
+    /// Last-used cursor, the fast path for sequential ID lookups.
+    ///
+    /// Validation is by ID containment: record IDs are unique across the
+    /// tree and leaves are never demoted to internal nodes, so *any* entry
+    /// that contains the sought ID is the right one no matter how stale
+    /// the cached position is. The cache therefore only has to be dropped
+    /// when the ID space itself resets ([`Tracker::clear`]); structural
+    /// edits merely turn hits into misses.
+    cache: Cell<Option<Cursor>>,
+    /// Disables the cache entirely (reference mode for equivalence tests
+    /// and the `walker_hot` cache ablation).
+    cache_enabled: bool,
 }
 
 /// Direction of a prepare-version move.
@@ -195,20 +269,29 @@ enum Dir {
     Advance,
 }
 
-impl Default for Tracker {
+impl<const N: usize> Default for Tracker<N> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Tracker {
+impl<const N: usize> Tracker<N> {
     /// Creates a cleared tracker: a single placeholder standing for the
     /// (unknown) document at the replay base version.
     pub fn new() -> Self {
+        Self::new_with_cache(true)
+    }
+
+    /// [`Tracker::new`] with the cursor cache switched on or off. The two
+    /// modes produce byte-identical output; disabling exists for the
+    /// equivalence property tests and the cache ablation benchmark.
+    pub fn new_with_cache(cache_enabled: bool) -> Self {
         let mut t = Tracker {
             tree: ContentTree::new(),
-            ins_loc: IntervalMap::new(),
+            ins_loc: IdIndex::default(),
             del_targets: BTreeMap::new(),
+            cache: Cell::new(None),
+            cache_enabled,
         };
         t.install_placeholder();
         t
@@ -220,6 +303,8 @@ impl Tracker {
         self.tree.clear();
         self.ins_loc.clear();
         self.del_targets.clear();
+        // The arena was released: cached node indexes are meaningless.
+        self.cache.set(None);
         self.install_placeholder();
     }
 
@@ -252,28 +337,70 @@ impl Tracker {
         self.tree.iter().copied().collect()
     }
 
-    /// Finds the record chunk containing `id`, returning a cursor at it and
-    /// the remaining length of the containing entry from that offset.
-    fn cursor_for_id(&self, id: usize) -> (Cursor, usize) {
-        let (_, leaf) = self
-            .ins_loc
-            .get(id)
-            .unwrap_or_else(|| panic!("unknown record id {id}"));
-        let entries = self.tree.entries_in_leaf(leaf);
-        for (i, e) in entries.iter().enumerate() {
+    /// Scans one leaf for the entry containing `id`.
+    fn find_in_leaf(&self, leaf: NodeIdx, id: usize) -> Option<(Cursor, usize)> {
+        for (i, e) in self.tree.entries_in_leaf(leaf).iter().enumerate() {
             if e.id.contains(id) {
                 let offset = id - e.id.start;
-                return (
+                return Some((
                     Cursor {
                         leaf,
                         entry_idx: i,
                         offset,
                     },
                     e.len() - offset,
-                );
+                ));
             }
         }
-        panic!("record id {id} not found in its indexed leaf");
+        None
+    }
+
+    /// Finds the record chunk containing `id`, returning a cursor at it and
+    /// the remaining length of the containing entry from that offset.
+    ///
+    /// Fast path: probe the cached cursor's leaf and its successor (runs
+    /// are laid out left-to-right, so sequential lookups land there);
+    /// otherwise descend via the ID index and re-seed the cache.
+    fn cursor_for_id(&self, id: usize) -> (Cursor, usize) {
+        if self.cache_enabled {
+            if let Some(c) = self.cache.get() {
+                let hit = self.find_in_leaf(c.leaf, id).or_else(|| {
+                    let next = self.tree.next_leaf(c.leaf);
+                    if next != NODE_IDX_NONE {
+                        self.find_in_leaf(next, id)
+                    } else {
+                        None
+                    }
+                });
+                if let Some(found) = hit {
+                    self.cache.set(Some(found.0));
+                    return found;
+                }
+            }
+        }
+        let leaf = self
+            .ins_loc
+            .get(id)
+            .unwrap_or_else(|| panic!("unknown record id {id}"));
+        let found = self
+            .find_in_leaf(leaf, id)
+            .unwrap_or_else(|| panic!("record id {id} not found in its indexed leaf"));
+        if self.cache_enabled {
+            self.cache.set(Some(found.0));
+        }
+        found
+    }
+
+    /// Re-seeds the cursor cache at the start of `leaf` (the best guess
+    /// after a batched mutation restructured it).
+    fn seed_cache(&self, leaf: NodeIdx) {
+        if self.cache_enabled {
+            self.cache.set(Some(Cursor {
+                leaf,
+                entry_idx: 0,
+                offset: 0,
+            }));
+        }
     }
 
     /// The raw sequence position of the record with the given ID.
@@ -284,16 +411,45 @@ impl Tracker {
 
     /// Applies a state-machine step to the records of `ids` (ascending
     /// chunk; order within is irrelevant as every unit gets the same step).
-    fn mutate_ids(&mut self, mut ids: DTRange, step: impl Fn(&mut CrdtSpan) + Copy) {
-        while !ids.is_empty() {
-            let (cursor, avail) = self.cursor_for_id(ids.start);
-            let chunk = ids.len().min(avail);
-            let tree = &mut self.tree;
-            let ins_loc = &mut self.ins_loc;
-            tree.mutate_entry(&cursor, chunk, |e| step(e), &mut |e: &CrdtSpan, leaf| {
-                ins_loc.set(e.id, leaf);
-            });
-            ids.start += chunk;
+    ///
+    /// Span-batched: one tree descent per *leaf* worth of consecutive
+    /// records, mutated in a single [`ContentTree::mutate_run`] pass with
+    /// one width fix-up, instead of a descent + repair per entry.
+    fn mutate_ids(&mut self, ids: DTRange, step: impl Fn(&mut CrdtSpan) + Copy) {
+        let mut next = ids.start;
+        while next < ids.end {
+            let (cursor, _) = self.cursor_for_id(next);
+            let before = next;
+            let end = ids.end;
+            {
+                let tree = &mut self.tree;
+                let ins_loc = &mut self.ins_loc;
+                tree.mutate_run(
+                    &cursor,
+                    |e: &CrdtSpan, off| {
+                        // Keep batching while the leaf's entries continue
+                        // the ID run; anything else re-descends.
+                        if next >= end {
+                            RunStep::Stop
+                        } else if e.id.start + off == next {
+                            let n = (end - next).min(e.len() - off);
+                            next += n;
+                            RunStep::Mutate(n)
+                        } else {
+                            RunStep::Stop
+                        }
+                    },
+                    |e| step(e),
+                    &mut |e: &CrdtSpan, leaf| {
+                        ins_loc.set(e.id, leaf);
+                    },
+                );
+            }
+            assert!(next > before, "mutate_ids made no progress at id {next}");
+            // The batch may have split its leaf; probing from the leaf
+            // start still finds the continuation (there or in the split
+            // sibling, the leaf's successor).
+            self.seed_cache(cursor.leaf);
         }
     }
 
@@ -471,6 +627,11 @@ impl Tracker {
             .insert_at(dest, new_span, &mut |e: &CrdtSpan, leaf| {
                 ins_loc.set(e.id, leaf);
             });
+        // Sequential edits overwhelmingly target the just-inserted run
+        // (the next insert's origin-left, a following delete's target).
+        if self.cache_enabled {
+            self.cache.set(Some(placed));
+        }
 
         if emit {
             let w = self.tree.offset_of(placed.leaf, placed.entry_idx);
@@ -596,20 +757,16 @@ impl Tracker {
     ) where
         F: FnMut(DTRange, TextOperation),
     {
+        if run.fwd {
+            self.apply_delete_fwd(lvs, run, emit, out, observe);
+            return;
+        }
         let n = lvs.len();
         let mut done = 0usize;
-        // In prepare coordinates: forward runs keep deleting at a constant
-        // index; backward runs walk down from the top.
-        let mut bwd_pos = if run.fwd { 0 } else { run.loc.end - 1 };
+        // In prepare coordinates: backward runs walk down from the top.
+        let mut bwd_pos = run.loc.end - 1;
         while done < n {
-            let (cursor, end_off, chunk, target_ids, was_deleted) = if run.fwd {
-                let (c, end_off) = self.tree.cursor_at_cur_unit(run.loc.start);
-                let e = self.tree.entry_at(&c);
-                debug_assert_eq!(e.sp, SpState::Ins);
-                let chunk = (n - done).min(e.len() - c.offset);
-                let ids: DTRange = (e.id.start + c.offset..e.id.start + c.offset + chunk).into();
-                (c, end_off, chunk, ids, e.se_deleted)
-            } else {
+            let (cursor, end_off, chunk, target_ids, was_deleted) = {
                 let (c, end_off) = self.tree.cursor_at_cur_unit(bwd_pos);
                 let e = self.tree.entry_at(&c);
                 debug_assert_eq!(e.sp, SpState::Ins);
@@ -666,8 +823,104 @@ impl Tracker {
                 );
             }
             done += chunk;
-            if !run.fwd {
-                bwd_pos = bwd_pos.saturating_sub(chunk);
+            bwd_pos = bwd_pos.saturating_sub(chunk);
+        }
+    }
+
+    /// The forward-delete fast path: one `cur`-position descent per leaf,
+    /// then a span-batched [`ContentTree::mutate_run`] pass over the
+    /// consecutive visible entries, with the transformed-emit positions
+    /// maintained incrementally instead of re-derived by re-descending.
+    ///
+    /// A forward delete keeps deleting at a constant prepare index (each
+    /// chunk makes its characters invisible, pulling the next ones to the
+    /// same index), so the per-chunk descent of the naive loop does
+    /// redundant work proportional to tree depth × run length.
+    fn apply_delete_fwd<F>(
+        &mut self,
+        lvs: DTRange,
+        run: &OpRun,
+        emit: bool,
+        out: &mut F,
+        observe: &mut dyn FnMut(CrdtChange),
+    ) where
+        F: FnMut(DTRange, TextOperation),
+    {
+        /// One entry-bounded chunk of the delete, recorded by the batch
+        /// policy (identical granularity to the naive per-entry loop).
+        struct Piece {
+            ids: DTRange,
+            was_deleted: bool,
+            emit_pos: usize,
+        }
+        let n = lvs.len();
+        let mut done = 0usize;
+        while done < n {
+            let (cursor, end_off) = self.tree.cursor_at_cur_unit(run.loc.start);
+            let mut pieces: Vec<Piece> = Vec::new();
+            let mut remaining = n - done;
+            // Number of end-visible units before the next target: starts at
+            // the descent's answer; skipped (cur-invisible) entries that
+            // are still end-visible push later targets right, while pieces
+            // just deleted stop counting — exactly what a fresh descent
+            // would report.
+            let mut emit_pos = end_off;
+            {
+                let tree = &mut self.tree;
+                let ins_loc = &mut self.ins_loc;
+                tree.mutate_run(
+                    &cursor,
+                    |e: &CrdtSpan, off| {
+                        if remaining == 0 {
+                            return RunStep::Stop;
+                        }
+                        if e.width_cur() == 0 {
+                            debug_assert_eq!(off, 0);
+                            emit_pos += e.width_end();
+                            return RunStep::Skip;
+                        }
+                        debug_assert_eq!(e.sp, SpState::Ins);
+                        let take = remaining.min(e.len() - off);
+                        pieces.push(Piece {
+                            ids: (e.id.start + off..e.id.start + off + take).into(),
+                            was_deleted: e.se_deleted,
+                            emit_pos,
+                        });
+                        remaining -= take;
+                        RunStep::Mutate(take)
+                    },
+                    |e| {
+                        debug_assert_eq!(e.sp, SpState::Ins);
+                        e.sp = SpState::Del(1);
+                        e.se_deleted = true;
+                    },
+                    &mut |e: &CrdtSpan, leaf| {
+                        ins_loc.set(e.id, leaf);
+                    },
+                );
+            }
+            debug_assert!(!pieces.is_empty(), "descent landed on a mutable entry");
+            self.seed_cache(cursor.leaf);
+            for p in &pieces {
+                let chunk = p.ids.len();
+                let events: DTRange = (lvs.start + done..lvs.start + done + chunk).into();
+                self.del_targets.insert(
+                    events.start,
+                    DelTarget {
+                        target: p.ids,
+                        fwd: true,
+                        len: chunk,
+                    },
+                );
+                observe(CrdtChange::Del {
+                    events,
+                    target: p.ids,
+                    fwd: true,
+                });
+                if emit && !p.was_deleted {
+                    out(events, TextOperation::del(p.emit_pos, chunk));
+                }
+                done += chunk;
             }
         }
     }
@@ -677,7 +930,7 @@ impl Tracker {
         self.tree.check();
     }
 }
-impl Tracker {
+impl<const N: usize> Tracker<N> {
     /// Debug helper: dumps the record sequence (id range, sp, se) in order.
     pub fn dump_entries(&self) -> Vec<(DTRange, String, bool)> {
         self.tree
@@ -739,7 +992,7 @@ mod tests {
 
     #[test]
     fn fresh_tracker_has_placeholder() {
-        let t = Tracker::new();
+        let t: Tracker = Tracker::new();
         assert_eq!(t.num_records(), 1);
         // The placeholder is visible in both dimensions.
         let w = t.tree.total_widths();

@@ -5,7 +5,7 @@
 //! windows on merge (§3.6).
 
 use crate::op::{ListOpKind, TextOperation};
-use crate::tracker::Tracker;
+use crate::tracker::{Tracker, TRACKER_FANOUT};
 use crate::OpLog;
 use eg_dag::walk::{plan_walk_with_order, PlanOrder};
 use eg_dag::{Frontier, LV};
@@ -23,6 +23,11 @@ pub struct WalkerOpts {
     /// non-default policies exist only for the traversal-order ablation
     /// that §4.3 describes ("as much as 8× slower").
     pub plan_order: PlanOrder,
+    /// Enables the tracker's last-used-cursor cache (on by default).
+    /// Disabling reproduces the reference (uncached) replay for the
+    /// equivalence property tests and the `walker_hot` cache ablation;
+    /// output is byte-identical either way.
+    pub cursor_cache: bool,
 }
 
 impl Default for WalkerOpts {
@@ -30,6 +35,7 @@ impl Default for WalkerOpts {
         WalkerOpts {
             enable_clearing: true,
             plan_order: PlanOrder::SmallestFirst,
+            cursor_cache: true,
         }
     }
 }
@@ -51,8 +57,24 @@ pub fn walk<F>(
 ) where
     F: FnMut(DTRange, TextOperation),
 {
+    walk_with_fanout::<TRACKER_FANOUT, F>(oplog, base, spans, emit, opts, out)
+}
+
+/// [`walk`] with an explicit tracker-tree fanout, for the `walker_hot`
+/// fanout sweep. Production callers use [`walk`], which fixes the fanout
+/// at [`TRACKER_FANOUT`].
+pub fn walk_with_fanout<const N: usize, F>(
+    oplog: &OpLog,
+    base: &Frontier,
+    spans: &[DTRange],
+    emit: &[DTRange],
+    opts: WalkerOpts,
+    out: &mut F,
+) where
+    F: FnMut(DTRange, TextOperation),
+{
     let plan = plan_walk_with_order(&oplog.graph, base, spans, emit, opts.plan_order);
-    let mut tracker = Tracker::new();
+    let mut tracker = Tracker::<N>::new_with_cache(opts.cursor_cache);
     // `clean` means: the tracker holds nothing but a placeholder, standing
     // for the document at the current (prepare == effect) version.
     let mut clean = true;
@@ -177,6 +199,17 @@ pub fn transformed_ops(
     merge_frontier: &[LV],
     opts: WalkerOpts,
 ) -> (Frontier, Vec<(DTRange, TextOperation)>) {
+    transformed_ops_with_fanout::<TRACKER_FANOUT>(oplog, from, merge_frontier, opts)
+}
+
+/// [`transformed_ops`] with an explicit tracker-tree fanout (see
+/// [`walk_with_fanout`]).
+pub fn transformed_ops_with_fanout<const N: usize>(
+    oplog: &OpLog,
+    from: &[LV],
+    merge_frontier: &[LV],
+    opts: WalkerOpts,
+) -> (Frontier, Vec<(DTRange, TextOperation)>) {
     let target = oplog.graph.version_union(from, merge_frontier);
     if target.as_slice() == from {
         return (target, Vec::new());
@@ -185,7 +218,7 @@ pub fn transformed_ops(
     debug_assert!(diff.only_a.is_empty());
     let (base, spans) = oplog.graph.conflict_window(from, &target);
     let mut out = Vec::new();
-    walk(oplog, &base, &spans, &diff.only_b, opts, &mut |lvs, op| {
+    walk_with_fanout::<N, _>(oplog, &base, &spans, &diff.only_b, opts, &mut |lvs, op| {
         out.push((lvs, op))
     });
     (target, out)

@@ -185,7 +185,7 @@ proptest! {
             b.merge_with_opts(
                 &oplog,
                 oplog.version(),
-                WalkerOpts { enable_clearing: true, plan_order: order },
+                WalkerOpts { enable_clearing: true, plan_order: order, ..Default::default() },
             );
             texts.push(b.content.to_string());
         }

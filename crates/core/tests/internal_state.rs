@@ -40,7 +40,7 @@ fn sink(_: DTRange, _: TextOperation) {}
 #[test]
 fn figure_6_left_state_after_e1_to_e4() {
     let oplog = figure_4_oplog();
-    let mut t = Tracker::new();
+    let mut t: Tracker = Tracker::new();
     t.apply_range(&oplog, (0..4).into(), false, &mut sink);
 
     // Fig. 6 left: records "H"(id 3→LV 2), "h"(id 1→LV 0), "i"(id 2→LV 1)
@@ -63,7 +63,7 @@ fn figure_6_left_state_after_e1_to_e4() {
 #[test]
 fn figure_6_right_state_after_retreating_e4_e3() {
     let oplog = figure_4_oplog();
-    let mut t = Tracker::new();
+    let mut t: Tracker = Tracker::new();
     t.apply_range(&oplog, (0..4).into(), false, &mut sink);
     // Move the prepare version back to {e2}: retreat e4 then e3.
     t.retreat(&oplog, (3..4).into());
@@ -89,7 +89,7 @@ fn figure_6_right_state_after_retreating_e4_e3() {
 #[test]
 fn figure_7_state_after_full_replay() {
     let oplog = figure_4_oplog();
-    let mut t = Tracker::new();
+    let mut t: Tracker = Tracker::new();
     // Drive the walk exactly as §3.2 narrates.
     t.apply_range(&oplog, (0..4).into(), false, &mut sink); // e1..e4
     t.retreat(&oplog, (3..4).into()); // retreat e4
@@ -131,7 +131,7 @@ fn figure_5_double_delete_counts() {
     oplog.add_delete_at(a, &v, 0, 1); // LV 1
     oplog.add_delete_at(b, &v, 0, 1); // LV 2, concurrent
 
-    let mut t = Tracker::new();
+    let mut t: Tracker = Tracker::new();
     t.apply_range(&oplog, (0..2).into(), false, &mut sink);
     // Prepare version {LV1}; to apply LV2 (parents {LV0}) retreat LV1.
     t.retreat(&oplog, (1..2).into());

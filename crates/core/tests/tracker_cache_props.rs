@@ -1,0 +1,111 @@
+//! Equivalence of the tracker's cursor-cache fast path with the uncached
+//! reference: on randomized concurrent traces, a cached and an uncached
+//! [`Tracker`] must stay byte-identical — same internal record sequence,
+//! same emitted operations — after **every** replay step, with the tree
+//! invariants intact throughout. The cache is pure memoisation; any
+//! divergence is a bug in its validation rules.
+
+use eg_dag::walk::{plan_walk_with_order, PlanOrder};
+use eg_rle::DTRange;
+use egwalker::testgen::random_oplog;
+use egwalker::tracker::Tracker;
+use egwalker::walker::transformed_ops;
+use egwalker::{OpLog, TextOperation, WalkerOpts};
+use proptest::prelude::*;
+
+/// Replays the full event graph through two trackers in lockstep — cursor
+/// cache on vs. off — asserting equality after every retreat, advance,
+/// and apply step.
+fn replay_lockstep(oplog: &OpLog) -> Result<(), TestCaseError> {
+    let target = oplog.version().clone();
+    let diff = oplog.graph.diff(&[], &target);
+    let (base, spans) = oplog.graph.conflict_window(&[], &target);
+    let plan = plan_walk_with_order(
+        &oplog.graph,
+        &base,
+        &spans,
+        &diff.only_b,
+        PlanOrder::SmallestFirst,
+    );
+
+    let mut cached: Tracker = Tracker::new_with_cache(true);
+    let mut reference: Tracker = Tracker::new_with_cache(false);
+    let mut ops_cached: Vec<(DTRange, TextOperation)> = Vec::new();
+    let mut ops_reference: Vec<(DTRange, TextOperation)> = Vec::new();
+
+    let assert_in_sync = |cached: &Tracker,
+                          reference: &Tracker,
+                          ops_cached: &[(DTRange, TextOperation)],
+                          ops_reference: &[(DTRange, TextOperation)]|
+     -> Result<(), TestCaseError> {
+        cached.check();
+        reference.check();
+        prop_assert_eq!(cached.records(), reference.records(), "records diverged");
+        prop_assert_eq!(ops_cached, ops_reference, "emitted ops diverged");
+        Ok(())
+    };
+
+    for step in &plan {
+        for r in step.retreat.iter().rev() {
+            cached.retreat(oplog, *r);
+            reference.retreat(oplog, *r);
+            assert_in_sync(&cached, &reference, &ops_cached, &ops_reference)?;
+        }
+        for r in &step.advance {
+            cached.advance(oplog, *r);
+            reference.advance(oplog, *r);
+            assert_in_sync(&cached, &reference, &ops_cached, &ops_reference)?;
+        }
+        cached.apply_range(oplog, step.consume, true, &mut |lvs, op| {
+            ops_cached.push((lvs, op));
+        });
+        reference.apply_range(oplog, step.consume, true, &mut |lvs, op| {
+            ops_reference.push((lvs, op));
+        });
+        assert_in_sync(&cached, &reference, &ops_cached, &ops_reference)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Step-by-step tracker equivalence on random concurrent histories.
+    #[test]
+    fn cached_tracker_matches_reference(
+        seed in 0u64..1_000_000,
+        steps in 1usize..80,
+        replicas in 1usize..5,
+        merge_prob in 0.0f64..0.6,
+    ) {
+        let oplog = random_oplog(seed, steps, replicas, merge_prob);
+        replay_lockstep(&oplog)?;
+    }
+
+    /// End-to-end: the full walker (including §3.5 clearing and
+    /// fast-forward) emits an identical transformed-operation stream with
+    /// the cache on and off.
+    #[test]
+    fn walker_output_identical_with_and_without_cache(
+        seed in 0u64..1_000_000,
+        steps in 1usize..100,
+        replicas in 1usize..5,
+        merge_prob in 0.0f64..0.6,
+    ) {
+        let oplog = random_oplog(seed, steps, replicas, merge_prob);
+        let on = transformed_ops(
+            &oplog,
+            &[],
+            oplog.version(),
+            WalkerOpts { cursor_cache: true, ..Default::default() },
+        );
+        let off = transformed_ops(
+            &oplog,
+            &[],
+            oplog.version(),
+            WalkerOpts { cursor_cache: false, ..Default::default() },
+        );
+        prop_assert_eq!(on.0, off.0, "final versions diverged");
+        prop_assert_eq!(on.1, off.1, "op streams diverged");
+    }
+}

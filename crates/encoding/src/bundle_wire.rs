@@ -163,6 +163,9 @@ pub fn decode_bundle(bytes: &[u8]) -> Result<EventBundle, DecodeError> {
         if len == 0 {
             return Err(DecodeError::Corrupt);
         }
+        // `loc_start + len` is computed below; near-usize::MAX values in a
+        // (CRC-valid) crafted frame must not overflow-panic the decoder.
+        let loc_end = loc_start.checked_add(len).ok_or(DecodeError::Corrupt)?;
         let num_parents = read_usize(&mut input)?;
         if num_parents > input.len() {
             return Err(DecodeError::Corrupt);
@@ -190,7 +193,7 @@ pub fn decode_bundle(bytes: &[u8]) -> Result<EventBundle, DecodeError> {
             seq_start,
             parents,
             kind,
-            loc: (loc_start..loc_start + len).into(),
+            loc: (loc_start..loc_end).into(),
             fwd,
             content,
         });

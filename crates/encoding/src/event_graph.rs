@@ -287,6 +287,11 @@ pub fn decode(data: &[u8]) -> Result<Decoded, DecodeError> {
     // Agent names.
     let mut names_cur = get(chunk::AGENT_NAMES)?;
     let num_agents = read_usize(&mut names_cur)?;
+    // Each agent record takes at least one byte; a larger claimed count is
+    // corrupt, and must be rejected *before* sizing the allocation.
+    if num_agents > names_cur.len() {
+        return Err(DecodeError::Corrupt);
+    }
     let mut oplog = OpLog::new();
     let mut agents = Vec::with_capacity(num_agents);
     for _ in 0..num_agents {
@@ -331,7 +336,7 @@ pub fn decode(data: &[u8]) -> Result<Decoded, DecodeError> {
             fwd,
             pos: pos as usize,
         });
-        total += len;
+        total = total.checked_add(len).ok_or(DecodeError::Corrupt)?;
     }
     if total != n {
         return Err(DecodeError::Corrupt);
@@ -348,6 +353,11 @@ pub fn decode(data: &[u8]) -> Result<Decoded, DecodeError> {
     while covered < n {
         let span_len = read_usize(&mut parents_cur)?;
         let pcount = read_usize(&mut parents_cur)?;
+        // Each parent takes at least one byte: reject inflated counts
+        // before allocating.
+        if pcount > parents_cur.len() {
+            return Err(DecodeError::Corrupt);
+        }
         let mut parents = Vec::with_capacity(pcount);
         for _ in 0..pcount {
             let back = read_usize(&mut parents_cur)?;
@@ -357,7 +367,7 @@ pub fn decode(data: &[u8]) -> Result<Decoded, DecodeError> {
             parents.push(covered - back);
         }
         parents_runs.push((span_len, parents));
-        covered += span_len;
+        covered = covered.checked_add(span_len).ok_or(DecodeError::Corrupt)?;
     }
     if covered != n {
         return Err(DecodeError::Corrupt);
@@ -375,7 +385,7 @@ pub fn decode(data: &[u8]) -> Result<Decoded, DecodeError> {
             return Err(DecodeError::Corrupt);
         }
         assigns.push((agent, seq_start, len));
-        assigned += len;
+        assigned = assigned.checked_add(len).ok_or(DecodeError::Corrupt)?;
     }
     if assigned != n {
         return Err(DecodeError::Corrupt);

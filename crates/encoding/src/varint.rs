@@ -56,6 +56,13 @@ pub fn push_i64(out: &mut Vec<u8>, value: i64) {
 }
 
 /// Reads a LEB128 value, advancing `input`.
+///
+/// Rejects every encoding [`push_u64`] cannot produce: values longer than
+/// 10 bytes, 10-byte values whose final byte carries bits past bit 63
+/// (they would silently overflow the `u64`), and non-canonical
+/// zero-extended forms (a continuation byte followed by `0x00`). Each
+/// `u64` therefore has exactly one accepted byte sequence — decode is a
+/// partial inverse of encode, never a lossy one.
 pub fn read_u64(input: &mut &[u8]) -> Result<u64, DecodeError> {
     let mut value = 0u64;
     let mut shift = 0u32;
@@ -63,6 +70,16 @@ pub fn read_u64(input: &mut &[u8]) -> Result<u64, DecodeError> {
         let (&byte, rest) = input.split_first().ok_or(DecodeError::UnexpectedEof)?;
         *input = rest;
         if shift >= 64 {
+            return Err(DecodeError::Overlong);
+        }
+        if shift == 63 && byte & !0x01 != 0 {
+            // The 10th byte holds only bit 63; anything above overflows
+            // (and a continuation bit would exceed 10 bytes anyway).
+            return Err(DecodeError::Overlong);
+        }
+        if byte == 0 && shift > 0 {
+            // A zero final byte after a continuation byte is a
+            // non-canonical (zero-extended) encoding.
             return Err(DecodeError::Overlong);
         }
         value |= ((byte & 0x7f) as u64) << shift;
@@ -151,5 +168,57 @@ mod tests {
     fn overlong_detected() {
         let mut s: &[u8] = &[0x80; 11];
         assert_eq!(read_u64(&mut s), Err(DecodeError::Overlong));
+    }
+
+    /// The boundary encodings around the 10-byte limit: `u64::MAX` must
+    /// round-trip, while any 10-byte form carrying bits past bit 63 must
+    /// be rejected rather than silently truncated.
+    #[test]
+    fn ten_byte_boundary_encodings() {
+        // u64::MAX == nine 0xff continuation bytes + final 0x01 (bit 63).
+        let max = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01];
+        let mut s: &[u8] = &max;
+        assert_eq!(read_u64(&mut s), Ok(u64::MAX));
+        assert!(s.is_empty());
+
+        // Same prefix with bit 64 set in the final byte: overflows u64.
+        let over = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut s: &[u8] = &over;
+        assert_eq!(read_u64(&mut s), Err(DecodeError::Overlong));
+
+        // A final byte with several high bits: pre-fix this truncated to
+        // a small value (0x7f << 63 keeps only bit 63).
+        let wide = [0x81, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x7f];
+        let mut s: &[u8] = &wide;
+        assert_eq!(read_u64(&mut s), Err(DecodeError::Overlong));
+
+        // A 10th byte with the continuation bit set never fit in u64.
+        let cont = [
+            0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x81, 0x00,
+        ];
+        let mut s: &[u8] = &cont;
+        assert_eq!(read_u64(&mut s), Err(DecodeError::Overlong));
+    }
+
+    /// Non-canonical zero-extended encodings (e.g. `[0x80, 0x00]` for 0)
+    /// are rejected: every value has exactly one accepted byte form.
+    #[test]
+    fn non_canonical_rejected() {
+        for bad in [
+            &[0x80u8, 0x00][..],
+            &[0x81, 0x00],
+            &[0xff, 0x80, 0x00],
+            &[0x80, 0x80, 0x00],
+        ] {
+            let mut s: &[u8] = bad;
+            assert_eq!(
+                read_u64(&mut s),
+                Err(DecodeError::Overlong),
+                "accepted non-canonical {bad:02x?}"
+            );
+        }
+        // Plain zero is canonical.
+        let mut s: &[u8] = &[0x00];
+        assert_eq!(read_u64(&mut s), Ok(0));
     }
 }

@@ -1,7 +1,20 @@
 //! Robustness battery for the storage and wire codecs: every corruption
 //! must surface as an error, never a panic or a silently wrong document.
+//!
+//! Besides the random-mutation fuzzing, a **stored regression corpus**
+//! (`decoder_regression_corpus` below) pins the specific malformed frames
+//! that slipped past earlier decoder revisions: overlong varints whose
+//! high bits silently overflowed a `u64`, and CRC-valid frames whose
+//! length fields overflow-panicked the arithmetic after the checksum had
+//! already passed. Each entry is constructed deterministically so the
+//! exact bytes survive in the repository history.
 
-use eg_encoding::{decode, decode_bundle, encode, encode_bundle, lz4, EncodeOpts};
+use eg_dag::RemoteId;
+use eg_encoding::varint::push_usize;
+use eg_encoding::{
+    crc32, decode, decode_bundle, decode_bundle_batch, decode_digest, encode, encode_bundle,
+    encode_bundle_batch, encode_digest, lz4, DecodeError, EncodeOpts,
+};
 use egwalker::testgen::random_oplog;
 use egwalker::OpLog;
 use proptest::prelude::*;
@@ -90,6 +103,16 @@ proptest! {
     }
 
     #[test]
+    fn digest_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_digest(&bytes);
+    }
+
+    #[test]
+    fn bundle_batch_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_bundle_batch(&bytes);
+    }
+
+    #[test]
     fn lz4_decompressor_never_panics(
         bytes in prop::collection::vec(any::<u8>(), 0..300),
         max in 0usize..4096,
@@ -158,6 +181,119 @@ proptest! {
             peer.checkout_tip().content.to_string(),
             oplog.checkout_tip().content.to_string()
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stored regression corpus: deterministic malformed frames that earlier
+// decoder revisions accepted (silently truncating overlong varints) or
+// panicked on (length-field overflow after a valid CRC). CRCs are
+// recomputed here so each input exercises the *structural* checks, not
+// the checksum.
+// ---------------------------------------------------------------------------
+
+/// Frames `body` with the given magic, wire version 1, and a valid CRC32
+/// trailer — the shape shared by `EGWD`, `EGWM`, and `EGWB`.
+fn crafted_frame(magic: &[u8; 4], body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(magic);
+    out.push(1);
+    out.extend_from_slice(body);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// A 10-byte varint whose final byte sets bit 64: earlier `read_u64`
+/// revisions shifted the excess bits into oblivion and decoded `1`.
+const OVERLONG_ONE: [u8; 10] = [0x81, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02];
+/// A zero-extended (non-canonical) encoding of `0`.
+const ZERO_EXTENDED_ZERO: [u8; 2] = [0x80, 0x00];
+
+#[test]
+fn corpus_overlong_varint_count_rejected() {
+    // An EGWD digest whose doc count is the overflowing 10-byte form of 1,
+    // followed by exactly the one document that count implies. The frame
+    // CRC-validates; only varint strictness can reject it. The pre-fix
+    // decoder accepted it wholesale.
+    let mut body = Vec::new();
+    push_usize(&mut body, 0); // no interned agents
+    body.extend_from_slice(&OVERLONG_ONE); // doc count: "1", overflowing
+    push_usize(&mut body, 5); // doc id
+    push_usize(&mut body, 0); // no tips
+    let frame = crafted_frame(b"EGWD", &body);
+    assert_eq!(decode_digest(&frame), Err(DecodeError::Overlong));
+}
+
+#[test]
+fn corpus_zero_extended_varint_rejected() {
+    // Agent count written as the non-canonical [0x80, 0x00]: same value
+    // space, different bytes — must not decode.
+    let mut body = Vec::new();
+    body.extend_from_slice(&ZERO_EXTENDED_ZERO); // agent count: "0"
+    push_usize(&mut body, 0); // doc count
+    let frame = crafted_frame(b"EGWD", &body);
+    assert_eq!(decode_digest(&frame), Err(DecodeError::Overlong));
+}
+
+#[test]
+fn corpus_bundle_loc_overflow_rejected() {
+    // An EGWB run whose loc.start sits at usize::MAX with len 2: computing
+    // the exclusive range end overflowed (a panic in debug builds) before
+    // the checked_add guard.
+    let mut body = Vec::new();
+    push_usize(&mut body, 1); // one agent
+    push_usize(&mut body, 1);
+    body.push(b'a');
+    push_usize(&mut body, 1); // one run
+    push_usize(&mut body, 0); // agent index
+    push_usize(&mut body, 0); // seq_start
+    body.push(0); // flags: Ins, not fwd
+    push_usize(&mut body, usize::MAX); // loc.start
+    push_usize(&mut body, 2); // run length -> loc.end overflows
+    push_usize(&mut body, 0); // no parents
+    push_usize(&mut body, 2); // content bytes
+    body.extend_from_slice(b"ab");
+    let frame = crafted_frame(b"EGWB", &body);
+    assert_eq!(decode_bundle(&frame), Err(DecodeError::Corrupt));
+}
+
+#[test]
+fn corpus_inflated_counts_rejected_before_allocation() {
+    // Claimed element counts far larger than the remaining input must be
+    // rejected up front (no proportional allocation, no EOF crawl).
+    let mut body = Vec::new();
+    push_usize(&mut body, usize::MAX); // agent count
+    let frame = crafted_frame(b"EGWD", &body);
+    assert_eq!(decode_digest(&frame), Err(DecodeError::Corrupt));
+
+    let mut body = Vec::new();
+    push_usize(&mut body, usize::MAX); // doc count
+    let frame = crafted_frame(b"EGWM", &body);
+    assert_eq!(decode_bundle_batch(&frame), Err(DecodeError::Corrupt));
+}
+
+#[test]
+fn corpus_truncated_frames_rejected() {
+    // Every prefix of valid digest / bundle-batch frames must error; the
+    // shortest interesting ones (inside the CRC trailer) are kept as
+    // explicit corpus entries via the full sweep.
+    let digest = encode_digest(&[(
+        9,
+        vec![RemoteId {
+            agent: "corpus".into(),
+            seq: 3,
+        }],
+    )]);
+    for cut in 0..digest.len() {
+        assert!(decode_digest(&digest[..cut]).is_err(), "cut {cut}");
+    }
+    let mut log = OpLog::new();
+    let a = log.get_or_create_agent("corpus");
+    log.add_insert(a, 0, "x");
+    let batch = encode_bundle_batch(&[(0, log.bundle_since(&[]))]);
+    for cut in 0..batch.len() {
+        assert!(decode_bundle_batch(&batch[..cut]).is_err(), "cut {cut}");
     }
 }
 

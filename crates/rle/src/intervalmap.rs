@@ -68,6 +68,28 @@ impl<V: Copy + Eq> IntervalMap<V> {
         if range.start >= range.end {
             return;
         }
+        // Fast paths for the dominant callers (split-notification streams
+        // from the tracker's record tree): re-asserting an existing
+        // assignment, and extending the previous run with the same value.
+        // Both avoid the split/remove/reinsert/coalesce machinery below.
+        if let Some((&ls, &(llen, lval))) = self.entries.range(..=range.start).next_back() {
+            let lend = ls + llen;
+            if lval == val {
+                if lend >= range.end {
+                    // Fully covered by an equal-valued run: no-op.
+                    return;
+                }
+                if lend == range.start
+                    && self.entries.range(range.start..range.end).next().is_none()
+                {
+                    // Appends directly after an equal-valued run, with
+                    // nothing overwritten: extend it in place.
+                    self.entries.get_mut(&ls).expect("left entry").0 = range.end - ls;
+                    self.coalesce_around(ls);
+                    return;
+                }
+            }
+        }
         // Split an entry that straddles the left edge of `range`.
         if let Some((&start, &(len, v))) = self.entries.range(..range.start).next_back() {
             let end = start + len;

@@ -1,22 +1,55 @@
 #!/usr/bin/env bash
 # Bench-trajectory capture: run the paper-figure harness binaries at a
-# fixed scale and store their JSON outputs under bench-results/, so runs
-# can be diffed across PRs (ROADMAP "bench trajectory capture").
+# fixed scale, store their JSON outputs under bench-results/, and diff
+# the fresh capture against the previous one, failing on regressions
+# (ROADMAP "bench trajectory capture").
 #
 # Usage: ./scripts/bench_trajectory.sh            # default EG_SCALE=0.02
 #        EG_SCALE=0.1 ./scripts/bench_trajectory.sh
+#        EG_DIFF_THRESHOLD=0.75 ./scripts/bench_trajectory.sh
+#        EG_SKIP_DIFF=1 ./scripts/bench_trajectory.sh   # capture only
+#        EG_DIFF_ADVISORY_TIME=1 ./scripts/bench_trajectory.sh
+#          (time regressions print but don't fail — for CI, where the
+#           baseline was captured on a different machine class; byte
+#           metrics still enforce)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE="${EG_SCALE:-0.02}"
+# Generous default: timings on shared CI runners jitter; the diff exists
+# to catch step-change regressions, not percent-level noise.
+THRESHOLD="${EG_DIFF_THRESHOLD:-0.75}"
 OUT_DIR="bench-results"
+PREV_DIR="$OUT_DIR/prev"
 mkdir -p "$OUT_DIR"
+
+# Keep the previous capture for the cross-run diff.
+if ls "$OUT_DIR"/*.json >/dev/null 2>&1; then
+    rm -rf "$PREV_DIR"
+    mkdir -p "$PREV_DIR"
+    cp "$OUT_DIR"/*.json "$PREV_DIR/"
+fi
 
 echo "== bench trajectory @ EG_SCALE=$SCALE =="
 EG_SCALE="$SCALE" cargo run --release -q -p eg-bench --bin table1 -- \
     --json "$OUT_DIR/table1.json"
 EG_SCALE="$SCALE" cargo run --release -q -p eg-bench --bin fig8_timings -- \
     --json "$OUT_DIR/fig8.json"
+EG_SCALE="$SCALE" cargo run --release -q -p eg-bench --bin fig9_opts -- \
+    --json "$OUT_DIR/fig9.json"
+EG_SCALE="$SCALE" cargo run --release -q -p eg-bench --bin fig10_memusage -- \
+    --json "$OUT_DIR/fig10.json"
 
 echo "== captured =="
 ls -l "$OUT_DIR"/*.json
+
+if [[ "${EG_SKIP_DIFF:-0}" != "1" && -d "$PREV_DIR" ]]; then
+    DIFF_FLAGS=()
+    if [[ "${EG_DIFF_ADVISORY_TIME:-0}" == "1" ]]; then
+        DIFF_FLAGS+=(--advisory-time)
+    fi
+    echo "== cross-run diff (threshold +$(awk "BEGIN{print $THRESHOLD*100}")%) =="
+    cargo run --release -q -p eg-bench --bin bench_diff -- \
+        --baseline "$PREV_DIR" --current "$OUT_DIR" --threshold "$THRESHOLD" \
+        "${DIFF_FLAGS[@]}"
+fi

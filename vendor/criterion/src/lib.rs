@@ -170,10 +170,20 @@ where
         return;
     }
 
-    // Warm-up and calibration: find an iteration count so one sample
-    // lands near target_time / sample_count.
+    // Warm-up: run the routine repeatedly for a fraction of the time
+    // budget before measuring, so caches, branch predictors, and lazy
+    // allocations settle. The last warm-up round doubles as calibration
+    // input for the iteration count.
+    let warm_up_budget = criterion.target_time / 5;
+    let warm_up_start = Instant::now();
     f(&mut bencher);
-    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let mut per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    while warm_up_start.elapsed() < warm_up_budget {
+        f(&mut bencher);
+        per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    }
+    // Calibration: find an iteration count so one sample lands near
+    // target_time / sample_count.
     let per_sample = criterion.target_time / criterion.sample_count.max(1) as u32;
     let iters_per_sample = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 20) as u64;
 
@@ -187,16 +197,34 @@ where
     per_iter_ns.sort_by(|a, b| a.total_cmp(b));
     let min = per_iter_ns.first().copied().unwrap_or(0.0);
     let median = per_iter_ns[per_iter_ns.len() / 2];
-    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let trimmed = trimmed_mean(&per_iter_ns);
     println!(
         "{:<40} time: [min {} median {} mean {}] ({} samples x {} iters)",
         full_label,
         fmt_ns(min),
         fmt_ns(median),
-        fmt_ns(mean),
+        fmt_ns(trimmed),
         per_iter_ns.len(),
         iters_per_sample,
     );
+}
+
+/// The mean of `sorted` with the top and bottom ~10% of samples dropped
+/// (at least one from each end once there are enough samples). Scheduler
+/// noise on shared machines produces one-sided outliers that make the
+/// plain mean useless for cross-run comparison; the trimmed mean tracks
+/// the median while keeping sub-sample resolution.
+fn trimmed_mean(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let trim = if sorted.len() >= 5 {
+        (sorted.len() / 10).max(1)
+    } else {
+        0
+    };
+    let kept = &sorted[trim..sorted.len() - trim];
+    kept.iter().sum::<f64>() / kept.len() as f64
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -344,6 +372,22 @@ mod tests {
             b.iter(|| n * 2)
         });
         group.finish();
+    }
+
+    #[test]
+    fn trimmed_mean_drops_outliers() {
+        // One wild outlier: the trimmed mean stays near the bulk.
+        let mut samples: Vec<f64> =
+            vec![10.0, 10.0, 10.0, 11.0, 9.0, 10.0, 10.0, 10.0, 10.0, 1000.0];
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let t = trimmed_mean(&samples);
+        assert!((9.9..10.2).contains(&t), "trimmed mean {t}");
+        // Small sample counts are untouched.
+        assert_eq!(trimmed_mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(trimmed_mean(&[]), 0.0);
+        // Uniform data is unchanged.
+        let uniform = vec![5.0; 20];
+        assert_eq!(trimmed_mean(&uniform), 5.0);
     }
 
     #[test]

@@ -54,6 +54,14 @@ impl Serialize for Value {
     }
 }
 
+impl Deserialize for Value {
+    // Identity: lets callers deserialise into the dynamic representation
+    // (`serde_json::from_str::<Value>`), mirroring real serde_json.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Error produced when a [`Value`] does not match the expected shape.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeError(pub String);
