@@ -1,6 +1,8 @@
 //! Walker hot-path microbenchmarks: the tracker-tree fanout sweep and the
-//! cursor-cache ablation, on the concurrent traces (C1/C2) whose merge
-//! time is dominated by tracker work.
+//! cursor-cache ablation on the concurrent traces (C1/C2) whose merge
+//! time is dominated by tracker work, plus a scan-heavy sweep on the
+//! asynchronous traces (A1/A2) whose long-running branches drive the
+//! `integrate` scan and its `raw_pos_of` memo.
 //!
 //! The shipped defaults — `TRACKER_FANOUT` and `WalkerOpts::cursor_cache`
 //! — were chosen from this bench; re-run it after changing the tracker's
@@ -22,14 +24,18 @@ fn scale() -> f64 {
         .unwrap_or(0.02)
 }
 
-fn concurrent_traces() -> Vec<(String, OpLog)> {
-    ["C1", "C2"]
+fn traces(names: &[&str]) -> Vec<(String, OpLog)> {
+    names
         .iter()
         .map(|name| {
             let spec = spec_by_name(name, scale()).expect("builtin trace");
             (spec.name.clone(), generate(&spec))
         })
         .collect()
+}
+
+fn concurrent_traces() -> Vec<(String, OpLog)> {
+    traces(&["C1", "C2"])
 }
 
 fn merge_with_fanout<const N: usize>(oplog: &OpLog, opts: WalkerOpts) -> usize {
@@ -81,5 +87,41 @@ fn bench_cursor_cache(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(walker_hot, bench_fanout, bench_cursor_cache);
+/// Scan-heavy workload: full merges of the asynchronous traces, whose
+/// long offline branches make `integrate` walk long runs of concurrent
+/// records (each step asking for origin raw positions). Sweeps the
+/// emit-position cache on/off alongside, since A-series merges mix the
+/// scan path with long sequential emit runs.
+fn bench_scan_heavy(c: &mut Criterion) {
+    let traces = traces(&["A1", "A2"]);
+    let mut group = c.benchmark_group("walker_hot/scan_heavy");
+    group.sample_size(10);
+    for (name, oplog) in &traces {
+        for emit_cache in [true, false] {
+            let opts = WalkerOpts {
+                emit_cache,
+                ..Default::default()
+            };
+            let label = if emit_cache {
+                "emit_cache_on"
+            } else {
+                "emit_cache_off"
+            };
+            group.bench_with_input(BenchmarkId::new(name, label), oplog, |b, o| {
+                b.iter(|| {
+                    let (_, ops) = egwalker::walker::transformed_ops(o, &[], o.version(), opts);
+                    ops.len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    walker_hot,
+    bench_fanout,
+    bench_cursor_cache,
+    bench_scan_heavy
+);
 criterion_main!(walker_hot);

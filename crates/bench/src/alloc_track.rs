@@ -1,4 +1,12 @@
-//! A byte-counting global allocator (for the Fig. 10 memory experiment).
+//! A counting global allocator (for the Fig. 10 memory experiment and the
+//! zero-allocation emit-path test).
+//!
+//! Byte accounting (live bytes + peak) is always on. With the
+//! `alloc-counts` feature (default), the allocator additionally counts
+//! **allocation calls** — the metric the zero-allocation emit pipeline is
+//! measured by: a steady-state transform+apply must not allocate per
+//! operation, which byte peaks alone cannot prove (a small alloc/free per
+//! op leaves the peak flat).
 //!
 //! Binaries opt in with:
 //!
@@ -12,9 +20,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+#[cfg(feature = "alloc-counts")]
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
 
 /// The tracking allocator: forwards to the system allocator, counting
-/// live bytes and the high-water mark.
+/// live bytes, the high-water mark, and (with `alloc-counts`) the number
+/// of allocation calls.
 pub struct TrackingAlloc;
 
 // SAFETY: All allocation is delegated to `System`; the extra work only
@@ -25,6 +36,8 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         if !p.is_null() {
             let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(cur, Ordering::Relaxed);
+            #[cfg(feature = "alloc-counts")]
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         }
         p
     }
@@ -44,6 +57,10 @@ unsafe impl GlobalAlloc for TrackingAlloc {
             } else {
                 CURRENT.fetch_sub(old - new_size, Ordering::Relaxed);
             }
+            // A realloc that moves (or grows) is allocator work too; count
+            // it as one call.
+            #[cfg(feature = "alloc-counts")]
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         }
         p
     }
@@ -64,6 +81,19 @@ pub fn peak_bytes() -> usize {
     PEAK.load(Ordering::Relaxed)
 }
 
+/// Total allocation calls so far (alloc + realloc; 0 without the
+/// `alloc-counts` feature).
+pub fn alloc_calls() -> usize {
+    #[cfg(feature = "alloc-counts")]
+    {
+        ALLOC_CALLS.load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "alloc-counts"))]
+    {
+        0
+    }
+}
+
 /// Runs `f`, returning `(result, peak_delta, retained_delta)`: extra bytes
 /// at peak during the call, and extra bytes still live afterwards (the
 /// result is kept alive).
@@ -74,4 +104,13 @@ pub fn measure<T>(f: impl FnOnce() -> T) -> (T, usize, usize) {
     let peak = peak_bytes().saturating_sub(before);
     let retained = current_bytes().saturating_sub(before);
     (value, peak, retained)
+}
+
+/// Runs `f`, returning `(result, peak_delta, retained_delta, alloc_calls)`
+/// — [`measure`] plus the number of allocation calls performed during the
+/// call (0 without `alloc-counts`).
+pub fn measure_counting<T>(f: impl FnOnce() -> T) -> (T, usize, usize, usize) {
+    let calls_before = alloc_calls();
+    let (value, peak, retained) = measure(f);
+    (value, peak, retained, alloc_calls() - calls_before)
 }

@@ -12,9 +12,10 @@
 //! Numeric fields ending in `_s` (seconds) are regression-checked: a
 //! current value more than `threshold` (fractional) above the baseline
 //! fails the run, unless both sides are below `min-seconds` (too small to
-//! measure reliably). Byte fields (`_bytes`) are near-deterministic
-//! allocation counts but only fail above `2 × threshold`, so allocator
-//! noise does not trip the bound while blowups still do. With
+//! measure reliably). Byte and allocation-count fields (`_bytes`,
+//! `_calls`) are near-deterministic but only fail above `2 × threshold`,
+//! so allocator noise does not trip the bound while blowups (e.g. a
+//! reintroduced per-op allocation) still do. With
 //! `--advisory-time`, time regressions are printed but do not fail the
 //! run — for CI, where the fresh capture runs on a different machine
 //! class than the committed baseline and absolute `_s` comparisons are
@@ -86,9 +87,14 @@ fn parse_args() -> Args {
     }
 }
 
-/// `true` for field names the diff regression-checks.
+/// `true` for field names the diff regression-checks. `_calls` fields
+/// (allocation counts) are near-deterministic like `_bytes` and get the
+/// same looser bound.
 fn checked_field(field: &str) -> bool {
-    field.ends_with("_s") || field.ends_with("_bytes") || exact_field(field)
+    field.ends_with("_s")
+        || field.ends_with("_bytes")
+        || field.ends_with("_calls")
+        || exact_field(field)
 }
 
 /// Machine-independent trace statistics (the `table1` columns): fully
@@ -278,7 +284,7 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "compared {compared} metrics; {regressions} regression(s), {advisories} advisory, {missing} missing, beyond +{:.0}% (time) / +{:.0}% (bytes)",
+        "compared {compared} metrics; {regressions} regression(s), {advisories} advisory, {missing} missing, beyond +{:.0}% (time) / +{:.0}% (bytes, calls)",
         args.threshold * 100.0,
         args.threshold * 200.0
     );

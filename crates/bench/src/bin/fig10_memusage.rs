@@ -6,7 +6,7 @@
 //! * reference CRDT: steady state (its full structure stays resident; the
 //!   paper notes CRDT peak is within ~25% of steady).
 
-use eg_bench::alloc_track::{measure, TrackingAlloc};
+use eg_bench::alloc_track::{measure, measure_counting, TrackingAlloc};
 use eg_bench::harness::{build_traces, fmt_bytes, json_num, json_str, parse_args, row, write_json};
 use eg_crdt_ref::CrdtDoc;
 use eg_ot::OtMerger;
@@ -19,7 +19,7 @@ fn main() {
     let args = parse_args();
     eprintln!("building traces at scale {} …", args.scale);
     let traces = build_traces(args.scale);
-    let widths = [4, 13, 13, 13, 13, 13];
+    let widths = [4, 13, 13, 13, 13, 13, 13, 13];
     println!("Fig. 10 — RAM while merging (scale {:.3})", args.scale);
     println!(
         "{}",
@@ -28,6 +28,8 @@ fn main() {
                 "",
                 "eg peak",
                 "eg steady",
+                "eg allocs",
+                "allocs/op",
                 "ot peak",
                 "ot steady",
                 "crdt steady"
@@ -38,7 +40,7 @@ fn main() {
     );
     let mut json_rows = Vec::new();
     for (spec, oplog) in &traces {
-        let (doc, eg_peak, eg_steady) = measure(|| oplog.checkout_tip());
+        let (doc, eg_peak, eg_steady, eg_allocs) = measure_counting(|| oplog.checkout_tip());
         drop(doc);
         let (ot_doc, ot_peak, _) = measure(|| {
             let mut m = OtMerger::new(oplog);
@@ -62,6 +64,8 @@ fn main() {
                     spec.name.clone(),
                     fmt_bytes(eg_peak),
                     fmt_bytes(eg_steady),
+                    format!("{eg_allocs}"),
+                    format!("{:.3}", eg_allocs as f64 / oplog.len() as f64),
                     fmt_bytes(ot_peak),
                     fmt_bytes(ot_steady),
                     fmt_bytes(crdt_steady),
@@ -74,6 +78,7 @@ fn main() {
             ("events", json_num(oplog.len() as f64)),
             ("eg_peak_bytes", json_num(eg_peak as f64)),
             ("eg_steady_bytes", json_num(eg_steady as f64)),
+            ("eg_alloc_calls", json_num(eg_allocs as f64)),
             ("ot_peak_bytes", json_num(ot_peak as f64)),
             ("crdt_steady_bytes", json_num(crdt_steady as f64)),
         ]);

@@ -1,0 +1,131 @@
+//! Tier-1 proof of the zero-allocation emit pipeline: transforming a
+//! steady-state (sequential) run of events performs **zero per-op heap
+//! allocations**, and applying it to a live branch allocates only the
+//! amortised chunk-growth tail — never per operation.
+//!
+//! The whole test binary runs under the counting [`TrackingAlloc`], so the
+//! numbers include every allocation the pipeline makes (walker plan,
+//! tracker, rope, arena slices).
+
+use eg_bench::alloc_track::{alloc_calls, TrackingAlloc};
+use eg_rle::HasLength;
+use egwalker::testgen::SmallRng;
+use egwalker::walker::{self, WalkerOpts};
+use egwalker::{Branch, OpLog};
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+/// Appends `events` single-author events to the oplog in short bursts at
+/// pseudo-random positions (sequential history: every run chains on its
+/// predecessor, as in the paper's S-series traces). Returns the number of
+/// events appended.
+fn append_sequential(oplog: &mut OpLog, agent: u32, rng: &mut SmallRng, events: usize) -> usize {
+    let mut doc_len = oplog.checkout_tip().len_chars();
+    let mut done = 0;
+    while done < events {
+        let burst = 1 + rng.below(8).min(events - done - 1);
+        if doc_len > 32 && rng.below(4) == 0 {
+            let pos = rng.below(doc_len - burst.min(doc_len - 1));
+            let n = burst.min(doc_len - pos).max(1);
+            oplog.add_delete(agent, pos, n);
+            doc_len -= n;
+            done += n;
+        } else {
+            let pos = rng.below(doc_len + 1);
+            let text: String = (0..burst)
+                .map(|i| (b'a' + (i as u8 % 26)) as char)
+                .collect();
+            oplog.add_insert(agent, pos, &text);
+            doc_len += burst;
+            done += burst;
+        }
+    }
+    done
+}
+
+/// Transform-only allocation count: replay the new events through the
+/// walker with a sink that reads (but does not copy) every borrowed op.
+fn transform_allocs(oplog: &OpLog, from: &[usize]) -> usize {
+    let target = oplog.graph.version_union(from, oplog.version());
+    let diff = oplog.graph.diff(from, &target);
+    let (base, spans) = oplog.graph.conflict_window(from, &target);
+    let before = alloc_calls();
+    let mut sum = 0usize;
+    walker::walk(
+        oplog,
+        &base,
+        &spans,
+        &diff.only_b,
+        WalkerOpts::default(),
+        &mut |lvs, op| {
+            // Touch the borrowed content so the slice is really served.
+            sum += lvs.len() + op.pos + op.content.map_or(0, str::len);
+        },
+    );
+    std::hint::black_box(sum);
+    alloc_calls() - before
+}
+
+#[test]
+fn transform_is_zero_alloc_per_op() {
+    let mut oplog = OpLog::new();
+    let agent = oplog.get_or_create_agent("solo");
+    let mut rng = SmallRng::new(0x5eed);
+    append_sequential(&mut oplog, agent, &mut rng, 2000);
+
+    // Small batch, then a 4× batch: the walker's allocation count is the
+    // per-merge fixed overhead (plan, tracker, frontier bookkeeping) and
+    // must NOT scale with the number of events transformed.
+    let from_small = oplog.version().clone();
+    append_sequential(&mut oplog, agent, &mut rng, 1000);
+    let allocs_small = transform_allocs(&oplog, &from_small);
+
+    let from_large = oplog.version().clone();
+    append_sequential(&mut oplog, agent, &mut rng, 4000);
+    let allocs_large = transform_allocs(&oplog, &from_large);
+
+    eprintln!("transform allocs: {allocs_small} (1000 events), {allocs_large} (4000 events)");
+    assert!(
+        allocs_small < 200,
+        "transforming 1000 events allocated {allocs_small} times (expected fixed overhead only)"
+    );
+    assert!(
+        allocs_large <= allocs_small + 64,
+        "transform allocations scale with events: {allocs_small} for 1000 \
+         events vs {allocs_large} for 4000"
+    );
+}
+
+#[test]
+fn transform_and_apply_allocates_sublinearly() {
+    let mut oplog = OpLog::new();
+    let agent = oplog.get_or_create_agent("solo");
+    let mut rng = SmallRng::new(0xfeed);
+    append_sequential(&mut oplog, agent, &mut rng, 2000);
+
+    // Warm state: branch caught up, rope chunks built.
+    let mut branch = Branch::new();
+    branch.merge(&oplog);
+
+    // Steady state: merge a fresh batch of sequential events into the live
+    // branch and count every allocation on the transform+apply path.
+    let events = append_sequential(&mut oplog, agent, &mut rng, 4000);
+    let before = alloc_calls();
+    branch.merge(&oplog);
+    let allocs = alloc_calls() - before;
+
+    // Per-op allocation (the pre-arena pipeline: a String per emitted
+    // insert plus chunk copies) would cost >= `events` calls. The only
+    // allocations left are amortised: rope chunk splits/growth (every
+    // ~64 chars) and the per-merge fixed overhead.
+    eprintln!("transform+apply allocs: {allocs} for {events} events");
+    assert!(
+        allocs < events / 4,
+        "merge of {events} events allocated {allocs} times — per-op allocation regressed"
+    );
+    assert_eq!(
+        branch.content.to_string(),
+        oplog.checkout_tip().content.to_string()
+    );
+}

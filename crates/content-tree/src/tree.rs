@@ -702,6 +702,29 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
         }
     }
 
+    /// Applies an arbitrary in-place edit to the entry at
+    /// (`leaf`, `entry_idx`) and repairs ancestor widths by delta
+    /// (O(depth)), without splitting or relocating anything.
+    ///
+    /// This is the zero-allocation edit primitive for entry types that can
+    /// grow or shrink in place (e.g. a rope chunk absorbing an insertion
+    /// into its buffer). The edit may change the entry's length and widths
+    /// arbitrarily but must leave it non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot does not hold an entry.
+    pub fn update_entry<F: FnOnce(&mut E)>(&mut self, leaf: NodeIdx, entry_idx: usize, f: F) {
+        let (before, after) = {
+            let e = &mut self.leaf_mut(leaf).entries[entry_idx];
+            let before = Widths::of(e);
+            f(e);
+            debug_assert!(!e.is_empty(), "update_entry left an empty entry");
+            (before, Widths::of(e))
+        };
+        self.repair_path_delta(leaf, WidthsDelta::change(before, after));
+    }
+
     /// Mutates up to `max_len` units of the entry under `cursor`, starting
     /// at the cursor offset, splitting the entry as needed so the mutation
     /// applies exactly to that sub-range.
@@ -777,10 +800,13 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
     /// `policy(&entry, offset)` decides the [`RunStep`]: mutate a prefix of
     /// the entry's remaining units (splitting boundary pieces as needed),
     /// skip it, or stop. `offset` is nonzero only for the first entry (the
-    /// cursor's offset). The policy observes each entry *before* mutation
-    /// and is called exactly once per entry, so it may carry state (e.g.
-    /// record the sub-ranges it chose). `mutate` is applied to each chosen
-    /// piece; `notify` fires for entries relocated by overflow splits.
+    /// cursor's offset). The policy observes each piece *before* mutation
+    /// and is called exactly once per **piece**: when `Mutate(n)` covers
+    /// only a prefix, the split-off untouched remainder is re-presented to
+    /// the policy as its own piece — stateful policies (e.g. recording the
+    /// sub-ranges chosen) must count pieces, not original entries.
+    /// `mutate` is applied to each chosen piece; `notify` fires for
+    /// entries relocated by overflow splits.
     ///
     /// Cached widths are stale while the batch runs and repaired once at
     /// the end, so `policy`/`mutate` must not re-enter the tree.

@@ -43,6 +43,12 @@ impl Branch {
 
     /// [`Branch::merge_to`] with explicit walker options (used by the
     /// benchmarks to toggle the §3.5 optimisations).
+    ///
+    /// Transformed operations are applied to the rope as borrowed
+    /// [`crate::TextOpRef`]s: insert content goes straight from the
+    /// oplog's UTF-8 arena into the rope's chunks without materialising an
+    /// intermediate `String` — the merge path performs no per-op heap
+    /// allocation.
     pub fn merge_with_opts(&mut self, oplog: &OpLog, to: &[LV], opts: WalkerOpts) {
         let target = oplog.graph.version_union(&self.version, to);
         if target.as_slice() == self.version.as_slice() {

@@ -117,6 +117,12 @@ impl std::fmt::Display for BundleError {
 
 impl std::error::Error for BundleError {}
 
+/// The byte offset of the `n`-th character of `s` (or `s.len()` when `n`
+/// equals the char count).
+fn char_boundary(s: &str, n: usize) -> usize {
+    s.char_indices().nth(n).map(|(b, _)| b).unwrap_or(s.len())
+}
+
 impl OpLog {
     /// Extracts the events this oplog knows that are **not** in the history
     /// of `have` (a version expressed as remote IDs, e.g. a peer's
@@ -193,7 +199,7 @@ impl OpLog {
                 kind: op.kind,
                 loc: op.loc,
                 fwd: op.fwd,
-                content: op.content.map(|c| self.content_slice(c)),
+                content: op.content.map(|c| self.content_slice(c).to_string()),
             });
             lv += len;
         }
@@ -297,12 +303,13 @@ impl OpLog {
                 op.truncate(chunk_len);
             }
 
-            // Register inserted content.
+            // Register inserted content: slice the run's text down to the
+            // chunk's chars and push the UTF-8 bytes straight in.
             if run.kind == ListOpKind::Ins {
-                let chars = run.content.as_ref().expect("validated").chars();
-                let content_start = self.ins_content.len();
-                self.ins_content.extend(chars.skip(offset).take(chunk_len));
-                op.content = Some((content_start..content_start + chunk_len).into());
+                let text = run.content.as_deref().expect("validated");
+                let byte_start = char_boundary(text, offset);
+                let byte_end = char_boundary(&text[byte_start..], chunk_len) + byte_start;
+                op.content = Some(self.ins_content.push_str(&text[byte_start..byte_end]));
             }
 
             // Resolve parents: explicit for the run head, predecessor chain

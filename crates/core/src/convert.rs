@@ -46,7 +46,7 @@ pub fn to_crdt_ops(oplog: &OpLog) -> Vec<CrdtOp> {
     let spans = [DTRange::from(0..oplog.len())];
     let plan = plan_walk(&oplog.graph, &Frontier::root(), &spans, &spans);
     let mut tracker: Tracker = Tracker::new();
-    let mut sink = |_lvs: DTRange, _op: crate::TextOperation| {};
+    let mut sink = |_lvs: DTRange, _op: crate::TextOpRef<'_>| {};
     for step in &plan {
         for r in step.retreat.iter().rev() {
             tracker.retreat(oplog, *r);

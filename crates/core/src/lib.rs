@@ -33,6 +33,7 @@
 
 mod branch;
 pub mod bundle;
+pub mod content;
 pub mod convert;
 pub mod cursor;
 pub mod history;
@@ -46,7 +47,7 @@ pub mod walker;
 
 pub use branch::Branch;
 pub use bundle::{BundleError, BundleRun, EventBundle};
-pub use op::{ListOpKind, OpRun, TextOperation};
+pub use op::{ListOpKind, OpRun, TextOpRef, TextOperation};
 pub use oplog::OpLog;
 pub use walker::WalkerOpts;
 

@@ -142,6 +142,68 @@ impl MergableSpan for OpRun {
     }
 }
 
+/// A transformed text operation borrowing its content from the oplog's
+/// content arena — the zero-allocation form the walker emits.
+///
+/// The walker's hot path transforms and applies millions of operations per
+/// merge; materialising each one as an owned [`TextOperation`] would
+/// heap-allocate a `String` per emitted insert. `TextOpRef` instead borrows
+/// the inserted text as a `&str` slice of the arena; consumers that apply
+/// the operation immediately (the [`crate::Branch`] merge path) never copy
+/// it, and API boundaries that truly need ownership convert with
+/// [`TextOpRef::to_owned`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextOpRef<'a> {
+    /// Operation kind.
+    pub kind: ListOpKind,
+    /// Document index where the operation applies.
+    pub pos: usize,
+    /// Number of characters inserted or deleted.
+    pub len: usize,
+    /// Inserted text, borrowed from the oplog (`Ins` only).
+    pub content: Option<&'a str>,
+}
+
+impl<'a> TextOpRef<'a> {
+    /// Builds an insertion over borrowed content.
+    pub fn ins(pos: usize, content: &'a str) -> Self {
+        TextOpRef {
+            kind: ListOpKind::Ins,
+            pos,
+            len: content.chars().count(),
+            content: Some(content),
+        }
+    }
+
+    /// Builds a deletion.
+    pub fn del(pos: usize, len: usize) -> Self {
+        TextOpRef {
+            kind: ListOpKind::Del,
+            pos,
+            len,
+            content: None,
+        }
+    }
+
+    /// Applies the operation to a rope without copying the content.
+    pub fn apply_to(&self, doc: &mut eg_rope::Rope) {
+        match self.kind {
+            ListOpKind::Ins => doc.insert(self.pos, self.content.unwrap_or("")),
+            ListOpKind::Del => doc.remove(self.pos, self.len),
+        }
+    }
+
+    /// Materialises an owned [`TextOperation`] (allocates for `Ins`).
+    pub fn to_owned(&self) -> TextOperation {
+        TextOperation {
+            kind: self.kind,
+            pos: self.pos,
+            len: self.len,
+            content: self.content.map(str::to_string),
+        }
+    }
+}
+
 /// A single, materialised text operation with its content — the public form
 /// of transformed operations emitted by the walker.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -314,5 +376,16 @@ mod tests {
         assert_eq!(doc.to_string(), "hello");
         TextOperation::del(0, 1).apply_to(&mut doc);
         assert_eq!(doc.to_string(), "ello");
+    }
+
+    #[test]
+    fn text_op_ref_apply_and_to_owned() {
+        let mut doc = eg_rope::Rope::from_str("héllo");
+        let ins = TextOpRef::ins(5, "→!");
+        assert_eq!(ins.len, 2, "len counts chars, not bytes");
+        ins.apply_to(&mut doc);
+        TextOpRef::del(1, 1).apply_to(&mut doc);
+        assert_eq!(doc.to_string(), "hllo→!");
+        assert_eq!(ins.to_owned(), TextOperation::ins(5, "→!"));
     }
 }

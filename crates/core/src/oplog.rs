@@ -1,6 +1,7 @@
 //! [`OpLog`]: the durable state of a replica — the event graph plus each
 //! event's operation and inserted content (paper §3: "Event graph").
 
+use crate::content::ContentArena;
 use crate::op::{ListOpKind, OpRun};
 use eg_dag::{AgentAssignment, AgentId, Frontier, Graph, RemoteId, LV};
 use eg_rle::{DTRange, HasLength, KVPair, RleVec, SplitableSpan};
@@ -32,8 +33,10 @@ pub struct OpLog {
     pub agents: AgentAssignment,
     /// Run-length encoded operations, keyed by LV.
     pub(crate) ops: RleVec<KVPair<OpRun>>,
-    /// Every inserted character, in LV order of the insert events.
-    pub(crate) ins_content: Vec<char>,
+    /// Every inserted character, in LV order of the insert events, stored
+    /// as one UTF-8 arena addressed by char index (see
+    /// [`crate::content::ContentArena`]).
+    pub(crate) ins_content: ContentArena,
 }
 
 impl OpLog {
@@ -93,19 +96,17 @@ impl OpLog {
         pos: usize,
         text: &str,
     ) -> DTRange {
-        let chars: Vec<char> = text.chars().collect();
-        assert!(!chars.is_empty(), "empty insert");
+        let content = self.ins_content.push_str(text);
+        assert!(!content.is_empty(), "empty insert");
         let start = self.len();
-        let lvs: DTRange = (start..start + chars.len()).into();
-        let content_start = self.ins_content.len();
-        self.ins_content.extend(chars.iter());
+        let lvs: DTRange = (start..start + content.len()).into();
         self.push_op(
             lvs,
             OpRun {
                 kind: ListOpKind::Ins,
                 loc: (pos..pos + lvs.len()).into(),
                 fwd: true,
-                content: Some((content_start..content_start + lvs.len()).into()),
+                content: Some(content),
             },
             parents,
         );
@@ -210,13 +211,14 @@ impl OpLog {
         let pos = run.unit_pos(offset);
         let c = run
             .content
-            .map(|content| self.ins_content[content.start + offset]);
+            .map(|content| self.ins_content.char_at(content.start + offset));
         (run.kind, pos, c)
     }
 
-    /// The inserted text for a char range of the content buffer.
-    pub fn content_slice(&self, range: DTRange) -> String {
-        self.ins_content[range.start..range.end].iter().collect()
+    /// The inserted text for a char range of the content buffer, borrowed
+    /// straight from the UTF-8 arena (no allocation).
+    pub fn content_slice(&self, range: DTRange) -> &str {
+        self.ins_content.slice(range)
     }
 
     /// Maps a local version to a globally unique [`RemoteId`].
@@ -275,11 +277,12 @@ impl OpLog {
                     let run = &pair.1;
                     // Build a unit-length run for this event.
                     let unit_pos = run.unit_pos(offset);
-                    let content_start = self.ins_content.len();
                     let content = match run.content {
                         Some(c) => {
-                            self.ins_content.push(other.ins_content[c.start + offset]);
-                            Some((content_start..content_start + 1).into())
+                            let at = self
+                                .ins_content
+                                .push_char(other.ins_content.char_at(c.start + offset));
+                            Some((at..at + 1).into())
                         }
                         None => None,
                     };

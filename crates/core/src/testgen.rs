@@ -78,7 +78,9 @@ pub fn random_oplog_prefixed(
             doc: Vec::new(),
         })
         .collect();
-    let alphabet: Vec<char> = "abcdefghij OX√é".chars().collect();
+    // Mixed UTF-8 widths (1–4 bytes: ASCII, é, √/→/日, 🦀) so the content
+    // arena's char→byte translation is exercised at every boundary.
+    let alphabet: Vec<char> = "abcdefghij OX√é→日本🦀".chars().collect();
 
     for _ in 0..steps {
         let r = rng.below(num_replicas);

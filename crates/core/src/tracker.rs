@@ -14,13 +14,13 @@
 //! paper's "second B-tree") map insert-event IDs to tree leaves and delete
 //! events to their target characters.
 
-use crate::op::{ListOpKind, OpRun, TextOperation};
+use crate::op::{ListOpKind, OpRun, TextOpRef};
 use crate::OpLog;
 use eg_content_tree::{ContentTree, Cursor, NodeIdx, RunStep, TreeEntry, NODE_IDX_NONE};
 use eg_dag::LV;
 use eg_rle::{DTRange, HasLength, IntervalMap, MergableSpan, SplitableSpan};
 use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Fanout of the tracker's record tree. Chosen by the `walker_hot` fanout
 /// sweep (`cargo bench -p eg-bench --bench walker_hot`): on the C1/C2
@@ -260,6 +260,59 @@ pub struct Tracker<const N: usize = TRACKER_FANOUT> {
     /// Disables the cache entirely (reference mode for equivalence tests
     /// and the `walker_hot` cache ablation).
     cache_enabled: bool,
+    /// Last emitted insert position, the fast path that lets consecutive
+    /// sequential insert runs skip the per-op upward
+    /// [`ContentTree::offset_of`] walk.
+    ///
+    /// Validation is by identity: a hit requires the new record to land in
+    /// the *same entry slot* (`leaf`, `entry_idx`) holding the *same run*
+    /// (`id_start`) as the previous emitted insert — i.e. the insert
+    /// RLE-merged onto the cached entry's tail, which appends in place and
+    /// cannot move anything left of the entry. Every other tree mutation
+    /// (deletes, retreat/advance, non-emitted or non-merging inserts,
+    /// clear) invalidates the cache outright, so a stale `end_base` can
+    /// never be read.
+    emit_cache: Cell<Option<EmitPos>>,
+    /// Disables the emit-position cache (reference mode for the
+    /// equivalence property tests).
+    emit_cache_enabled: bool,
+    /// Raw positions memoised during a single [`Tracker::integrate`] scan
+    /// (cleared at scan start; the tree does not change mid-scan). Long
+    /// scans on scan-heavy (A-series) traces revisit the same origins many
+    /// times; the memo collapses those repeated `raw_pos_of` tree walks.
+    /// Kept as a member so its capacity is reused across scans.
+    integrate_memo: HashMap<usize, usize>,
+    /// Reusable run buffer for [`Tracker::move_prepare`] (retreat/advance
+    /// run once per walk step; allocating it fresh each time showed up on
+    /// the concurrent traces).
+    prepare_scratch: Vec<(DTRange, OpRun)>,
+    /// Reusable piece buffer for the forward-delete batch
+    /// ([`Tracker::apply_delete_fwd`]).
+    delete_scratch: Vec<DelPiece>,
+}
+
+/// One entry-bounded chunk of a forward delete, recorded by the batch
+/// policy (identical granularity to the naive per-entry loop).
+#[derive(Debug, Clone, Copy)]
+struct DelPiece {
+    ids: DTRange,
+    was_deleted: bool,
+    emit_pos: usize,
+}
+
+/// The emit-position cache entry: where the last emitted insert landed and
+/// what the `end`-dimension offset of that entry's start was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EmitPos {
+    /// Leaf that held the record.
+    leaf: NodeIdx,
+    /// Entry index within the leaf.
+    entry_idx: usize,
+    /// `id.start` of the entry when cached (identity check: entry indexes
+    /// are reused as leaves restructure, IDs are not).
+    id_start: usize,
+    /// Number of `end`-visible units strictly before the entry.
+    end_base: usize,
 }
 
 /// Direction of a prepare-version move.
@@ -282,16 +335,30 @@ impl<const N: usize> Tracker<N> {
         Self::new_with_cache(true)
     }
 
-    /// [`Tracker::new`] with the cursor cache switched on or off. The two
-    /// modes produce byte-identical output; disabling exists for the
-    /// equivalence property tests and the cache ablation benchmark.
+    /// [`Tracker::new`] with the cursor cache switched on or off (the
+    /// emit-position cache stays on). The two modes produce byte-identical
+    /// output; disabling exists for the equivalence property tests and the
+    /// cache ablation benchmark.
     pub fn new_with_cache(cache_enabled: bool) -> Self {
+        Self::new_with_caches(cache_enabled, true)
+    }
+
+    /// [`Tracker::new`] with both the cursor cache and the emit-position
+    /// cache switched on or off independently. All four combinations
+    /// produce byte-identical output; disabling exists for the equivalence
+    /// property tests and ablation benchmarks.
+    pub fn new_with_caches(cache_enabled: bool, emit_cache_enabled: bool) -> Self {
         let mut t = Tracker {
             tree: ContentTree::new(),
             ins_loc: IdIndex::default(),
             del_targets: BTreeMap::new(),
             cache: Cell::new(None),
             cache_enabled,
+            emit_cache: Cell::new(None),
+            emit_cache_enabled,
+            integrate_memo: HashMap::new(),
+            prepare_scratch: Vec::new(),
+            delete_scratch: Vec::new(),
         };
         t.install_placeholder();
         t
@@ -305,6 +372,7 @@ impl<const N: usize> Tracker<N> {
         self.del_targets.clear();
         // The arena was released: cached node indexes are meaningless.
         self.cache.set(None);
+        self.emit_cache.set(None);
         self.install_placeholder();
     }
 
@@ -416,6 +484,8 @@ impl<const N: usize> Tracker<N> {
     /// records, mutated in a single [`ContentTree::mutate_run`] pass with
     /// one width fix-up, instead of a descent + repair per entry.
     fn mutate_ids(&mut self, ids: DTRange, step: impl Fn(&mut CrdtSpan) + Copy) {
+        // State mutations shift entry widths; drop the emit-position cache.
+        self.emit_cache.set(None);
         let mut next = ids.start;
         while next < ids.end {
             let (cursor, _) = self.cursor_for_id(next);
@@ -469,47 +539,66 @@ impl<const N: usize> Tracker<N> {
         // Retreats must process causally-later events first (a delete of a
         // character must be retreated before the insert that created it);
         // advances the other way around. LV order respects causality.
-        let runs: Vec<(DTRange, OpRun)> = oplog.ops_in(range).collect();
-        let iter: Box<dyn Iterator<Item = &(DTRange, OpRun)>> = match dir {
-            Dir::Retreat => Box::new(runs.iter().rev()),
-            Dir::Advance => Box::new(runs.iter()),
-        };
-        for (lvs, run) in iter {
-            match run.kind {
-                ListOpKind::Ins => {
-                    // Insert events: record ids == event lvs.
-                    self.mutate_ids(*lvs, |e| {
+        // The run buffer is a reusable scratch member: retreat/advance run
+        // once per walk step, and a per-step heap allocation here showed
+        // up on the concurrent traces.
+        let mut runs = std::mem::take(&mut self.prepare_scratch);
+        runs.clear();
+        runs.extend(oplog.ops_in(range));
+        match dir {
+            Dir::Retreat => {
+                for i in (0..runs.len()).rev() {
+                    let (lvs, run) = runs[i];
+                    self.prepare_one(lvs, &run, dir);
+                }
+            }
+            Dir::Advance => {
+                for i in 0..runs.len() {
+                    let (lvs, run) = runs[i];
+                    self.prepare_one(lvs, &run, dir);
+                }
+            }
+        }
+        self.prepare_scratch = runs;
+    }
+
+    /// Moves the prepare state for one operation run (a [`Tracker::move_prepare`]
+    /// step).
+    fn prepare_one(&mut self, lvs: DTRange, run: &OpRun, dir: Dir) {
+        match run.kind {
+            ListOpKind::Ins => {
+                // Insert events: record ids == event lvs.
+                self.mutate_ids(lvs, |e| {
+                    e.sp = match (dir, e.sp) {
+                        (Dir::Retreat, SpState::Ins) => SpState::NotInsertedYet,
+                        (Dir::Advance, SpState::NotInsertedYet) => SpState::Ins,
+                        (d, s) => panic!("invalid insert {d:?} from state {s:?}"),
+                    };
+                });
+            }
+            ListOpKind::Del => {
+                // Look up the targets chunk-wise in the del-target map.
+                let mut lv = lvs.start;
+                while lv < lvs.end {
+                    let (&run_start, dt) = self
+                        .del_targets
+                        .range(..=lv)
+                        .next_back()
+                        .expect("unknown delete event");
+                    let k = lv - run_start;
+                    assert!(k < dt.len, "delete event {lv} not in target map");
+                    let n = (lvs.end - lv).min(dt.len - k);
+                    let ids = dt.ids_at(k, n);
+                    self.mutate_ids(ids, |e| {
                         e.sp = match (dir, e.sp) {
-                            (Dir::Retreat, SpState::Ins) => SpState::NotInsertedYet,
-                            (Dir::Advance, SpState::NotInsertedYet) => SpState::Ins,
-                            (d, s) => panic!("invalid insert {d:?} from state {s:?}"),
+                            (Dir::Retreat, SpState::Del(1)) => SpState::Ins,
+                            (Dir::Retreat, SpState::Del(n)) => SpState::Del(n - 1),
+                            (Dir::Advance, SpState::Ins) => SpState::Del(1),
+                            (Dir::Advance, SpState::Del(n)) => SpState::Del(n + 1),
+                            (d, s) => panic!("invalid delete {d:?} from state {s:?}"),
                         };
                     });
-                }
-                ListOpKind::Del => {
-                    // Look up the targets chunk-wise in the del-target map.
-                    let mut lv = lvs.start;
-                    while lv < lvs.end {
-                        let (&run_start, dt) = self
-                            .del_targets
-                            .range(..=lv)
-                            .next_back()
-                            .expect("unknown delete event");
-                        let k = lv - run_start;
-                        assert!(k < dt.len, "delete event {lv} not in target map");
-                        let n = (lvs.end - lv).min(dt.len - k);
-                        let ids = dt.ids_at(k, n);
-                        self.mutate_ids(ids, |e| {
-                            e.sp = match (dir, e.sp) {
-                                (Dir::Retreat, SpState::Del(1)) => SpState::Ins,
-                                (Dir::Retreat, SpState::Del(n)) => SpState::Del(n - 1),
-                                (Dir::Advance, SpState::Ins) => SpState::Del(1),
-                                (Dir::Advance, SpState::Del(n)) => SpState::Del(n + 1),
-                                (d, s) => panic!("invalid delete {d:?} from state {s:?}"),
-                            };
-                        });
-                        lv += n;
-                    }
+                    lv += n;
                 }
             }
         }
@@ -518,11 +607,15 @@ impl<const N: usize> Tracker<N> {
     /// Applies a run of events (paper §3.3), emitting transformed operations
     /// through `out` when `emit` is set.
     ///
+    /// Operations are emitted as borrowed [`TextOpRef`]s (insert content is
+    /// a `&str` slice of the oplog's content arena); nothing on this path
+    /// heap-allocates per operation.
+    ///
     /// The prepare version must already equal the run's parent version
     /// (the walker guarantees this via retreat/advance).
     pub fn apply_range<F>(&mut self, oplog: &OpLog, range: DTRange, emit: bool, out: &mut F)
     where
-        F: FnMut(DTRange, TextOperation),
+        F: FnMut(DTRange, TextOpRef<'_>),
     {
         self.apply_range_observed(oplog, range, emit, out, &mut |_| {});
     }
@@ -538,7 +631,7 @@ impl<const N: usize> Tracker<N> {
         out: &mut F,
         observe: &mut dyn FnMut(CrdtChange),
     ) where
-        F: FnMut(DTRange, TextOperation),
+        F: FnMut(DTRange, TextOpRef<'_>),
     {
         for (lvs, run) in oplog.ops_in(range) {
             match run.kind {
@@ -560,7 +653,7 @@ impl<const N: usize> Tracker<N> {
         out: &mut F,
         observe: &mut dyn FnMut(CrdtChange),
     ) where
-        F: FnMut(DTRange, TextOperation),
+        F: FnMut(DTRange, TextOpRef<'_>),
     {
         let pos = run.loc.start;
 
@@ -585,7 +678,14 @@ impl<const N: usize> Tracker<N> {
 
         // Find the right origin: the first record at-or-after the position
         // that is not NotInsertedYet (pseudocode: prepare_state >= 1).
+        // Track whether any NotInsertedYet record was skipped on the way:
+        // the records between the two origins are exactly those skipped
+        // entries, so when none were skipped the integration scan is
+        // vacuous and `dest == cursor` without computing a single raw
+        // position (the common case on sequential runs, and on most
+        // concurrent inserts too).
         let mut origin_right = ORIGIN_END;
+        let mut skipped_niy = false;
         {
             let mut scan = cursor;
             loop {
@@ -605,6 +705,7 @@ impl<const N: usize> Tracker<N> {
                     origin_right = e.id.start + scan.offset;
                     break;
                 }
+                skipped_niy = true;
                 if !self.tree.cursor_next_entry(&mut scan) {
                     break;
                 }
@@ -618,7 +719,11 @@ impl<const N: usize> Tracker<N> {
             sp: SpState::Ins,
             se_deleted: false,
         };
-        let dest = self.integrate(oplog, &new_span, cursor);
+        let dest = if skipped_niy {
+            self.integrate(oplog, &new_span, cursor)
+        } else {
+            cursor
+        };
         observe(CrdtChange::Ins { span: new_span });
 
         let ins_loc = &mut self.ins_loc;
@@ -634,27 +739,85 @@ impl<const N: usize> Tracker<N> {
         }
 
         if emit {
-            let w = self.tree.offset_of(placed.leaf, placed.entry_idx);
             // The record just inserted is effect-visible, and if it merged
-            // into an existing entry that entry is effect-visible too.
-            let effect_pos = w.end + placed.offset;
+            // into an existing entry that entry is effect-visible too, so
+            // the effect position is the entry-start `end` offset plus the
+            // raw offset within the entry. The entry-start offset comes
+            // from the emit-position cache when this insert RLE-merged
+            // onto the entry the previous emitted insert landed in
+            // (sequential typing, the overwhelmingly common case);
+            // otherwise from an upward `offset_of` walk, re-seeding the
+            // cache.
+            let end_base = self
+                .emit_pos_hit(&placed)
+                .unwrap_or_else(|| self.tree.offset_of(placed.leaf, placed.entry_idx).end);
+            if self.emit_cache_enabled {
+                self.emit_cache.set(Some(EmitPos {
+                    leaf: placed.leaf,
+                    entry_idx: placed.entry_idx,
+                    id_start: self.tree.entries_in_leaf(placed.leaf)[placed.entry_idx]
+                        .id
+                        .start,
+                    end_base,
+                }));
+            }
+            let effect_pos = end_base + placed.offset;
             let content = oplog.content_slice(run.content.expect("insert without content"));
             out(
                 lvs,
-                TextOperation {
+                TextOpRef {
                     kind: ListOpKind::Ins,
                     pos: effect_pos,
                     len: lvs.len(),
                     content: Some(content),
                 },
             );
+        } else {
+            // The tree changed without the emit bookkeeping; any cached
+            // emit position is stale.
+            self.emit_cache.set(None);
         }
+    }
+
+    /// Checks the emit-position cache against the slot the insert landed
+    /// in. A hit requires the same `(leaf, entry_idx)` slot to still hold
+    /// the run it was cached for — then this insert merged onto that
+    /// entry's tail in place, and the cached entry-start offset is intact.
+    fn emit_pos_hit(&self, placed: &Cursor) -> Option<usize> {
+        if !self.emit_cache_enabled {
+            return None;
+        }
+        let c = self.emit_cache.get()?;
+        if c.leaf == placed.leaf
+            && c.entry_idx == placed.entry_idx
+            && self.tree.entries_in_leaf(placed.leaf)[placed.entry_idx]
+                .id
+                .start
+                == c.id_start
+        {
+            Some(c.end_base)
+        } else {
+            None
+        }
+    }
+
+    /// [`Tracker::raw_pos_of`] memoised for the duration of one
+    /// [`Tracker::integrate`] scan (the tree does not change mid-scan).
+    /// Scan-heavy traces ask for the same origins over and over; the memo
+    /// turns the repeated tree walks into hash lookups.
+    fn raw_pos_of_memo(&mut self, id: usize) -> usize {
+        if let Some(&p) = self.integrate_memo.get(&id) {
+            return p;
+        }
+        let p = self.raw_pos_of(id);
+        self.integrate_memo.insert(id, p);
+        p
     }
 
     /// The YjsMod integration scan (paper §3.3, Listing 2): walks the
     /// records between the two origins to find where a concurrent insertion
     /// belongs. Returns the destination cursor.
-    fn integrate(&self, oplog: &OpLog, new_span: &CrdtSpan, cursor: Cursor) -> Cursor {
+    fn integrate(&mut self, oplog: &OpLog, new_span: &CrdtSpan, cursor: Cursor) -> Cursor {
         let cursor_raw = {
             let w = self.tree.offset_of(cursor.leaf, cursor.entry_idx);
             w.raw + cursor.offset
@@ -675,6 +838,10 @@ impl<const N: usize> Tracker<N> {
             return cursor;
         }
 
+        // The scan below may look each visited record's origins up by raw
+        // position; those lookups repeat heavily, so they go through a
+        // per-scan memo (valid because the tree is not mutated mid-scan).
+        self.integrate_memo.clear();
         let mut scanning = false;
         let mut dest = cursor;
         let mut i = cursor;
@@ -709,7 +876,7 @@ impl<const N: usize> Tracker<N> {
             let oleft: i64 = if other.origin_left == ORIGIN_START {
                 -1
             } else {
-                self.raw_pos_of(other.origin_left) as i64
+                self.raw_pos_of_memo(other.origin_left) as i64
             };
             #[allow(clippy::comparison_chain)]
             if oleft < left_raw {
@@ -718,7 +885,7 @@ impl<const N: usize> Tracker<N> {
                 let oright: i64 = if other.origin_right == ORIGIN_END {
                     i64::MAX
                 } else {
-                    self.raw_pos_of(other.origin_right) as i64
+                    self.raw_pos_of_memo(other.origin_right) as i64
                 };
                 #[allow(clippy::comparison_chain)]
                 if oright < right_raw {
@@ -755,8 +922,11 @@ impl<const N: usize> Tracker<N> {
         out: &mut F,
         observe: &mut dyn FnMut(CrdtChange),
     ) where
-        F: FnMut(DTRange, TextOperation),
+        F: FnMut(DTRange, TextOpRef<'_>),
     {
+        // Deletes shrink widths left of wherever the next insert lands;
+        // the cached emit position is no longer trustworthy.
+        self.emit_cache.set(None);
         if run.fwd {
             self.apply_delete_fwd(lvs, run, emit, out, observe);
             return;
@@ -819,7 +989,7 @@ impl<const N: usize> Tracker<N> {
             if emit && !was_deleted {
                 out(
                     (lvs.start + done..lvs.start + done + chunk).into(),
-                    TextOperation::del(end_off, chunk),
+                    TextOpRef::del(end_off, chunk),
                 );
             }
             done += chunk;
@@ -844,20 +1014,16 @@ impl<const N: usize> Tracker<N> {
         out: &mut F,
         observe: &mut dyn FnMut(CrdtChange),
     ) where
-        F: FnMut(DTRange, TextOperation),
+        F: FnMut(DTRange, TextOpRef<'_>),
     {
-        /// One entry-bounded chunk of the delete, recorded by the batch
-        /// policy (identical granularity to the naive per-entry loop).
-        struct Piece {
-            ids: DTRange,
-            was_deleted: bool,
-            emit_pos: usize,
-        }
         let n = lvs.len();
         let mut done = 0usize;
+        // Reusable piece buffer (see [`DelPiece`]): per-run allocation here
+        // is per-op cost on delete-heavy traces.
+        let mut pieces = std::mem::take(&mut self.delete_scratch);
         while done < n {
             let (cursor, end_off) = self.tree.cursor_at_cur_unit(run.loc.start);
-            let mut pieces: Vec<Piece> = Vec::new();
+            pieces.clear();
             let mut remaining = n - done;
             // Number of end-visible units before the next target: starts at
             // the descent's answer; skipped (cur-invisible) entries that
@@ -881,7 +1047,7 @@ impl<const N: usize> Tracker<N> {
                         }
                         debug_assert_eq!(e.sp, SpState::Ins);
                         let take = remaining.min(e.len() - off);
-                        pieces.push(Piece {
+                        pieces.push(DelPiece {
                             ids: (e.id.start + off..e.id.start + off + take).into(),
                             was_deleted: e.se_deleted,
                             emit_pos,
@@ -918,11 +1084,12 @@ impl<const N: usize> Tracker<N> {
                     fwd: true,
                 });
                 if emit && !p.was_deleted {
-                    out(events, TextOperation::del(p.emit_pos, chunk));
+                    out(events, TextOpRef::del(p.emit_pos, chunk));
                 }
                 done += chunk;
             }
         }
+        self.delete_scratch = pieces;
     }
 
     /// Validates tree invariants (testing).

@@ -4,7 +4,7 @@
 //! fast-forwarding untransformed runs (§3.5), and replaying only conflict
 //! windows on merge (§3.6).
 
-use crate::op::{ListOpKind, TextOperation};
+use crate::op::{ListOpKind, TextOpRef, TextOperation};
 use crate::tracker::{Tracker, TRACKER_FANOUT};
 use crate::OpLog;
 use eg_dag::walk::{plan_walk_with_order, PlanOrder};
@@ -28,6 +28,12 @@ pub struct WalkerOpts {
     /// equivalence property tests and the `walker_hot` cache ablation;
     /// output is byte-identical either way.
     pub cursor_cache: bool,
+    /// Enables the tracker's emit-position cache (on by default):
+    /// consecutive sequential insert runs that extend the same record
+    /// entry skip the per-op upward `offset_of` walk. Disabling reproduces
+    /// the reference (uncached) emit path for the equivalence property
+    /// tests; output is byte-identical either way.
+    pub emit_cache: bool,
 }
 
 impl Default for WalkerOpts {
@@ -36,6 +42,7 @@ impl Default for WalkerOpts {
             enable_clearing: true,
             plan_order: PlanOrder::SmallestFirst,
             cursor_cache: true,
+            emit_cache: true,
         }
     }
 }
@@ -47,6 +54,12 @@ impl Default for WalkerOpts {
 /// Transformed operations arrive in a linear order: applying them in
 /// sequence to the document at `Events(version at emit start)` yields the
 /// merged document (the "rebase" of §3).
+///
+/// Operations are emitted as borrowed [`TextOpRef`]s — insert content is a
+/// `&str` slice of the oplog's content arena, valid only for the duration
+/// of the callback. Callers that need ownership convert with
+/// [`TextOpRef::to_owned`] (that is the only per-op allocation in the
+/// pipeline, and it is opt-in).
 pub fn walk<F>(
     oplog: &OpLog,
     base: &Frontier,
@@ -55,7 +68,7 @@ pub fn walk<F>(
     opts: WalkerOpts,
     out: &mut F,
 ) where
-    F: FnMut(DTRange, TextOperation),
+    F: FnMut(DTRange, TextOpRef<'_>),
 {
     walk_with_fanout::<TRACKER_FANOUT, F>(oplog, base, spans, emit, opts, out)
 }
@@ -71,10 +84,10 @@ pub fn walk_with_fanout<const N: usize, F>(
     opts: WalkerOpts,
     out: &mut F,
 ) where
-    F: FnMut(DTRange, TextOperation),
+    F: FnMut(DTRange, TextOpRef<'_>),
 {
     let plan = plan_walk_with_order(&oplog.graph, base, spans, emit, opts.plan_order);
-    let mut tracker = Tracker::<N>::new_with_cache(opts.cursor_cache);
+    let mut tracker = Tracker::<N>::new_with_caches(opts.cursor_cache, opts.emit_cache);
     // `clean` means: the tracker holds nothing but a placeholder, standing
     // for the document at the current (prepare == effect) version.
     let mut clean = true;
@@ -154,7 +167,7 @@ pub fn walk_with_fanout<const N: usize, F>(
 /// original).
 fn emit_as_is<F, G>(oplog: &OpLog, range: DTRange, emit_overlap: &G, out: &mut F)
 where
-    F: FnMut(DTRange, TextOperation),
+    F: FnMut(DTRange, TextOpRef<'_>),
     G: Fn(DTRange) -> Option<(bool, usize)>,
 {
     let mut range = range;
@@ -169,7 +182,7 @@ where
                 if run.kind == ListOpKind::Del {
                     run.fwd = true;
                 }
-                let op = TextOperation {
+                let op = TextOpRef {
                     kind: run.kind,
                     pos: run.loc.start,
                     len: lvs.len(),
@@ -192,7 +205,8 @@ fn step_targets_are_post_clear(retreat: &[DTRange]) -> bool {
 /// `from` to the version `merge_frontier ∪ from`.
 ///
 /// Returns the final version alongside the (LV range, operation) pairs in
-/// application order.
+/// application order. This is an ownership boundary: the borrowed ops the
+/// walker emits are materialised into owned [`TextOperation`]s here.
 pub fn transformed_ops(
     oplog: &OpLog,
     from: &[LV],
@@ -219,7 +233,7 @@ pub fn transformed_ops_with_fanout<const N: usize>(
     let (base, spans) = oplog.graph.conflict_window(from, &target);
     let mut out = Vec::new();
     walk_with_fanout::<N, _>(oplog, &base, &spans, &diff.only_b, opts, &mut |lvs, op| {
-        out.push((lvs, op))
+        out.push((lvs, op.to_owned()))
     });
     (target, out)
 }

@@ -5,7 +5,7 @@
 
 use eg_rle::DTRange;
 use egwalker::tracker::{is_underwater_id, CrdtSpan, SpState, Tracker};
-use egwalker::{Frontier, OpLog, TextOperation};
+use egwalker::{Frontier, OpLog, TextOpRef};
 
 /// Builds the Figure 4 oplog. LV mapping: e1→0 ("h"), e2→1 ("i"),
 /// e3→2 ("H"), e4→3 (Delete(1)), e5→4 (Delete(1)), e6→5 ("e"),
@@ -35,7 +35,7 @@ fn real_records(t: &Tracker) -> Vec<CrdtSpan> {
         .collect()
 }
 
-fn sink(_: DTRange, _: TextOperation) {}
+fn sink(_: DTRange, _: TextOpRef<'_>) {}
 
 #[test]
 fn figure_6_left_state_after_e1_to_e4() {

@@ -57,10 +57,10 @@ fn replay_lockstep(oplog: &OpLog) -> Result<(), TestCaseError> {
             assert_in_sync(&cached, &reference, &ops_cached, &ops_reference)?;
         }
         cached.apply_range(oplog, step.consume, true, &mut |lvs, op| {
-            ops_cached.push((lvs, op));
+            ops_cached.push((lvs, op.to_owned()));
         });
         reference.apply_range(oplog, step.consume, true, &mut |lvs, op| {
-            ops_reference.push((lvs, op));
+            ops_reference.push((lvs, op.to_owned()));
         });
         assert_in_sync(&cached, &reference, &ops_cached, &ops_reference)?;
     }

@@ -143,7 +143,7 @@ pub fn encode(oplog: &OpLog, opts: EncodeOpts) -> Vec<u8> {
                     let s = survivors[k].start.max(lvs.start);
                     let e = survivors[k].end.min(lvs.end);
                     let cs = c.start + (s - lvs.start);
-                    content.push_str(&oplog.content_slice((cs..cs + (e - s)).into()));
+                    content.push_str(oplog.content_slice((cs..cs + (e - s)).into()));
                     k += 1;
                 }
             }

@@ -67,7 +67,7 @@ impl<'a> OtMerger<'a> {
                     let content = self
                         .oplog
                         .content_slice(run.content.expect("insert content"));
-                    TextOp::ins(run.loc.start, &content)
+                    TextOp::ins(run.loc.start, content)
                 }
                 // Forward and backward delete runs both remove the
                 // contiguous range `loc`.
@@ -180,7 +180,7 @@ impl<'a> OtMerger<'a> {
                             let content = self
                                 .oplog
                                 .content_slice(run.content.expect("insert content"));
-                            TextOp::ins(run.loc.start, &content)
+                            TextOp::ins(run.loc.start, content)
                         }
                         egwalker::ListOpKind::Del => TextOp::del(run.loc.start, run.loc.len()),
                     };

@@ -14,12 +14,16 @@
 //!   binary-searchable keys.
 //! * [`IntervalMap`] — a mutable RLE map from `usize` ranges to copyable
 //!   values, used for the walker's ID → record indexes.
+//! * [`CharWidthIndex`] — an RLE char-index → byte-offset map for
+//!   append-only UTF-8 buffers (the oplog's content arena).
 
+mod charindex;
 mod intervalmap;
 mod range;
 mod rlevec;
 mod traits;
 
+pub use charindex::CharWidthIndex;
 pub use intervalmap::IntervalMap;
 pub use range::DTRange;
 pub use rlevec::{KVPair, RleVec};

@@ -132,12 +132,23 @@ impl Rope {
 
     /// Inserts `text` before character `pos`.
     ///
+    /// Short insertions splice their bytes straight into an existing
+    /// chunk's buffer (no intermediate `String`, no new chunk) — the
+    /// zero-allocation path the walker's emit pipeline rides. Longer
+    /// insertions and full chunks fall back to chunk building/splitting,
+    /// whose allocations amortise over [`MAX_CHUNK_CHARS`]-sized pieces.
+    ///
     /// # Panics
     ///
     /// Panics if `pos > self.len_chars()`.
     pub fn insert(&mut self, pos: usize, text: &str) {
         assert!(pos <= self.len_chars, "insert position out of bounds");
         if text.is_empty() {
+            return;
+        }
+        let n_chars = text.chars().count();
+        if self.try_insert_in_place(pos, text, n_chars) {
+            self.len_chars += n_chars;
             return;
         }
         let mut pos = pos;
@@ -161,7 +172,44 @@ impl Rope {
         }
     }
 
+    /// Tries to splice `text` into the buffer of an existing chunk around
+    /// `pos`, repairing tree widths by delta. Fails (returns `false`) when
+    /// no chunk at the position can absorb `n_chars` more characters.
+    fn try_insert_in_place(&mut self, pos: usize, text: &str, n_chars: usize) -> bool {
+        if n_chars > MAX_CHUNK_CHARS || self.len_chars == 0 {
+            return false;
+        }
+        let cursor = self.tree.cursor_at_cur_pos(pos);
+        let entries = self.tree.entries_in_leaf(cursor.leaf);
+        // Candidate chunk: the one under the cursor; at a boundary
+        // (offset 0 / end of leaf), the previous chunk's tail.
+        let (entry_idx, offset) = if cursor.entry_idx < entries.len() && cursor.offset > 0 {
+            (cursor.entry_idx, cursor.offset)
+        } else if cursor.entry_idx < entries.len() && cursor.entry_idx == 0 {
+            (0, 0)
+        } else if cursor.entry_idx > 0 {
+            (cursor.entry_idx - 1, entries[cursor.entry_idx - 1].chars)
+        } else {
+            return false;
+        };
+        if entries[entry_idx].chars + n_chars > MAX_CHUNK_CHARS {
+            return false;
+        }
+        let new_newlines = text.bytes().filter(|&b| b == b'\n').count();
+        self.tree.update_entry(cursor.leaf, entry_idx, |c| {
+            let byte = c.byte_of_char(offset);
+            c.text.insert_str(byte, text);
+            c.chars += n_chars;
+            c.newlines += new_newlines;
+        });
+        true
+    }
+
     /// Removes `len` characters starting at character `pos`.
+    ///
+    /// A removal that stays strictly inside one chunk shifts the chunk's
+    /// bytes in place (no allocation); anything wider falls back to the
+    /// tree's range deletion.
     ///
     /// # Panics
     ///
@@ -171,8 +219,33 @@ impl Rope {
         if len == 0 {
             return;
         }
-        self.tree.delete_cur_range(pos, len);
+        if !self.try_remove_in_place(pos, len) {
+            self.tree.delete_cur_range(pos, len);
+        }
         self.len_chars -= len;
+    }
+
+    /// Tries to remove `[pos, pos + len)` from within a single chunk's
+    /// buffer in place. Fails when the range crosses a chunk boundary or
+    /// would empty the chunk (those paths remove whole entries instead).
+    fn try_remove_in_place(&mut self, pos: usize, len: usize) -> bool {
+        let cursor = self.tree.cursor_at_cur_pos(pos);
+        let entries = self.tree.entries_in_leaf(cursor.leaf);
+        if cursor.entry_idx >= entries.len() {
+            return false;
+        }
+        let chars = entries[cursor.entry_idx].chars;
+        if cursor.offset + len > chars || len == chars {
+            return false;
+        }
+        self.tree.update_entry(cursor.leaf, cursor.entry_idx, |c| {
+            let b0 = c.byte_of_char(cursor.offset);
+            let b1 = c.byte_of_char(cursor.offset + len);
+            c.newlines -= c.text[b0..b1].bytes().filter(|&b| b == b'\n').count();
+            c.text.replace_range(b0..b1, "");
+            c.chars -= len;
+        });
+        true
     }
 
     /// Applies an insert-or-delete in one call (convenience for replaying

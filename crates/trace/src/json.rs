@@ -104,7 +104,7 @@ pub fn export(oplog: &OpLog) -> JsonTrace {
                     ListOpKind::Ins => patches.push(Patch {
                         pos: run.loc.start,
                         del: 0,
-                        ins: oplog.content_slice(run.content.unwrap()),
+                        ins: oplog.content_slice(run.content.unwrap()).to_string(),
                     }),
                     ListOpKind::Del => patches.push(Patch {
                         pos: run.loc.start,

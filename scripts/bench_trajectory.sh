@@ -49,7 +49,9 @@ if [[ "${EG_SKIP_DIFF:-0}" != "1" && -d "$PREV_DIR" ]]; then
         DIFF_FLAGS+=(--advisory-time)
     fi
     echo "== cross-run diff (threshold +$(awk "BEGIN{print $THRESHOLD*100}")%) =="
+    # ${arr[@]+...} guards the empty-array expansion: under `set -u`,
+    # bash < 4.4 treats a bare "${DIFF_FLAGS[@]}" as unbound.
     cargo run --release -q -p eg-bench --bin bench_diff -- \
         --baseline "$PREV_DIR" --current "$OUT_DIR" --threshold "$THRESHOLD" \
-        "${DIFF_FLAGS[@]}"
+        ${DIFF_FLAGS[@]+"${DIFF_FLAGS[@]}"}
 fi
