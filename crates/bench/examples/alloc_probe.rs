@@ -1,0 +1,102 @@
+//! Allocation probe for the concurrent (C-series) replay path: prints how
+//! many allocator calls the walk planner and the full walk make on a
+//! 3-branch concurrent trace, cold and warm. This is the diagnostic that
+//! attributed the per-merge allocation storm to the (pre-pooling) planner;
+//! run it after touching the planner or tracker to see where the calls go.
+//!
+//! ```text
+//! cargo run --release -p eg-bench --example alloc_probe
+//! ```
+
+use eg_bench::alloc_track::{alloc_calls, TrackingAlloc};
+use eg_dag::walk::{PlanOrder, WalkPlan};
+use eg_dag::Frontier;
+use egwalker::testgen::SmallRng;
+use egwalker::tracker::Tracker;
+use egwalker::walker::WalkerOpts;
+use egwalker::OpLog;
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+fn main() {
+    let mut oplog = OpLog::new();
+    let agents: Vec<u32> = (0..3)
+        .map(|i| oplog.get_or_create_agent(&format!("user{i}")))
+        .collect();
+    let mut rng = SmallRng::new(0xc0c0);
+    // Sequential prefix, then three long concurrent branches.
+    oplog.add_insert(agents[0], 0, &"x".repeat(500));
+    let base = oplog.version().clone();
+    let mut frontiers: Vec<Frontier> = vec![base; 3];
+    let mut lens = [500usize; 3];
+    let mut total = 0;
+    while total < 4500 {
+        let a = rng.below(3);
+        let burst = 1 + rng.below(6);
+        let parents = frontiers[a].clone();
+        let pos = rng.below(lens[a] + 1);
+        let text: String = (0..burst)
+            .map(|i| (b'a' + (i as u8 % 26)) as char)
+            .collect();
+        let lvs = oplog.add_insert_at(agents[a], &parents, pos, &text);
+        lens[a] += burst;
+        total += burst;
+        frontiers[a] = Frontier::new_1(lvs.last());
+    }
+
+    let target = oplog.version().clone();
+    let diff = oplog.graph.diff(&[], &target);
+    let (wbase, spans) = oplog.graph.conflict_window(&[], &target);
+
+    let mut plan = WalkPlan::new();
+    let b0 = alloc_calls();
+    plan.plan_with_order(
+        &oplog.graph,
+        &wbase,
+        &spans,
+        &diff.only_b,
+        PlanOrder::SmallestFirst,
+    );
+    let b1 = alloc_calls();
+    eprintln!("plan (cold pool): {} allocs, {} steps", b1 - b0, plan.len());
+
+    let b2 = alloc_calls();
+    plan.plan_with_order(
+        &oplog.graph,
+        &wbase,
+        &spans,
+        &diff.only_b,
+        PlanOrder::SmallestFirst,
+    );
+    let b3 = alloc_calls();
+    eprintln!("plan (warm pool): {} allocs", b3 - b2);
+
+    let mut tracker: Tracker = Tracker::new();
+    let opts = WalkerOpts::default();
+    let b4 = alloc_calls();
+    egwalker::walker::walk_reusing(
+        &oplog,
+        &wbase,
+        &spans,
+        &diff.only_b,
+        opts,
+        &mut tracker,
+        &mut |_, _| {},
+    );
+    let b5 = alloc_calls();
+    eprintln!("walk (incl. plan, cold tracker): {} allocs", b5 - b4);
+
+    let b6 = alloc_calls();
+    egwalker::walker::walk_reusing(
+        &oplog,
+        &wbase,
+        &spans,
+        &diff.only_b,
+        opts,
+        &mut tracker,
+        &mut |_, _| {},
+    );
+    let b7 = alloc_calls();
+    eprintln!("walk (incl. plan, warm tracker): {} allocs", b7 - b6);
+}

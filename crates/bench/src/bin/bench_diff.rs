@@ -6,7 +6,15 @@
 //! ```text
 //! bench_diff --baseline <dir-or-file> --current <dir-or-file> \
 //!            [--threshold 0.5] [--min-seconds 1e-4] [--advisory-time]
+//! bench_diff --trend <capture>... [<capture>]
 //! ```
+//!
+//! `--trend` is the informational companion to the pass/fail diff: given
+//! two or more captures in chronological order (e.g. the frozen
+//! `prN_baseline/` directories plus the live `bench-results/`), it prints
+//! every checked metric's value across all of them with a first→last
+//! ratio, so a slow drift that never trips a single pairwise threshold is
+//! still visible as a trajectory. Trend mode never fails the run.
 //!
 //! Rows are matched by their `name` field within each matching file name.
 //! Numeric fields ending in `_s` (seconds) are regression-checked: a
@@ -30,11 +38,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Args {
-    baseline: PathBuf,
-    current: PathBuf,
+    baseline: Option<PathBuf>,
+    current: Option<PathBuf>,
     threshold: f64,
     min_seconds: f64,
     advisory_time: bool,
+    /// Captures (oldest first) for the multi-capture trend view; non-empty
+    /// selects trend mode instead of the pairwise diff.
+    trend: Vec<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -43,10 +54,21 @@ fn parse_args() -> Args {
     let mut threshold = 0.5;
     let mut min_seconds = 1e-4;
     let mut advisory_time = false;
+    let mut trend = Vec::new();
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--trend" => {
+                while let Some(next) = argv.get(i + 1) {
+                    if next.starts_with("--") {
+                        break;
+                    }
+                    trend.push(PathBuf::from(next));
+                    i += 1;
+                }
+                assert!(trend.len() >= 2, "--trend needs at least two captures");
+            }
             "--baseline" => {
                 baseline = Some(PathBuf::from(
                     argv.get(i + 1).expect("--baseline needs a path"),
@@ -79,12 +101,97 @@ fn parse_args() -> Args {
         i += 1;
     }
     Args {
-        baseline: baseline.expect("--baseline is required"),
-        current: current.expect("--current is required"),
+        baseline,
+        current,
         threshold,
         min_seconds,
         advisory_time,
+        trend,
     }
+}
+
+/// The multi-capture trend view: every checked metric across all captures
+/// (oldest first), with a first→last ratio. Purely informational.
+fn run_trend(paths: &[PathBuf]) -> ExitCode {
+    let labels: Vec<String> = paths
+        .iter()
+        .map(|p| {
+            p.file_name()
+                .and_then(|s| s.to_str())
+                .unwrap_or("?")
+                .to_string()
+        })
+        .collect();
+    let captures: Vec<Capture> = paths.iter().map(|p| load(p)).collect();
+
+    // Captures at different EG_SCALE are not comparable; warn (but still
+    // print — the trend view is informational).
+    for (i, (_, scales)) in captures.iter().enumerate().skip(1) {
+        for (stem, scale) in scales {
+            if let Some((_, first)) = captures[0].1.iter().find(|(s, _)| s == stem) {
+                if (scale - first).abs() > f64::EPSILON * first.abs() {
+                    eprintln!(
+                        "warning: {stem} captured at scale {scale} in {} vs {first} in {} — \
+                         values are not comparable",
+                        labels[i], labels[0]
+                    );
+                }
+            }
+        }
+    }
+
+    // Metric keys in first-seen order across all captures.
+    let mut keys: Vec<(&str, &str, &str)> = Vec::new();
+    for (metrics, _) in &captures {
+        for (stem, name, field, _) in metrics {
+            if !checked_field(field) {
+                continue;
+            }
+            let key = (stem.as_str(), name.as_str(), field.as_str());
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+    }
+
+    print!("{:<12} {:<6} {:<22}", "bench", "row", "field");
+    for label in &labels {
+        print!(" {label:>14}");
+    }
+    println!(" {:>8}", "overall");
+    let mut rows = 0usize;
+    for (stem, name, field) in keys {
+        let values: Vec<Option<f64>> = captures
+            .iter()
+            .map(|(metrics, _)| {
+                metrics
+                    .iter()
+                    .find(|(s, n, f, _)| s == stem && n == name && f == field)
+                    .map(|(_, _, _, v)| *v)
+            })
+            .collect();
+        // A metric seen in only one capture has no trajectory to show.
+        if values.iter().flatten().count() < 2 {
+            continue;
+        }
+        print!("{stem:<12} {name:<6} {field:<22}");
+        for v in &values {
+            match v {
+                Some(v) => print!(" {v:>14.4e}"),
+                None => print!(" {:>14}", "-"),
+            }
+        }
+        let first = values.iter().flatten().next().unwrap();
+        let last = values.iter().flatten().last().unwrap();
+        if *first > 0.0 {
+            println!(" {:>7.2}x", last / first);
+        } else {
+            println!(" {:>8}", "-");
+        }
+        rows += 1;
+    }
+    println!("trend across {} captures, {rows} metrics", labels.len());
+    ExitCode::SUCCESS
 }
 
 /// `true` for field names the diff regression-checks. `_calls` fields
@@ -110,10 +217,14 @@ fn exact_field(field: &str) -> bool {
 /// One numeric metric: `(file stem, row name, field, value)`.
 type Metric = (String, String, String, f64);
 
+/// Everything `load` extracts from one capture: its metrics plus each
+/// file's recorded capture scale (stem -> scale).
+type Capture = (Vec<Metric>, Vec<(String, f64)>);
+
 /// `(file stem, row name, field) -> value` for every numeric field of
 /// every row of every bench JSON under `path` (a file or a directory),
 /// plus each file's recorded capture scale (stem -> scale).
-fn load(path: &Path) -> (Vec<Metric>, Vec<(String, f64)>) {
+fn load(path: &Path) -> Capture {
     let files: Vec<PathBuf> = if path.is_dir() {
         let mut v: Vec<PathBuf> = std::fs::read_dir(path)
             .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
@@ -187,8 +298,12 @@ fn load(path: &Path) -> (Vec<Metric>, Vec<(String, f64)>) {
 
 fn main() -> ExitCode {
     let args = parse_args();
-    let (baseline, baseline_scales) = load(&args.baseline);
-    let (current, current_scales) = load(&args.current);
+    if !args.trend.is_empty() {
+        return run_trend(&args.trend);
+    }
+    let baseline_path = args.baseline.expect("--baseline is required");
+    let (baseline, baseline_scales) = load(&baseline_path);
+    let (current, current_scales) = load(&args.current.expect("--current is required"));
     // Captures at different EG_SCALE are not comparable at all — every
     // metric shifts with trace size. Refuse rather than report bogus
     // regressions (or mask real ones).
@@ -205,7 +320,7 @@ fn main() -> ExitCode {
     if baseline.is_empty() {
         eprintln!(
             "no baseline rows under {} — nothing to diff (first capture?)",
-            args.baseline.display()
+            baseline_path.display()
         );
         return ExitCode::SUCCESS;
     }

@@ -8,8 +8,10 @@
 //! tracker, rope, arena slices).
 
 use eg_bench::alloc_track::{alloc_calls, TrackingAlloc};
+use eg_dag::Frontier;
 use eg_rle::HasLength;
 use egwalker::testgen::SmallRng;
+use egwalker::tracker::Tracker;
 use egwalker::walker::{self, WalkerOpts};
 use egwalker::{Branch, OpLog};
 
@@ -94,6 +96,122 @@ fn transform_is_zero_alloc_per_op() {
         allocs_large <= allocs_small + 64,
         "transform allocations scale with events: {allocs_small} for 1000 \
          events vs {allocs_large} for 4000"
+    );
+}
+
+/// Appends `events` events per agent on `agents.len()` long-running
+/// concurrent branches (no intermediate merges — the paper's C-series
+/// shape: every branch is concurrent with every other). Positions are
+/// relative to each agent's own isolated view.
+fn append_concurrent(
+    oplog: &mut OpLog,
+    agents: &[u32],
+    rng: &mut SmallRng,
+    events_per_agent: usize,
+) -> usize {
+    let base = oplog.version().clone();
+    let base_len = oplog.checkout_tip().len_chars();
+    let mut frontiers: Vec<Frontier> = vec![base; agents.len()];
+    let mut doc_lens: Vec<usize> = vec![base_len; agents.len()];
+    let mut total = 0usize;
+    let mut done = vec![0usize; agents.len()];
+    while done.iter().any(|&d| d < events_per_agent) {
+        let a = rng.below(agents.len());
+        if done[a] >= events_per_agent {
+            continue;
+        }
+        let burst = 1 + rng.below(6).min(events_per_agent - done[a] - 1);
+        let parents = frontiers[a].clone();
+        let lvs = if doc_lens[a] > 16 && rng.below(4) == 0 {
+            let pos = rng.below(doc_lens[a] - 1);
+            let n = burst.min(doc_lens[a] - pos).max(1);
+            doc_lens[a] -= n;
+            oplog.add_delete_at(agents[a], &parents, pos, n)
+        } else {
+            let pos = rng.below(doc_lens[a] + 1);
+            let text: String = (0..burst)
+                .map(|i| (b'a' + (i as u8 % 26)) as char)
+                .collect();
+            doc_lens[a] += burst;
+            oplog.add_insert_at(agents[a], &parents, pos, &text)
+        };
+        let n = lvs.len();
+        frontiers[a] = Frontier::new_1(lvs.last());
+        done[a] += n;
+        total += n;
+    }
+    total
+}
+
+/// Concurrent (C-series) batch: merging long concurrent branches must stay
+/// well below one allocation per event — the slab-arena tracker builds its
+/// whole CRDT structure out of inline-array nodes, so the only remaining
+/// allocations are slab growth doublings and per-merge fixed overhead.
+#[test]
+fn concurrent_merge_allocates_sublinearly() {
+    let mut oplog = OpLog::new();
+    let agents: Vec<u32> = (0..3)
+        .map(|i| oplog.get_or_create_agent(&format!("user{i}")))
+        .collect();
+    let mut rng = SmallRng::new(0xc0c0);
+    // Shared sequential prefix, then three long concurrent branches.
+    append_sequential(&mut oplog, agents[0], &mut rng, 500);
+    let events = append_concurrent(&mut oplog, &agents, &mut rng, 1500);
+
+    let mut branch = Branch::new();
+    let before = alloc_calls();
+    branch.merge(&oplog);
+    let allocs = alloc_calls() - before;
+
+    eprintln!("concurrent merge allocs: {allocs} for {events} concurrent events");
+    assert!(
+        allocs < events / 4,
+        "concurrent merge of {events} events allocated {allocs} times — \
+         the C-series allocation storm regressed"
+    );
+    assert_eq!(
+        branch.content.to_string(),
+        oplog.checkout_tip().content.to_string()
+    );
+}
+
+/// Reused-tracker steady state: after the first merge warms a tracker's
+/// slabs and scratch buffers, every subsequent merge through the same
+/// (cleared) tracker must stay below a fixed allocation-call bound —
+/// independent of how many merges have gone before.
+#[test]
+fn reused_tracker_merges_stay_below_fixed_alloc_bound() {
+    let mut oplog = OpLog::new();
+    let agents: Vec<u32> = (0..3)
+        .map(|i| oplog.get_or_create_agent(&format!("peer{i}")))
+        .collect();
+    let mut rng = SmallRng::new(0xbeef);
+    append_sequential(&mut oplog, agents[0], &mut rng, 400);
+
+    let mut branch = Branch::new();
+    let mut tracker: Tracker = Tracker::new();
+    // Warm-up: first merge pays the slab / index / scratch capacity.
+    branch.merge_reusing(&oplog, &mut tracker);
+
+    // Steady state: concurrent batches of the same magnitude, merged
+    // through the reused tracker. Allocation cost must not grow over the
+    // sequence (no leak of capacity, no per-merge reconstruction).
+    const BOUND: usize = 500;
+    for round in 0..6 {
+        let events = append_concurrent(&mut oplog, &agents, &mut rng, 300);
+        let before = alloc_calls();
+        branch.merge_reusing(&oplog, &mut tracker);
+        let allocs = alloc_calls() - before;
+        eprintln!("round {round}: {allocs} allocs for {events} events");
+        assert!(
+            allocs < BOUND,
+            "round {round}: merge through a reused tracker allocated {allocs} \
+             times (bound {BOUND}) — clear() is not retaining capacity"
+        );
+    }
+    assert_eq!(
+        branch.content.to_string(),
+        oplog.checkout_tip().content.to_string()
     );
 }
 

@@ -1,18 +1,216 @@
 //! The B-tree implementation. See the crate docs for the design.
+//!
+//! # Slab layout
+//!
+//! Leaves and internal nodes live in two separate typed slabs (`Vec`s of
+//! fixed-size nodes), addressed by [`LeafIdx`] / `InternalIdx` — thin
+//! `NonZeroU32` wrappers, so `Option<LeafIdx>` packs into 4 bytes via the
+//! niche. Each node stores its children / widths / entries in inline
+//! `[_; N]` arrays plus a length ([`InlineVec`]), so a node is one
+//! contiguous block with zero per-node heap allocation: growing the tree
+//! only ever allocates when a *slab* doubles.
+//!
+//! Freed nodes (leaves emptied by [`ContentTree::delete_cur_range`] and
+//! internals that lose their last child) park on per-slab free lists and
+//! are handed out again by the next split. [`ContentTree::clear`] truncates
+//! the slabs in place, so a cleared tree rebuilds to its previous size
+//! without touching the allocator — the contract the Eg-walker tracker
+//! relies on when it is reused across merge windows.
+//!
+//! Unlike the previous `Vec`-per-node layout, nodes never overflow their
+//! arrays: inserts split *before* writing (`N >= 4` guarantees one split
+//! always makes enough room for the at-most-two entries any single
+//! operation adds).
 
 use crate::TreeEntry;
+use std::num::NonZeroU32;
 
-/// Index of a node in the tree's arena.
-pub type NodeIdx = u32;
+/// Index of a leaf node in the tree's leaf slab.
+///
+/// Stored as `slot + 1` in a `NonZeroU32`, so `Option<LeafIdx>` is 4 bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
+pub struct LeafIdx(NonZeroU32);
 
-/// Sentinel for "no node" (absent parent / end of leaf chain).
-pub const NODE_IDX_NONE: NodeIdx = u32::MAX;
+impl LeafIdx {
+    #[inline]
+    fn new(slot: usize) -> Self {
+        // `slot as u32 + 1` wraps to 0 on overflow, which the constructor
+        // rejects — so slab growth past u32::MAX slots panics cleanly.
+        LeafIdx(NonZeroU32::new(slot as u32 + 1).expect("leaf slab overflow"))
+    }
+
+    #[inline]
+    fn from_raw(raw: u32) -> Self {
+        LeafIdx(NonZeroU32::new(raw).expect("zero leaf id"))
+    }
+
+    #[inline]
+    fn raw(self) -> u32 {
+        self.0.get()
+    }
+
+    #[inline]
+    fn slot(self) -> usize {
+        (self.0.get() - 1) as usize
+    }
+}
+
+impl std::fmt::Debug for LeafIdx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.slot())
+    }
+}
+
+/// Index of an internal node in the tree's internal slab (`slot + 1`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(transparent)]
+struct InternalIdx(NonZeroU32);
+
+impl InternalIdx {
+    #[inline]
+    fn new(slot: usize) -> Self {
+        InternalIdx(NonZeroU32::new(slot as u32 + 1).expect("internal slab overflow"))
+    }
+
+    #[inline]
+    fn from_raw(raw: u32) -> Self {
+        InternalIdx(NonZeroU32::new(raw).expect("zero internal id"))
+    }
+
+    #[inline]
+    fn raw(self) -> u32 {
+        self.0.get()
+    }
+
+    #[inline]
+    fn slot(self) -> usize {
+        (self.0.get() - 1) as usize
+    }
+}
+
+impl std::fmt::Debug for InternalIdx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "I{}", self.slot())
+    }
+}
+
+/// A node reference: which slab, which slot. All children of one internal
+/// node are the same kind (the tree is height-balanced), so internals store
+/// raw ids plus a single kind flag rather than this enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeRef {
+    Leaf(LeafIdx),
+    Internal(InternalIdx),
+}
+
+impl NodeRef {
+    #[inline]
+    fn raw(self) -> u32 {
+        match self {
+            NodeRef::Leaf(l) => l.raw(),
+            NodeRef::Internal(i) => i.raw(),
+        }
+    }
+}
 
 /// Default fanout of a [`ContentTree`]: maximum children per internal node
 /// and maximum entries per leaf. Chosen by the `walker_hot` fanout sweep in
 /// `crates/bench/benches/walker_hot.rs` — re-run it when the entry type or
 /// workload changes materially.
 pub const DEFAULT_FANOUT: usize = 16;
+
+/// A fixed-capacity inline vector: `N` slots in the node itself, no heap.
+///
+/// Invariant: slots at and beyond `len` always hold `T::default()`, so
+/// removing an entry releases any heap memory it owns (e.g. a rope chunk's
+/// string buffer) immediately rather than when the slot is next written.
+#[derive(Clone)]
+struct InlineVec<T, const N: usize> {
+    items: [T; N],
+    len: u32,
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[T] {
+        &self.items[..self.len as usize]
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.items[..self.len as usize]
+    }
+}
+
+impl<T: Default, const N: usize> InlineVec<T, N> {
+    fn new() -> Self {
+        InlineVec {
+            items: std::array::from_fn(|_| T::default()),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, v: T) {
+        let len = self.len();
+        assert!(len < N, "inline vec overflow");
+        self.items[len] = v;
+        self.len += 1;
+    }
+
+    fn insert(&mut self, at: usize, v: T) {
+        let len = self.len();
+        assert!(len < N && at <= len, "inline vec overflow");
+        // Rotate the default at items[len] down to `at`, then overwrite it.
+        self.items[at..=len].rotate_right(1);
+        self.items[at] = v;
+        self.len += 1;
+    }
+
+    fn remove(&mut self, at: usize) -> T {
+        let len = self.len();
+        assert!(at < len, "inline vec index out of bounds");
+        let v = std::mem::take(&mut self.items[at]);
+        // Shift the tail left; the vacated default ends up at len - 1.
+        self.items[at..len].rotate_left(1);
+        self.len -= 1;
+        v
+    }
+
+    /// Moves `[at..len)` into a fresh `InlineVec`, leaving defaults behind.
+    fn split_off_tail(&mut self, at: usize) -> Self {
+        let mut out = Self::new();
+        for i in at..self.len() {
+            out.push(std::mem::take(&mut self.items[i]));
+        }
+        self.len = at as u32;
+        out
+    }
+
+    fn clear(&mut self) {
+        for i in 0..self.len() {
+            self.items[i] = T::default();
+        }
+        self.len = 0;
+    }
+}
+
+impl<T: std::fmt::Debug, const N: usize> std::fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice().iter()).finish()
+    }
+}
 
 /// Subtree widths in the two tracked dimensions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -95,7 +293,7 @@ impl WidthsDelta {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Cursor {
     /// The leaf node holding the position.
-    pub leaf: NodeIdx,
+    pub leaf: LeafIdx,
     /// Entry index within the leaf. May equal the number of entries
     /// (end-of-leaf position).
     pub entry_idx: usize,
@@ -105,39 +303,101 @@ pub struct Cursor {
 }
 
 #[derive(Debug, Clone)]
-struct Internal {
-    parent: NodeIdx,
-    children: Vec<NodeIdx>,
+struct InternalNode<const N: usize> {
+    parent: Option<InternalIdx>,
+    /// `true` when the children are leaves (all children of a node are the
+    /// same kind; the tree is height-balanced).
+    leaf_children: bool,
+    /// Raw child ids (`slot + 1`), interpreted via `leaf_children`.
+    children: InlineVec<u32, N>,
     /// Cached total widths of each child's subtree, aligned with `children`.
-    widths: Vec<Widths>,
+    widths: InlineVec<Widths, N>,
+}
+
+impl<const N: usize> InternalNode<N> {
+    fn new() -> Self {
+        InternalNode {
+            parent: None,
+            leaf_children: true,
+            children: InlineVec::new(),
+            widths: InlineVec::new(),
+        }
+    }
+
+    #[inline]
+    fn child(&self, i: usize) -> NodeRef {
+        let raw = self.children.as_slice()[i];
+        if self.leaf_children {
+            NodeRef::Leaf(LeafIdx::from_raw(raw))
+        } else {
+            NodeRef::Internal(InternalIdx::from_raw(raw))
+        }
+    }
+
+    #[inline]
+    fn position_of(&self, child_raw: u32) -> usize {
+        self.children
+            .as_slice()
+            .iter()
+            .position(|&c| c == child_raw)
+            .expect("broken parent pointer")
+    }
 }
 
 #[derive(Debug, Clone)]
-struct Leaf<E> {
-    parent: NodeIdx,
-    entries: Vec<E>,
-    /// Next leaf in sequence order, or [`NODE_IDX_NONE`].
-    next: NodeIdx,
+struct LeafNode<E, const N: usize> {
+    parent: Option<InternalIdx>,
+    /// Previous leaf in sequence order. Needed so an emptied leaf can be
+    /// unlinked from the chain in O(1) when it is freed.
+    prev: Option<LeafIdx>,
+    /// Next leaf in sequence order.
+    next: Option<LeafIdx>,
+    entries: InlineVec<E, N>,
 }
 
-#[derive(Debug, Clone)]
-enum Node<E> {
-    Internal(Internal),
-    Leaf(Leaf<E>),
+impl<E: TreeEntry, const N: usize> LeafNode<E, N> {
+    fn new() -> Self {
+        LeafNode {
+            parent: None,
+            prev: None,
+            next: None,
+            entries: InlineVec::new(),
+        }
+    }
+}
+
+/// Arena occupancy counters, exposed for tests and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Leaf slots in the slab (live + free).
+    pub leaf_slots: usize,
+    /// Internal slots in the slab (live + free).
+    pub internal_slots: usize,
+    /// Leaf slots parked on the free list.
+    pub free_leaves: usize,
+    /// Internal slots parked on the free list.
+    pub free_internals: usize,
+    /// Heap capacity of the leaf slab, in slots.
+    pub leaf_capacity: usize,
+    /// Heap capacity of the internal slab, in slots.
+    pub internal_capacity: usize,
 }
 
 /// The order-statistic B-tree. See the crate documentation.
 ///
 /// `N` is the fanout: the maximum number of children of an internal node
-/// and of entries in a leaf. Larger fanouts mean shallower trees (cheaper
-/// descents and width repairs) but more linear scanning within nodes; the
-/// sweet spot depends on the entry type and workload, so it is a
+/// and of entries in a leaf (`N >= 4`). Larger fanouts mean shallower trees
+/// (cheaper descents and width repairs) but more linear scanning within
+/// nodes; the sweet spot depends on the entry type and workload, so it is a
 /// compile-time parameter swept by the `walker_hot` benchmark.
 #[derive(Debug, Clone)]
 pub struct ContentTree<E: TreeEntry, const N: usize = DEFAULT_FANOUT> {
-    nodes: Vec<Node<E>>,
-    root: NodeIdx,
-    first_leaf: NodeIdx,
+    leaves: Vec<LeafNode<E, N>>,
+    internals: Vec<InternalNode<N>>,
+    free_leaves: Vec<LeafIdx>,
+    free_internals: Vec<InternalIdx>,
+    root: NodeRef,
+    first_leaf: LeafIdx,
 }
 
 /// One step of a [`ContentTree::mutate_run`] batch, decided per entry by
@@ -163,72 +423,124 @@ impl<E: TreeEntry, const N: usize> Default for ContentTree<E, N> {
 impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
     /// Creates an empty tree (a single empty leaf).
     pub fn new() -> Self {
-        ContentTree {
-            nodes: vec![Node::Leaf(Leaf {
-                parent: NODE_IDX_NONE,
-                entries: Vec::new(),
-                next: NODE_IDX_NONE,
-            })],
-            root: 0,
-            first_leaf: 0,
-        }
+        assert!(N >= 4, "fanout must be at least 4");
+        let mut tree = ContentTree {
+            leaves: Vec::new(),
+            internals: Vec::new(),
+            free_leaves: Vec::new(),
+            free_internals: Vec::new(),
+            // Placeholder; fixed up right below once the first leaf exists.
+            root: NodeRef::Leaf(LeafIdx::new(0)),
+            first_leaf: LeafIdx::new(0),
+        };
+        let root = tree.alloc_leaf();
+        tree.root = NodeRef::Leaf(root);
+        tree.first_leaf = root;
+        tree
     }
 
-    /// Removes all entries, releasing the arena.
+    /// Removes all entries while retaining the slab allocations, so a
+    /// cleared tree rebuilds to its previous size without touching the
+    /// allocator.
     pub fn clear(&mut self) {
-        *self = Self::new();
+        self.leaves.clear();
+        self.internals.clear();
+        self.free_leaves.clear();
+        self.free_internals.clear();
+        let root = self.alloc_leaf();
+        self.root = NodeRef::Leaf(root);
+        self.first_leaf = root;
     }
 
-    fn leaf(&self, idx: NodeIdx) -> &Leaf<E> {
-        match &self.nodes[idx as usize] {
-            Node::Leaf(l) => l,
-            Node::Internal(_) => panic!("expected leaf at {idx}"),
+    /// Current slab occupancy / capacity counters.
+    pub fn arena_stats(&self) -> ArenaStats {
+        ArenaStats {
+            leaf_slots: self.leaves.len(),
+            internal_slots: self.internals.len(),
+            free_leaves: self.free_leaves.len(),
+            free_internals: self.free_internals.len(),
+            leaf_capacity: self.leaves.capacity(),
+            internal_capacity: self.internals.capacity(),
         }
     }
 
-    fn leaf_mut(&mut self, idx: NodeIdx) -> &mut Leaf<E> {
-        match &mut self.nodes[idx as usize] {
-            Node::Leaf(l) => l,
-            Node::Internal(_) => panic!("expected leaf at {idx}"),
+    // ------------------------------------------------------------------
+    // Slab plumbing.
+    // ------------------------------------------------------------------
+
+    fn alloc_leaf(&mut self) -> LeafIdx {
+        if let Some(idx) = self.free_leaves.pop() {
+            idx
+        } else {
+            let idx = LeafIdx::new(self.leaves.len());
+            self.leaves.push(LeafNode::new());
+            idx
         }
     }
 
-    fn internal(&self, idx: NodeIdx) -> &Internal {
-        match &self.nodes[idx as usize] {
-            Node::Internal(n) => n,
-            Node::Leaf(_) => panic!("expected internal node at {idx}"),
+    fn alloc_internal(&mut self) -> InternalIdx {
+        if let Some(idx) = self.free_internals.pop() {
+            idx
+        } else {
+            let idx = InternalIdx::new(self.internals.len());
+            self.internals.push(InternalNode::new());
+            idx
         }
     }
 
-    fn internal_mut(&mut self, idx: NodeIdx) -> &mut Internal {
-        match &mut self.nodes[idx as usize] {
-            Node::Internal(n) => n,
-            Node::Leaf(_) => panic!("expected internal node at {idx}"),
+    /// Resets a leaf slot and parks it on the free list. Clearing the
+    /// entries drops any heap memory the entry type owns.
+    fn release_leaf(&mut self, idx: LeafIdx) {
+        let l = &mut self.leaves[idx.slot()];
+        l.entries.clear();
+        l.parent = None;
+        l.prev = None;
+        l.next = None;
+        self.free_leaves.push(idx);
+    }
+
+    fn release_internal(&mut self, idx: InternalIdx) {
+        let n = &mut self.internals[idx.slot()];
+        n.children.clear();
+        n.widths.clear();
+        n.parent = None;
+        n.leaf_children = true;
+        self.free_internals.push(idx);
+    }
+
+    fn parent_of(&self, node: NodeRef) -> Option<InternalIdx> {
+        match node {
+            NodeRef::Leaf(l) => self.leaves[l.slot()].parent,
+            NodeRef::Internal(i) => self.internals[i.slot()].parent,
         }
     }
 
-    fn parent_of(&self, idx: NodeIdx) -> NodeIdx {
-        match &self.nodes[idx as usize] {
-            Node::Internal(n) => n.parent,
-            Node::Leaf(l) => l.parent,
+    fn set_parent(&mut self, node: NodeRef, parent: Option<InternalIdx>) {
+        match node {
+            NodeRef::Leaf(l) => self.leaves[l.slot()].parent = parent,
+            NodeRef::Internal(i) => self.internals[i.slot()].parent = parent,
         }
     }
+
+    // ------------------------------------------------------------------
+    // Read paths.
+    // ------------------------------------------------------------------
 
     /// The total widths of the whole tree.
     pub fn total_widths(&self) -> Widths {
         self.node_total(self.root)
     }
 
-    fn node_total(&self, idx: NodeIdx) -> Widths {
+    fn node_total(&self, node: NodeRef) -> Widths {
         let mut total = Widths::default();
-        match &self.nodes[idx as usize] {
-            Node::Internal(n) => {
-                for w in &n.widths {
+        match node {
+            NodeRef::Internal(i) => {
+                for w in self.internals[i.slot()].widths.as_slice() {
                     total.add(*w);
                 }
             }
-            Node::Leaf(l) => {
-                for e in &l.entries {
+            NodeRef::Leaf(l) => {
+                for e in self.leaves[l.slot()].entries.as_slice() {
                     total.add(Widths::of(e));
                 }
             }
@@ -238,10 +550,10 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
 
     /// The number of entries stored (O(number of leaves)).
     pub fn num_entries(&self) -> usize {
-        let mut leaf = self.first_leaf;
+        let mut leaf = Some(self.first_leaf);
         let mut n = 0;
-        while leaf != NODE_IDX_NONE {
-            let l = self.leaf(leaf);
+        while let Some(idx) = leaf {
+            let l = &self.leaves[idx.slot()];
             n += l.entries.len();
             leaf = l.next;
         }
@@ -268,25 +580,26 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
     /// Panics if `k >= total cur width`.
     pub fn cursor_at_cur_unit(&self, mut k: usize) -> (Cursor, usize) {
         let mut end_acc = 0usize;
-        let mut idx = self.root;
+        let mut node = self.root;
         loop {
-            match &self.nodes[idx as usize] {
-                Node::Internal(n) => {
-                    let mut found = false;
-                    for (i, &child) in n.children.iter().enumerate() {
-                        let w = n.widths[i];
+            match node {
+                NodeRef::Internal(idx) => {
+                    let n = &self.internals[idx.slot()];
+                    let mut found = None;
+                    for (i, w) in n.widths.as_slice().iter().enumerate() {
                         if k < w.cur {
-                            idx = child;
-                            found = true;
+                            found = Some(i);
                             break;
                         }
                         k -= w.cur;
                         end_acc += w.end;
                     }
-                    assert!(found, "cur position out of bounds");
+                    let i = found.expect("cur position out of bounds");
+                    node = n.child(i);
                 }
-                Node::Leaf(l) => {
-                    for (i, e) in l.entries.iter().enumerate() {
+                NodeRef::Leaf(idx) => {
+                    let l = &self.leaves[idx.slot()];
+                    for (i, e) in l.entries.as_slice().iter().enumerate() {
                         let wc = e.width_cur();
                         if k < wc {
                             // Uniform entries: cur offset == raw offset.
@@ -315,27 +628,29 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
     /// insertion: `0 <= pos <= total`. The returned cursor may sit at the
     /// end of an entry or of the tree.
     pub fn cursor_at_cur_pos(&self, mut pos: usize) -> Cursor {
-        let mut idx = self.root;
+        let mut node = self.root;
         loop {
-            match &self.nodes[idx as usize] {
-                Node::Internal(n) => {
+            match node {
+                NodeRef::Internal(idx) => {
+                    let n = &self.internals[idx.slot()];
                     let last = n.children.len() - 1;
                     let mut chosen = last;
-                    for (i, w) in n.widths.iter().enumerate() {
+                    for (i, w) in n.widths.as_slice().iter().enumerate() {
                         if pos < w.cur || (i == last && pos <= w.cur) {
                             chosen = i;
                             break;
                         }
                         pos -= w.cur;
                     }
-                    idx = n.children[chosen];
+                    node = n.child(chosen);
                 }
-                Node::Leaf(l) => {
+                NodeRef::Leaf(idx) => {
                     // Land inside the entry containing the pos-th visible
                     // unit; boundary positions land *after* any invisible
                     // entries (offset 0 of the next visible entry, or end of
                     // leaf on the rightmost path).
-                    for (i, e) in l.entries.iter().enumerate() {
+                    let l = &self.leaves[idx.slot()];
+                    for (i, e) in l.entries.as_slice().iter().enumerate() {
                         let wc = e.width_cur();
                         if pos < wc {
                             return Cursor {
@@ -363,25 +678,24 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
     ///
     /// Panics if the cursor points past the last entry of its leaf.
     pub fn entry_at(&self, cursor: &Cursor) -> &E {
-        &self.leaf(cursor.leaf).entries[cursor.entry_idx]
+        &self.leaves[cursor.leaf.slot()].entries.as_slice()[cursor.entry_idx]
     }
 
     /// Advances the cursor to the start of the next entry. Returns `false`
     /// at the end of the tree.
     pub fn cursor_next_entry(&self, cursor: &mut Cursor) -> bool {
-        let l = self.leaf(cursor.leaf);
+        let l = &self.leaves[cursor.leaf.slot()];
         if cursor.entry_idx + 1 < l.entries.len() {
             cursor.entry_idx += 1;
             cursor.offset = 0;
             return true;
         }
         let mut next = l.next;
-        // Skip (rare) empty leaves left behind by deletions.
-        while next != NODE_IDX_NONE {
-            let nl = self.leaf(next);
+        while let Some(idx) = next {
+            let nl = &self.leaves[idx.slot()];
             if !nl.entries.is_empty() {
                 *cursor = Cursor {
-                    leaf: next,
+                    leaf: idx,
                     entry_idx: 0,
                     offset: 0,
                 };
@@ -394,28 +708,28 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
 
     /// Returns `true` if the cursor points at a valid entry.
     pub fn cursor_valid(&self, cursor: &Cursor) -> bool {
-        cursor.entry_idx < self.leaf(cursor.leaf).entries.len()
+        cursor.entry_idx < self.leaves[cursor.leaf.slot()].entries.len()
     }
 
     /// Computes the global offset of the start of an entry, in both
     /// dimensions, by walking from the leaf to the root.
-    pub fn offset_of(&self, leaf_idx: NodeIdx, entry_idx: usize) -> Widths {
+    pub fn offset_of(&self, leaf_idx: LeafIdx, entry_idx: usize) -> Widths {
         let mut acc = Widths::default();
-        let l = self.leaf(leaf_idx);
-        for e in &l.entries[..entry_idx] {
+        let l = &self.leaves[leaf_idx.slot()];
+        for e in &l.entries.as_slice()[..entry_idx] {
             acc.add(Widths::of(e));
         }
-        let mut child = leaf_idx;
+        let mut child_raw = leaf_idx.raw();
         let mut parent = l.parent;
-        while parent != NODE_IDX_NONE {
-            let p = self.internal(parent);
-            for (i, &c) in p.children.iter().enumerate() {
-                if c == child {
+        while let Some(p_idx) = parent {
+            let p = &self.internals[p_idx.slot()];
+            for (i, &c) in p.children.as_slice().iter().enumerate() {
+                if c == child_raw {
                     break;
                 }
-                acc.add(p.widths[i]);
+                acc.add(p.widths.as_slice()[i]);
             }
-            child = parent;
+            child_raw = p_idx.raw();
             parent = p.parent;
         }
         acc
@@ -423,21 +737,21 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
 
     /// The entries of one leaf, in order. Used by callers that maintain an
     /// ID → leaf index and need to find a specific entry within the leaf.
-    pub fn entries_in_leaf(&self, leaf: NodeIdx) -> &[E] {
-        &self.leaf(leaf).entries
+    pub fn entries_in_leaf(&self, leaf: LeafIdx) -> &[E] {
+        self.leaves[leaf.slot()].entries.as_slice()
     }
 
-    /// The successor of `leaf` in the leaf chain, or [`NODE_IDX_NONE`].
-    /// Used by callers probing a cached cursor's neighbourhood.
-    pub fn next_leaf(&self, leaf: NodeIdx) -> NodeIdx {
-        self.leaf(leaf).next
+    /// The successor of `leaf` in the leaf chain, if any. Used by callers
+    /// probing a cached cursor's neighbourhood.
+    pub fn next_leaf(&self, leaf: LeafIdx) -> Option<LeafIdx> {
+        self.leaves[leaf.slot()].next
     }
 
     /// Iterates all entries in order.
     pub fn iter(&self) -> TreeIter<'_, E, N> {
         TreeIter {
             tree: self,
-            leaf: self.first_leaf,
+            leaf: Some(self.first_leaf),
             entry_idx: 0,
         }
     }
@@ -449,136 +763,138 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
     /// Adds a known width change to the cached totals on the path from
     /// `node` to the root — the O(depth) fast variant of
     /// [`ContentTree::repair_path`] for structure-preserving updates.
-    fn repair_path_delta(&mut self, mut node: NodeIdx, d: WidthsDelta) {
+    fn repair_path_delta(&mut self, from: NodeRef, d: WidthsDelta) {
         if d.is_zero() {
             return;
         }
-        let mut parent = self.parent_of(node);
-        while parent != NODE_IDX_NONE {
-            let p = self.internal_mut(parent);
-            let pos = p
-                .children
-                .iter()
-                .position(|&c| c == node)
-                .expect("broken parent pointer");
-            d.apply(&mut p.widths[pos]);
-            node = parent;
-            parent = p.parent;
+        let mut node = from;
+        while let Some(parent) = self.parent_of(node) {
+            let p = &mut self.internals[parent.slot()];
+            let pos = p.position_of(node.raw());
+            d.apply(&mut p.widths.as_mut_slice()[pos]);
+            node = NodeRef::Internal(parent);
         }
     }
 
     /// Recomputes the cached widths on the path from `node` to the root.
-    fn repair_path(&mut self, mut node: NodeIdx) {
-        let mut parent = self.parent_of(node);
-        while parent != NODE_IDX_NONE {
+    fn repair_path(&mut self, from: NodeRef) {
+        let mut node = from;
+        while let Some(parent) = self.parent_of(node) {
             let total = self.node_total(node);
-            let p = self.internal_mut(parent);
-            let pos = p
-                .children
-                .iter()
-                .position(|&c| c == node)
-                .expect("broken parent pointer");
-            p.widths[pos] = total;
-            node = parent;
-            parent = self.parent_of(node);
+            let p = &mut self.internals[parent.slot()];
+            let pos = p.position_of(node.raw());
+            p.widths.as_mut_slice()[pos] = total;
+            node = NodeRef::Internal(parent);
         }
     }
 
-    /// Splits an overflowing leaf, notifying for every moved entry.
-    /// Returns the new leaf's index.
-    fn split_leaf<NF: FnMut(&E, NodeIdx)>(
+    /// Splits a full leaf in half, notifying for every moved entry.
+    /// Returns the new (right) leaf's index.
+    fn split_leaf<NF: FnMut(&E, LeafIdx)>(
         &mut self,
-        leaf_idx: NodeIdx,
+        leaf_idx: LeafIdx,
         notify: &mut NF,
-    ) -> NodeIdx {
-        let new_idx = self.nodes.len() as NodeIdx;
-        let (moved, parent, next) = {
-            let l = self.leaf_mut(leaf_idx);
-            let keep = l.entries.len() / 2;
-            let moved: Vec<E> = l.entries.split_off(keep);
-            let parent = l.parent;
-            let next = l.next;
-            l.next = new_idx;
-            (moved, parent, next)
-        };
-        for e in &moved {
+    ) -> LeafIdx {
+        let new_idx = self.alloc_leaf();
+        let from = leaf_idx.slot();
+        let keep = self.leaves[from].entries.len() / 2;
+        let moved = self.leaves[from].entries.split_off_tail(keep);
+        let next = self.leaves[from].next;
+        let parent = self.leaves[from].parent;
+        self.leaves[from].next = Some(new_idx);
+        {
+            let nl = &mut self.leaves[new_idx.slot()];
+            nl.entries = moved;
+            nl.prev = Some(leaf_idx);
+            nl.next = next;
+            // Fixed up by insert_child_after if the parent splits.
+            nl.parent = parent;
+        }
+        if let Some(nx) = next {
+            self.leaves[nx.slot()].prev = Some(new_idx);
+        }
+        for e in self.leaves[new_idx.slot()].entries.as_slice() {
             notify(e, new_idx);
         }
-        self.nodes.push(Node::Leaf(Leaf {
-            parent,
-            entries: moved,
-            next,
-        }));
-        self.insert_child_after(parent, leaf_idx, new_idx);
+        self.insert_child_after(NodeRef::Leaf(leaf_idx), NodeRef::Leaf(new_idx));
         new_idx
     }
 
-    /// Inserts `new_child` directly after `after` under `parent`
-    /// (creating a new root when `parent` is none), splitting internal
-    /// nodes as needed. Fixes the cached widths of both children.
-    fn insert_child_after(&mut self, parent: NodeIdx, after: NodeIdx, new_child: NodeIdx) {
-        if parent == NODE_IDX_NONE {
-            // `after` was the root; grow the tree.
-            let new_root = self.nodes.len() as NodeIdx;
-            let w_after = self.node_total(after);
-            let w_new = self.node_total(new_child);
-            self.nodes.push(Node::Internal(Internal {
-                parent: NODE_IDX_NONE,
-                children: vec![after, new_child],
-                widths: vec![w_after, w_new],
-            }));
-            self.set_parent(after, new_root);
-            self.set_parent(new_child, new_root);
-            self.root = new_root;
-            return;
-        }
+    /// Inserts `new_child` directly after `after` in `after`'s parent
+    /// (creating a new root when `after` is the root), splitting the parent
+    /// first if it is full. Fixes the cached widths of both children.
+    fn insert_child_after(&mut self, after: NodeRef, new_child: NodeRef) {
         let w_after = self.node_total(after);
         let w_new = self.node_total(new_child);
-        let overflow = {
-            let p = self.internal_mut(parent);
-            let pos = p
-                .children
-                .iter()
-                .position(|&c| c == after)
-                .expect("child not under parent");
-            p.widths[pos] = w_after;
-            p.children.insert(pos + 1, new_child);
-            p.widths.insert(pos + 1, w_new);
-            p.children.len() > N
+        let Some(mut parent) = self.parent_of(after) else {
+            // `after` was the root; grow the tree.
+            let new_root = self.alloc_internal();
+            {
+                let n = &mut self.internals[new_root.slot()];
+                n.leaf_children = matches!(after, NodeRef::Leaf(_));
+                n.children.push(after.raw());
+                n.children.push(new_child.raw());
+                n.widths.push(w_after);
+                n.widths.push(w_new);
+            }
+            self.set_parent(after, Some(new_root));
+            self.set_parent(new_child, Some(new_root));
+            self.root = NodeRef::Internal(new_root);
+            return;
         };
-        self.set_parent(new_child, parent);
-        if overflow {
+        if self.internals[parent.slot()].children.len() == N {
+            // Split before inserting; `after` may move to the new sibling.
             self.split_internal(parent);
+            parent = self.parent_of(after).expect("split lost child");
         }
+        let p = &mut self.internals[parent.slot()];
+        let pos = p.position_of(after.raw());
+        p.widths.as_mut_slice()[pos] = w_after;
+        p.children.insert(pos + 1, new_child.raw());
+        p.widths.insert(pos + 1, w_new);
+        self.set_parent(new_child, Some(parent));
     }
 
-    /// Splits an overflowing internal node.
-    fn split_internal(&mut self, idx: NodeIdx) {
-        let new_idx = self.nodes.len() as NodeIdx;
-        let (moved_children, moved_widths, parent) = {
-            let n = self.internal_mut(idx);
-            let keep = n.children.len() / 2;
-            (
-                n.children.split_off(keep),
-                n.widths.split_off(keep),
-                n.parent,
-            )
-        };
-        self.nodes.push(Node::Internal(Internal {
-            parent,
-            children: moved_children.clone(),
-            widths: moved_widths,
-        }));
-        for c in moved_children {
-            self.set_parent(c, new_idx);
+    /// Splits a full internal node in half.
+    fn split_internal(&mut self, idx: InternalIdx) {
+        let new_idx = self.alloc_internal();
+        let from = idx.slot();
+        let keep = self.internals[from].children.len() / 2;
+        let moved_children = self.internals[from].children.split_off_tail(keep);
+        let moved_widths = self.internals[from].widths.split_off_tail(keep);
+        let leaf_children = self.internals[from].leaf_children;
+        {
+            let n = &mut self.internals[new_idx.slot()];
+            n.leaf_children = leaf_children;
+            n.children = moved_children;
+            n.widths = moved_widths;
         }
-        self.insert_child_after(parent, idx, new_idx);
+        for i in 0..self.internals[new_idx.slot()].children.len() {
+            let child = self.internals[new_idx.slot()].child(i);
+            self.set_parent(child, Some(new_idx));
+        }
+        self.insert_child_after(NodeRef::Internal(idx), NodeRef::Internal(new_idx));
     }
 
-    fn set_parent(&mut self, idx: NodeIdx, parent: NodeIdx) {
-        match &mut self.nodes[idx as usize] {
-            Node::Internal(n) => n.parent = parent,
-            Node::Leaf(l) => l.parent = parent,
+    /// Ensures the leaf holding entry position `idx` has room for one more
+    /// entry, splitting it if full. Returns the (possibly moved) location.
+    fn make_room<NF: FnMut(&E, LeafIdx)>(
+        &mut self,
+        leaf_idx: LeafIdx,
+        idx: usize,
+        notify: &mut NF,
+        split_flag: &mut bool,
+    ) -> (LeafIdx, usize) {
+        if self.leaves[leaf_idx.slot()].entries.len() < N {
+            return (leaf_idx, idx);
+        }
+        *split_flag = true;
+        let new_leaf = self.split_leaf(leaf_idx, notify);
+        let keep = self.leaves[leaf_idx.slot()].entries.len();
+        if idx >= keep {
+            (new_leaf, idx - keep)
+        } else {
+            (leaf_idx, idx)
         }
     }
 
@@ -588,7 +904,7 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
     ///
     /// Returns a cursor pointing at the start of the inserted content (which
     /// may be in the middle of a merged entry).
-    pub fn insert_at<NF: FnMut(&E, NodeIdx)>(
+    pub fn insert_at<NF: FnMut(&E, LeafIdx)>(
         &mut self,
         cursor: Cursor,
         e: E,
@@ -600,27 +916,26 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
 
         // Normalise an end-of-entry offset to the next boundary.
         {
-            let l = self.leaf(leaf_idx);
-            if entry_idx < l.entries.len() && offset == l.entries[entry_idx].len() {
+            let l = &self.leaves[leaf_idx.slot()];
+            if entry_idx < l.entries.len() && offset == l.entries.as_slice()[entry_idx].len() {
                 entry_idx += 1;
                 offset = 0;
             }
         }
 
-        let e_len = e.len();
         // Whatever the insertion path, ancestor totals grow by exactly the
         // new entry's widths (boundary splits move units, net zero).
         let net = WidthsDelta::gain(Widths::of(&e));
-        if offset == 0 {
+        let (leaf_idx, entry_idx) = if offset == 0 {
             // Try appending to the previous entry in this leaf.
             if entry_idx > 0 {
-                let l = self.leaf_mut(leaf_idx);
-                let prev = &mut l.entries[entry_idx - 1];
+                let l = &mut self.leaves[leaf_idx.slot()];
+                let prev = &mut l.entries.as_mut_slice()[entry_idx - 1];
                 if prev.can_append(&e) {
                     let at = prev.len();
                     prev.append(e.clone());
                     notify(&e, leaf_idx);
-                    self.repair_path_delta(leaf_idx, net);
+                    self.repair_path_delta(NodeRef::Leaf(leaf_idx), net);
                     return Cursor {
                         leaf: leaf_idx,
                         entry_idx: entry_idx - 1,
@@ -628,21 +943,13 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
                     };
                 }
             }
-            self.insert_entries_at(leaf_idx, entry_idx, vec![e], Some(net), notify);
+            self.insert_entries_at(leaf_idx, entry_idx, e, None, Some(net), notify)
         } else {
             // Split the containing entry and insert in between.
-            let tail = {
-                let l = self.leaf_mut(leaf_idx);
-                l.entries[entry_idx].truncate(offset)
-            };
-            self.insert_entries_at(leaf_idx, entry_idx + 1, vec![e, tail], Some(net), notify);
-            entry_idx += 1;
-        }
-
-        // Find where the new entry ended up (splits may have moved it).
-        let (leaf_idx, entry_idx) = self.locate_after_insert(leaf_idx, entry_idx);
-        notify(&self.leaf(leaf_idx).entries[entry_idx].clone(), leaf_idx);
-        debug_assert_eq!(self.leaf(leaf_idx).entries[entry_idx].len(), e_len);
+            let tail =
+                self.leaves[leaf_idx.slot()].entries.as_mut_slice()[entry_idx].truncate(offset);
+            self.insert_entries_at(leaf_idx, entry_idx + 1, e, Some(tail), Some(net), notify)
+        };
         Cursor {
             leaf: leaf_idx,
             entry_idx,
@@ -650,56 +957,61 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
         }
     }
 
-    /// Inserts `extra` entries at `entry_idx` of `leaf_idx`, splitting on
-    /// overflow and repairing widths. The caller re-locates positions after.
+    /// Inserts `e0` (and `e1` directly after it, when given) at `entry_idx`
+    /// of `leaf_idx`, splitting the leaf first if it lacks room for both,
+    /// repairing widths, and notifying for the inserted entries and any the
+    /// split relocated. Returns `e0`'s location after insertion.
     ///
     /// `net` is the caller-known change to the subtree total (new material
     /// only — pieces split off existing entries cancel out); when given
     /// and no split occurs, the repair is O(depth) instead of
     /// O(depth × fanout). `None` forces a full recompute.
-    fn insert_entries_at<NF: FnMut(&E, NodeIdx)>(
+    fn insert_entries_at<NF: FnMut(&E, LeafIdx)>(
         &mut self,
-        leaf_idx: NodeIdx,
+        leaf_idx: LeafIdx,
         entry_idx: usize,
-        extra: Vec<E>,
+        e0: E,
+        e1: Option<E>,
         net: Option<WidthsDelta>,
         notify: &mut NF,
-    ) {
+    ) -> (LeafIdx, usize) {
+        let needed = 1 + e1.is_some() as usize;
+        let mut leaf_idx = leaf_idx;
+        let mut entry_idx = entry_idx;
+        let mut split = false;
+        if self.leaves[leaf_idx.slot()].entries.len() + needed > N {
+            // One split always frees enough room: each half keeps at most
+            // N - N/2 entries and needed <= 2 <= N/2 for N >= 4.
+            let new_leaf = self.split_leaf(leaf_idx, notify);
+            split = true;
+            let keep = self.leaves[leaf_idx.slot()].entries.len();
+            if entry_idx >= keep {
+                leaf_idx = new_leaf;
+                entry_idx -= keep;
+            }
+        }
+        notify(&e0, leaf_idx);
+        if let Some(ref e1v) = e1 {
+            notify(e1v, leaf_idx);
+        }
         {
-            let l = self.leaf_mut(leaf_idx);
-            for (i, e) in extra.into_iter().enumerate() {
-                l.entries.insert(entry_idx + i, e);
+            let entries = &mut self.leaves[leaf_idx.slot()].entries;
+            entries.insert(entry_idx, e0);
+            if let Some(e1) = e1 {
+                entries.insert(entry_idx + 1, e1);
             }
         }
-        let mut last_new = leaf_idx;
-        while self.leaf(last_new).entries.len() > N {
-            last_new = self.split_leaf(last_new, notify);
-        }
-        if last_new == leaf_idx {
-            match net {
-                Some(d) => self.repair_path_delta(leaf_idx, d),
-                None => self.repair_path(leaf_idx),
-            }
+        if split {
+            // The split rewrote ancestor slots from (then-incomplete)
+            // totals; recompute both changed root paths.
+            self.repair_path(NodeRef::Leaf(leaf_idx));
         } else {
-            // Splits rewrote ancestor slots wholesale; recompute both
-            // changed root paths.
-            self.repair_path(leaf_idx);
-            self.repair_path(last_new);
-        }
-    }
-
-    /// After `insert_entries_at`, finds the leaf/index where the entry
-    /// originally inserted at (`leaf_idx`, `entry_idx`) now lives.
-    fn locate_after_insert(&self, mut leaf_idx: NodeIdx, mut entry_idx: usize) -> (NodeIdx, usize) {
-        loop {
-            let l = self.leaf(leaf_idx);
-            if entry_idx < l.entries.len() {
-                return (leaf_idx, entry_idx);
+            match net {
+                Some(d) => self.repair_path_delta(NodeRef::Leaf(leaf_idx), d),
+                None => self.repair_path(NodeRef::Leaf(leaf_idx)),
             }
-            entry_idx -= l.entries.len();
-            leaf_idx = l.next;
-            assert_ne!(leaf_idx, NODE_IDX_NONE, "entry lost after split");
         }
+        (leaf_idx, entry_idx)
     }
 
     /// Applies an arbitrary in-place edit to the entry at
@@ -714,15 +1026,15 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
     /// # Panics
     ///
     /// Panics if the slot does not hold an entry.
-    pub fn update_entry<F: FnOnce(&mut E)>(&mut self, leaf: NodeIdx, entry_idx: usize, f: F) {
+    pub fn update_entry<F: FnOnce(&mut E)>(&mut self, leaf: LeafIdx, entry_idx: usize, f: F) {
         let (before, after) = {
-            let e = &mut self.leaf_mut(leaf).entries[entry_idx];
+            let e = &mut self.leaves[leaf.slot()].entries.as_mut_slice()[entry_idx];
             let before = Widths::of(e);
             f(e);
             debug_assert!(!e.is_empty(), "update_entry left an empty entry");
             (before, Widths::of(e))
         };
-        self.repair_path_delta(leaf, WidthsDelta::change(before, after));
+        self.repair_path_delta(NodeRef::Leaf(leaf), WidthsDelta::change(before, after));
     }
 
     /// Mutates up to `max_len` units of the entry under `cursor`, starting
@@ -738,75 +1050,98 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
         max_len: usize,
         mutate: F,
         notify: &mut NF,
-    ) -> (usize, NodeIdx, usize)
+    ) -> (usize, LeafIdx, usize)
     where
         F: FnOnce(&mut E),
-        NF: FnMut(&E, NodeIdx),
+        NF: FnMut(&E, LeafIdx),
     {
         let leaf_idx = cursor.leaf;
-        let mut entry_idx = cursor.entry_idx;
+        let entry_idx = cursor.entry_idx;
         let offset = cursor.offset;
-        let entry_len = self.leaf(leaf_idx).entries[entry_idx].len();
+        let entry_len = self.leaves[leaf_idx.slot()].entries.as_slice()[entry_idx].len();
         assert!(offset < entry_len, "cursor must point inside the entry");
         let len = max_len.min(entry_len - offset);
         assert!(len > 0);
 
-        let mut extra: Vec<E> = Vec::new();
-        let mut target_shift = 0usize;
-        {
-            let l = self.leaf_mut(leaf_idx);
-            if offset > 0 {
-                let tail = l.entries[entry_idx].truncate(offset);
-                extra.push(tail);
-                target_shift = 1;
-            }
-        }
-        // extra[0] (if split) is the piece we mutate, or the entry itself.
-        let net = if target_shift == 1 {
-            if len < extra[0].len() {
-                let post = extra[0].truncate(len);
-                extra.push(post);
-            }
-            let before = Widths::of(&extra[0]);
-            mutate(&mut extra[0]);
-            WidthsDelta::change(before, Widths::of(&extra[0]))
+        if offset > 0 {
+            // Split off the piece at the cursor; it becomes e0 of the
+            // insertion (with the untouched post piece, if any, as e1).
+            let mut piece =
+                self.leaves[leaf_idx.slot()].entries.as_mut_slice()[entry_idx].truncate(offset);
+            let post = if len < piece.len() {
+                Some(piece.truncate(len))
+            } else {
+                None
+            };
+            let before = Widths::of(&piece);
+            mutate(&mut piece);
+            let net = WidthsDelta::change(before, Widths::of(&piece));
+            let (leaf_idx, entry_idx) =
+                self.insert_entries_at(leaf_idx, entry_idx + 1, piece, post, Some(net), notify);
+            (len, leaf_idx, entry_idx)
         } else {
-            let l = self.leaf_mut(leaf_idx);
-            if len < entry_len {
-                let post = l.entries[entry_idx].truncate(len);
-                extra.push(post);
+            // Mutate the entry head in place; the untouched tail (if any)
+            // splits off and is re-inserted after it.
+            let post = {
+                let e = &mut self.leaves[leaf_idx.slot()].entries.as_mut_slice()[entry_idx];
+                if len < entry_len {
+                    Some(e.truncate(len))
+                } else {
+                    None
+                }
+            };
+            let net = {
+                let e = &mut self.leaves[leaf_idx.slot()].entries.as_mut_slice()[entry_idx];
+                let before = Widths::of(e);
+                mutate(e);
+                WidthsDelta::change(before, Widths::of(e))
+            };
+            match post {
+                None => {
+                    self.repair_path_delta(NodeRef::Leaf(leaf_idx), net);
+                    (len, leaf_idx, entry_idx)
+                }
+                Some(post) => {
+                    let (post_leaf, post_idx) = self.insert_entries_at(
+                        leaf_idx,
+                        entry_idx + 1,
+                        post,
+                        None,
+                        Some(net),
+                        notify,
+                    );
+                    // The mutated entry sits directly before the post piece
+                    // (possibly at the end of the previous leaf if the
+                    // insertion split moved only the post piece right).
+                    if post_idx > 0 {
+                        (len, post_leaf, post_idx - 1)
+                    } else {
+                        let prev = self.leaves[post_leaf.slot()]
+                            .prev
+                            .expect("mutated entry lost");
+                        (len, prev, self.leaves[prev.slot()].entries.len() - 1)
+                    }
+                }
             }
-            let before = Widths::of(&l.entries[entry_idx]);
-            mutate(&mut l.entries[entry_idx]);
-            WidthsDelta::change(before, Widths::of(&l.entries[entry_idx]))
-        };
-        if extra.is_empty() {
-            self.repair_path_delta(leaf_idx, net);
-            return (len, leaf_idx, entry_idx);
         }
-        self.insert_entries_at(leaf_idx, entry_idx + 1, extra, Some(net), notify);
-        entry_idx += target_shift;
-        let (leaf_idx, entry_idx) = self.locate_after_insert(leaf_idx, entry_idx);
-        // The mutated piece may have been relocated by a split; re-notify it.
-        notify(&self.leaf(leaf_idx).entries[entry_idx].clone(), leaf_idx);
-        (len, leaf_idx, entry_idx)
     }
 
-    /// Mutates a run of consecutive entries within the leaf under `cursor`
-    /// in one pass, with a single width repair at the end — the batched
+    /// Mutates a run of consecutive entries starting under `cursor` in one
+    /// pass, with a single width repair at the end — the batched
     /// counterpart of repeated [`ContentTree::mutate_entry`] calls.
     ///
-    /// For every entry from the cursor onwards (bounded by the leaf),
-    /// `policy(&entry, offset)` decides the [`RunStep`]: mutate a prefix of
-    /// the entry's remaining units (splitting boundary pieces as needed),
-    /// skip it, or stop. `offset` is nonzero only for the first entry (the
-    /// cursor's offset). The policy observes each piece *before* mutation
-    /// and is called exactly once per **piece**: when `Mutate(n)` covers
-    /// only a prefix, the split-off untouched remainder is re-presented to
-    /// the policy as its own piece — stateful policies (e.g. recording the
-    /// sub-ranges chosen) must count pieces, not original entries.
-    /// `mutate` is applied to each chosen piece; `notify` fires for
-    /// entries relocated by overflow splits.
+    /// For every entry from the cursor onwards (bounded by the entries of
+    /// the cursor's leaf — including any leaves the batch's own splits
+    /// spread them across), `policy(&entry, offset)` decides the
+    /// [`RunStep`]: mutate a prefix of the entry's remaining units
+    /// (splitting boundary pieces as needed), skip it, or stop. `offset` is
+    /// nonzero only for the first entry (the cursor's offset). The policy
+    /// observes each piece *before* mutation and is called exactly once per
+    /// **piece**: when `Mutate(n)` covers only a prefix, the split-off
+    /// untouched remainder is re-presented to the policy as its own piece —
+    /// stateful policies (e.g. recording the sub-ranges chosen) must count
+    /// pieces, not original entries. `mutate` is applied to each chosen
+    /// piece; `notify` fires for entries relocated by splits.
     ///
     /// Cached widths are stale while the batch runs and repaired once at
     /// the end, so `policy`/`mutate` must not re-enter the tree.
@@ -819,24 +1154,35 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
     ) where
         P: FnMut(&E, usize) -> RunStep,
         F: Fn(&mut E),
-        NF: FnMut(&E, NodeIdx),
+        NF: FnMut(&E, LeafIdx),
     {
-        let leaf_idx = cursor.leaf;
+        let start_leaf = cursor.leaf;
+        // The original successor bounds the batch: leaves created by the
+        // batch's own splits all land strictly before it in the chain.
+        let stop = self.leaves[start_leaf.slot()].next;
+        let mut leaf_idx = start_leaf;
         let mut idx = cursor.entry_idx;
         let mut off = cursor.offset;
         let mut net = WidthsDelta::default();
-        loop {
-            let n_entries = self.leaf(leaf_idx).entries.len();
-            if idx >= n_entries {
-                break;
+        let mut split_occurred = false;
+        'run: loop {
+            while idx >= self.leaves[leaf_idx.slot()].entries.len() {
+                match self.leaves[leaf_idx.slot()].next {
+                    Some(next) if Some(next) != stop => {
+                        leaf_idx = next;
+                        idx = 0;
+                        off = 0;
+                    }
+                    _ => break 'run,
+                }
             }
-            let entry_len = self.leaf(leaf_idx).entries[idx].len();
+            let entry_len = self.leaves[leaf_idx.slot()].entries.as_slice()[idx].len();
             if off >= entry_len {
                 idx += 1;
                 off = 0;
                 continue;
             }
-            match policy(&self.leaf(leaf_idx).entries[idx], off) {
+            match policy(&self.leaves[leaf_idx.slot()].entries.as_slice()[idx], off) {
                 RunStep::Stop => break,
                 RunStep::Skip => {
                     idx += 1;
@@ -847,17 +1193,23 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
                     if off > 0 {
                         // Split off the untouched head; the piece to mutate
                         // becomes the entry at idx + 1.
-                        let tail = self.leaf_mut(leaf_idx).entries[idx].truncate(off);
-                        self.leaf_mut(leaf_idx).entries.insert(idx + 1, tail);
+                        (leaf_idx, idx) =
+                            self.make_room(leaf_idx, idx, notify, &mut split_occurred);
+                        let tail =
+                            self.leaves[leaf_idx.slot()].entries.as_mut_slice()[idx].truncate(off);
+                        self.leaves[leaf_idx.slot()].entries.insert(idx + 1, tail);
                         idx += 1;
                         off = 0;
                     }
-                    if n < self.leaf(leaf_idx).entries[idx].len() {
+                    if n < self.leaves[leaf_idx.slot()].entries.as_slice()[idx].len() {
                         // Split off the untouched tail.
-                        let tail = self.leaf_mut(leaf_idx).entries[idx].truncate(n);
-                        self.leaf_mut(leaf_idx).entries.insert(idx + 1, tail);
+                        (leaf_idx, idx) =
+                            self.make_room(leaf_idx, idx, notify, &mut split_occurred);
+                        let tail =
+                            self.leaves[leaf_idx.slot()].entries.as_mut_slice()[idx].truncate(n);
+                        self.leaves[leaf_idx.slot()].entries.insert(idx + 1, tail);
                     }
-                    let piece = &mut self.leaf_mut(leaf_idx).entries[idx];
+                    let piece = &mut self.leaves[leaf_idx.slot()].entries.as_mut_slice()[idx];
                     let before = Widths::of(piece);
                     mutate(piece);
                     net.accumulate(WidthsDelta::change(before, Widths::of(piece)));
@@ -865,35 +1217,18 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
                 }
             }
         }
-        // Resolve any overflow from the batch's splits. The policy may
-        // have multiplied the leaf's entries well past 2N, and splitting
-        // inserts the right half directly after the split leaf — so walk
-        // the affected region [leaf_idx, original successor) left to
-        // right, re-splitting until every leaf in it fits. `stop` is
-        // captured first: all new leaves land before it.
-        let stop = self.leaf(leaf_idx).next;
-        let mut split_occurred = false;
-        let mut cur = leaf_idx;
-        while cur != stop {
-            if self.leaf(cur).entries.len() > N {
-                self.split_leaf(cur, notify);
-                split_occurred = true;
-                continue; // re-check `cur`: its kept half may still overflow
-            }
-            cur = self.leaf(cur).next;
-        }
         // Repair widths: incrementally (O(depth)) when the structure is
-        // unchanged; otherwise fully, for every leaf of the region —
-        // splits refresh the immediate parent slots but a region spanning
-        // several internal nodes can leave stale totals off the first and
-        // last root paths.
+        // unchanged; otherwise fully, for every leaf of the region — splits
+        // refresh the immediate parent slots mid-batch, but from totals
+        // that were stale at that point.
         if !split_occurred {
-            self.repair_path_delta(leaf_idx, net);
+            self.repair_path_delta(NodeRef::Leaf(start_leaf), net);
         } else {
-            let mut cur = leaf_idx;
+            let mut cur = Some(start_leaf);
             while cur != stop {
-                self.repair_path(cur);
-                cur = self.leaf(cur).next;
+                let l = cur.expect("mutate_run region lost its stop leaf");
+                self.repair_path(NodeRef::Leaf(l));
+                cur = self.leaves[l.slot()].next;
             }
         }
     }
@@ -902,17 +1237,16 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
     ///
     /// Only supported when every entry is fully visible in the `cur`
     /// dimension (single-dimension usage, e.g. a rope) — deletion positions
-    /// are interpreted in raw units. Leaves are allowed to become underfull
-    /// (no rebalancing); they are skipped during iteration.
+    /// are interpreted in raw units. Leaves emptied by the deletion are
+    /// unlinked and returned to the free list.
     pub fn delete_cur_range(&mut self, pos: usize, mut del_len: usize) {
         let mut cursor = self.cursor_at_cur_pos(pos);
-        let mut no_notify = |_: &E, _: NodeIdx| {};
+        let mut no_notify = |_: &E, _: LeafIdx| {};
         while del_len > 0 {
-            let l = self.leaf(cursor.leaf);
+            let l = &self.leaves[cursor.leaf.slot()];
             if cursor.entry_idx >= l.entries.len() {
-                let next = l.next;
-                assert_ne!(next, NODE_IDX_NONE, "delete past end of tree");
-                self.repair_path(cursor.leaf);
+                let next = l.next.expect("delete past end of tree");
+                self.finish_leaf_after_delete(cursor.leaf);
                 cursor = Cursor {
                     leaf: next,
                     entry_idx: 0,
@@ -920,48 +1254,115 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
                 };
                 continue;
             }
-            let e_len = l.entries[cursor.entry_idx].len();
+            let e_len = l.entries.as_slice()[cursor.entry_idx].len();
             if cursor.offset == e_len {
                 cursor.entry_idx += 1;
                 cursor.offset = 0;
                 continue;
             }
             if cursor.offset == 0 && del_len >= e_len {
-                self.leaf_mut(cursor.leaf).entries.remove(cursor.entry_idx);
+                self.leaves[cursor.leaf.slot()]
+                    .entries
+                    .remove(cursor.entry_idx);
                 del_len -= e_len;
             } else if cursor.offset == 0 {
                 // Remove a prefix of the entry.
-                self.leaf_mut(cursor.leaf).entries[cursor.entry_idx]
+                self.leaves[cursor.leaf.slot()].entries.as_mut_slice()[cursor.entry_idx]
                     .truncate_keeping_right(del_len);
                 del_len = 0;
             } else if cursor.offset + del_len >= e_len {
                 // Remove a suffix of the entry.
                 let removed = e_len - cursor.offset;
-                self.leaf_mut(cursor.leaf).entries[cursor.entry_idx].truncate(cursor.offset);
+                self.leaves[cursor.leaf.slot()].entries.as_mut_slice()[cursor.entry_idx]
+                    .truncate(cursor.offset);
                 del_len -= removed;
                 cursor.entry_idx += 1;
                 cursor.offset = 0;
             } else {
                 // Remove from the middle: split and drop the middle piece.
                 let tail = {
-                    let e = &mut self.leaf_mut(cursor.leaf).entries[cursor.entry_idx];
+                    let e = &mut self.leaves[cursor.leaf.slot()].entries.as_mut_slice()
+                        [cursor.entry_idx];
                     let mut tail = e.truncate(cursor.offset);
                     tail.truncate_keeping_right(del_len);
                     tail
                 };
-                let leaf_idx = cursor.leaf;
                 self.insert_entries_at(
-                    leaf_idx,
+                    cursor.leaf,
                     cursor.entry_idx + 1,
-                    vec![tail],
+                    tail,
+                    None,
                     None,
                     &mut no_notify,
                 );
-                self.repair_path(leaf_idx);
                 return;
             }
         }
-        self.repair_path(cursor.leaf);
+        self.finish_leaf_after_delete(cursor.leaf);
+    }
+
+    /// After a deletion pass over `leaf`: free it if it emptied, otherwise
+    /// recompute its root path.
+    fn finish_leaf_after_delete(&mut self, leaf: LeafIdx) {
+        if self.leaves[leaf.slot()].entries.is_empty() {
+            self.free_empty_leaf(leaf);
+        } else {
+            self.repair_path(NodeRef::Leaf(leaf));
+        }
+    }
+
+    /// Unlinks an emptied leaf from the chain and its parent, freeing empty
+    /// ancestors recursively. A lone root leaf stays (the empty tree).
+    fn free_empty_leaf(&mut self, leaf_idx: LeafIdx) {
+        debug_assert!(self.leaves[leaf_idx.slot()].entries.is_empty());
+        let l = &self.leaves[leaf_idx.slot()];
+        let (parent, prev, next) = (l.parent, l.prev, l.next);
+        let Some(parent) = parent else {
+            return;
+        };
+        if let Some(p) = prev {
+            self.leaves[p.slot()].next = next;
+        }
+        if let Some(n) = next {
+            self.leaves[n.slot()].prev = prev;
+        }
+        if self.first_leaf == leaf_idx {
+            if let Some(n) = next {
+                self.first_leaf = n;
+            }
+            // else: the whole tree is emptying; remove_child installs a
+            // fresh root leaf (and first_leaf) below.
+        }
+        let raw = leaf_idx.raw();
+        self.release_leaf(leaf_idx);
+        self.remove_child(parent, raw);
+    }
+
+    /// Removes a freed child from `node`, freeing `node` itself (and so on
+    /// up) if it empties; otherwise repairs the ancestor widths.
+    fn remove_child(&mut self, node: InternalIdx, child_raw: u32) {
+        let pos = self.internals[node.slot()].position_of(child_raw);
+        {
+            let n = &mut self.internals[node.slot()];
+            n.children.remove(pos);
+            n.widths.remove(pos);
+        }
+        if self.internals[node.slot()].children.is_empty() {
+            let gp = self.internals[node.slot()].parent;
+            let raw = node.raw();
+            self.release_internal(node);
+            match gp {
+                Some(gp) => self.remove_child(gp, raw),
+                None => {
+                    // The whole tree emptied; reinstall the empty state.
+                    let root = self.alloc_leaf();
+                    self.root = NodeRef::Leaf(root);
+                    self.first_leaf = root;
+                }
+            }
+        } else {
+            self.repair_path(NodeRef::Internal(node));
+        }
     }
 
     // ------------------------------------------------------------------
@@ -970,51 +1371,80 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
 
     /// Checks every tree invariant, panicking on violation. Test-only; slow.
     pub fn check(&self) {
-        // Leaf chain visits every leaf exactly once, left to right.
+        // Leaf chain visits every live leaf exactly once, left to right,
+        // with symmetric prev pointers.
         let mut chain = Vec::new();
-        let mut leaf = self.first_leaf;
-        while leaf != NODE_IDX_NONE {
-            chain.push(leaf);
-            leaf = self.leaf(leaf).next;
+        let mut leaf = Some(self.first_leaf);
+        let mut prev: Option<LeafIdx> = None;
+        while let Some(idx) = leaf {
+            assert_eq!(self.leaves[idx.slot()].prev, prev, "broken prev at {idx:?}");
+            chain.push(idx);
+            prev = Some(idx);
+            leaf = self.leaves[idx.slot()].next;
         }
         let mut dfs_leaves = Vec::new();
-        self.collect_leaves(self.root, &mut dfs_leaves);
+        let mut internal_count = 0usize;
+        self.collect_leaves(self.root, &mut dfs_leaves, &mut internal_count);
         assert_eq!(chain, dfs_leaves, "leaf chain does not match tree order");
 
-        self.check_node(self.root, NODE_IDX_NONE);
+        // Slab accounting: every slot is either reachable or on a free list.
+        assert_eq!(
+            chain.len() + self.free_leaves.len(),
+            self.leaves.len(),
+            "leaked leaf slots"
+        );
+        assert_eq!(
+            internal_count + self.free_internals.len(),
+            self.internals.len(),
+            "leaked internal slots"
+        );
+
+        self.check_node(self.root, None);
     }
 
-    fn collect_leaves(&self, idx: NodeIdx, out: &mut Vec<NodeIdx>) {
-        match &self.nodes[idx as usize] {
-            Node::Internal(n) => {
-                for &c in &n.children {
-                    self.collect_leaves(c, out);
+    fn collect_leaves(&self, node: NodeRef, out: &mut Vec<LeafIdx>, internal_count: &mut usize) {
+        match node {
+            NodeRef::Internal(idx) => {
+                *internal_count += 1;
+                let n = &self.internals[idx.slot()];
+                for i in 0..n.children.len() {
+                    self.collect_leaves(n.child(i), out, internal_count);
                 }
             }
-            Node::Leaf(_) => out.push(idx),
+            NodeRef::Leaf(idx) => out.push(idx),
         }
     }
 
-    fn check_node(&self, idx: NodeIdx, expected_parent: NodeIdx) -> Widths {
-        match &self.nodes[idx as usize] {
-            Node::Internal(n) => {
-                assert_eq!(n.parent, expected_parent, "bad parent at {idx}");
+    fn check_node(&self, node: NodeRef, expected_parent: Option<InternalIdx>) -> Widths {
+        match node {
+            NodeRef::Internal(idx) => {
+                let n = &self.internals[idx.slot()];
+                assert_eq!(n.parent, expected_parent, "bad parent at {idx:?}");
                 assert!(!n.children.is_empty());
                 assert!(n.children.len() <= N);
                 assert_eq!(n.children.len(), n.widths.len());
                 let mut total = Widths::default();
-                for (i, &c) in n.children.iter().enumerate() {
-                    let w = self.check_node(c, idx);
-                    assert_eq!(w, n.widths[i], "stale cached width at {idx}[{i}]");
+                for i in 0..n.children.len() {
+                    let w = self.check_node(n.child(i), Some(idx));
+                    assert_eq!(
+                        w,
+                        n.widths.as_slice()[i],
+                        "stale cached width at {idx:?}[{i}]"
+                    );
                     total.add(w);
                 }
                 total
             }
-            Node::Leaf(l) => {
-                assert_eq!(l.parent, expected_parent, "bad parent at leaf {idx}");
+            NodeRef::Leaf(idx) => {
+                let l = &self.leaves[idx.slot()];
+                assert_eq!(l.parent, expected_parent, "bad parent at leaf {idx:?}");
                 assert!(l.entries.len() <= N);
+                assert!(
+                    !l.entries.is_empty() || self.root == node,
+                    "empty non-root leaf {idx:?}"
+                );
                 let mut total = Widths::default();
-                for e in &l.entries {
+                for e in l.entries.as_slice() {
                     assert!(!e.is_empty(), "empty entry stored");
                     let wc = e.width_cur();
                     let we = e.width_end();
@@ -1031,7 +1461,7 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
 /// Iterator over the tree's entries in order. See [`ContentTree::iter`].
 pub struct TreeIter<'a, E: TreeEntry, const N: usize = DEFAULT_FANOUT> {
     tree: &'a ContentTree<E, N>,
-    leaf: NodeIdx,
+    leaf: Option<LeafIdx>,
     entry_idx: usize,
 }
 
@@ -1040,12 +1470,10 @@ impl<'a, E: TreeEntry, const N: usize> Iterator for TreeIter<'a, E, N> {
 
     fn next(&mut self) -> Option<&'a E> {
         loop {
-            if self.leaf == NODE_IDX_NONE {
-                return None;
-            }
-            let l = self.tree.leaf(self.leaf);
+            let idx = self.leaf?;
+            let l = &self.tree.leaves[idx.slot()];
             if self.entry_idx < l.entries.len() {
-                let e = &l.entries[self.entry_idx];
+                let e = &l.entries.as_slice()[self.entry_idx];
                 self.entry_idx += 1;
                 return Some(e);
             }

@@ -1,0 +1,252 @@
+//! Arena-level property tests: the slab layout, free lists, and the
+//! capacity-retaining `clear()` contract, checked in lockstep with a flat
+//! `Vec` reference.
+//!
+//! `model.rs` establishes that the tree's *content* matches a flat model;
+//! this suite pins the *arena* behaviour the tracker's reuse path depends
+//! on: emptied leaves land on the free list, splits recycle freed slots
+//! before growing the slab, and `clear()` resets the tree without
+//! releasing slab capacity.
+
+use eg_content_tree::{ArenaStats, ContentTree, TreeEntry};
+use eg_rle::{HasLength, MergableSpan, SplitableSpan};
+use proptest::prelude::*;
+
+/// A run of `len` ids starting at `start`, fully visible in both
+/// dimensions (rope-style usage, which is what drives leaf freeing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Span {
+    start: usize,
+    len: usize,
+}
+
+impl HasLength for Span {
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl SplitableSpan for Span {
+    fn truncate(&mut self, at: usize) -> Self {
+        let rem = Span {
+            start: self.start + at,
+            len: self.len - at,
+        };
+        self.len = at;
+        rem
+    }
+}
+
+impl MergableSpan for Span {
+    fn can_append(&self, other: &Self) -> bool {
+        self.start + self.len == other.start
+    }
+
+    fn append(&mut self, other: Self) {
+        self.len += other.len;
+    }
+}
+
+impl TreeEntry for Span {
+    fn width_cur(&self) -> usize {
+        self.len
+    }
+
+    fn width_end(&self) -> usize {
+        self.len
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert `len` fresh ids at position `pos_bp`/10_000 of the total.
+    Insert { pos_bp: u16, len: usize },
+    /// Delete up to `len` ids at position `pos_bp`/10_000 of the total.
+    Delete { pos_bp: u16, len: usize },
+    /// Reset the tree (and model), keeping slab capacity.
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u16..=10_000, 1usize..20).prop_map(|(pos_bp, len)| Op::Insert { pos_bp, len }),
+        3 => (0u16..=10_000, 1usize..40).prop_map(|(pos_bp, len)| Op::Delete { pos_bp, len }),
+        1 => Just(Op::Clear),
+    ]
+}
+
+fn flatten<const N: usize>(tree: &ContentTree<Span, N>) -> Vec<usize> {
+    tree.iter()
+        .flat_map(|e| (e.start..e.start + e.len).collect::<Vec<_>>())
+        .collect()
+}
+
+/// Slab slots never leak: every slot is either live in the tree or parked
+/// on a free list (`check()` asserts the exact accounting), and the slab
+/// never exceeds the high-water mark of concurrently live nodes.
+fn run_ops<const N: usize>(ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut tree: ContentTree<Span, N> = ContentTree::new();
+    let mut model: Vec<usize> = Vec::new();
+    let mut next_id = 0usize;
+    let mut capacity_floor = ArenaStats::default();
+    for op in ops {
+        match *op {
+            Op::Insert { pos_bp, len } => {
+                let pos = (pos_bp as usize * model.len()) / 10_000;
+                let span = Span {
+                    start: next_id,
+                    len,
+                };
+                next_id += len + 1; // gap: consecutive inserts never merge
+                let cursor = tree.cursor_at_cur_pos(pos);
+                tree.insert_at(cursor, span, &mut |_, _| {});
+                for i in 0..len {
+                    model.insert(pos + i, span.start + i);
+                }
+            }
+            Op::Delete { pos_bp, len } => {
+                if model.is_empty() {
+                    continue;
+                }
+                let pos = (pos_bp as usize * (model.len() - 1)) / 10_000;
+                let len = len.min(model.len() - pos);
+                tree.delete_cur_range(pos, len);
+                model.drain(pos..pos + len);
+            }
+            Op::Clear => {
+                let before = tree.arena_stats();
+                tree.clear();
+                model.clear();
+                let after = tree.arena_stats();
+                // Slab capacity is retained across clear().
+                prop_assert!(after.leaf_capacity >= before.leaf_capacity);
+                prop_assert!(after.internal_capacity >= before.internal_capacity);
+                // ... but the live/free populations reset to a root leaf.
+                prop_assert_eq!(after.leaf_slots, 1);
+                prop_assert_eq!(after.internal_slots, 0);
+                prop_assert_eq!(after.free_leaves, 0);
+                prop_assert_eq!(after.free_internals, 0);
+            }
+        }
+        tree.check();
+        prop_assert_eq!(flatten(&tree), model.clone(), "content mismatch");
+        let stats = tree.arena_stats();
+        capacity_floor.leaf_capacity = capacity_floor.leaf_capacity.max(stats.leaf_capacity);
+        capacity_floor.internal_capacity = capacity_floor
+            .internal_capacity
+            .max(stats.internal_capacity);
+        // Capacity is monotone: nothing ever shrinks the slabs.
+        prop_assert_eq!(stats.leaf_capacity, capacity_floor.leaf_capacity);
+        prop_assert_eq!(stats.internal_capacity, capacity_floor.internal_capacity);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arena_accounting_fanout_4(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        run_ops::<4>(&ops)?;
+    }
+
+    #[test]
+    fn arena_accounting_fanout_16(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        run_ops::<16>(&ops)?;
+    }
+}
+
+/// Deleting a whole region frees its leaves onto the free list, and the
+/// next growth phase recycles them instead of growing the slab.
+#[test]
+fn freed_leaves_are_recycled() {
+    let mut tree: ContentTree<Span, 4> = ContentTree::new();
+    // Build enough content for a multi-level tree (gapped ids: no merging).
+    for i in 0..200 {
+        let cursor = tree.cursor_at_cur_pos(i * 2);
+        tree.insert_at(
+            cursor,
+            Span {
+                start: i * 10,
+                len: 2,
+            },
+            &mut |_, _| {},
+        );
+    }
+    tree.check();
+    let grown = tree.arena_stats();
+    assert!(grown.leaf_slots > 10, "expected a multi-leaf tree");
+
+    // Delete everything but a sliver: most leaves must be freed.
+    tree.delete_cur_range(2, 396);
+    tree.check();
+    let shrunk = tree.arena_stats();
+    assert!(
+        shrunk.free_leaves > grown.leaf_slots / 2,
+        "emptied leaves must land on the free list ({} free of {})",
+        shrunk.free_leaves,
+        grown.leaf_slots
+    );
+    assert_eq!(shrunk.leaf_slots, grown.leaf_slots, "slab never shrinks");
+
+    // Rebuild: splits must pop freed slots before growing the slab.
+    for i in 0..200 {
+        let cursor = tree.cursor_at_cur_pos(0);
+        tree.insert_at(
+            cursor,
+            Span {
+                start: 100_000 + i * 10,
+                len: 2,
+            },
+            &mut |_, _| {},
+        );
+    }
+    tree.check();
+    let rebuilt = tree.arena_stats();
+    // The exact leaf count depends on the insertion pattern, but the slab
+    // may only grow once every freed slot has been recycled.
+    assert!(
+        rebuilt.leaf_slots == grown.leaf_slots || rebuilt.free_leaves == 0,
+        "slab grew ({} -> {}) while {} freed slots sat unused",
+        grown.leaf_slots,
+        rebuilt.leaf_slots,
+        rebuilt.free_leaves
+    );
+    assert!(
+        rebuilt.free_leaves < shrunk.free_leaves,
+        "rebuild must draw down the free list"
+    );
+}
+
+/// `clear()` + rebuild to a similar size performs no slab growth: the
+/// capacity bought by the first build-up is enough for the second.
+#[test]
+fn clear_retains_capacity_for_rebuild() {
+    let mut tree: ContentTree<Span, 16> = ContentTree::new();
+    let build = |tree: &mut ContentTree<Span, 16>, id_base: usize| {
+        for i in 0..300 {
+            let cursor = tree.cursor_at_cur_pos(i);
+            tree.insert_at(
+                cursor,
+                Span {
+                    start: id_base + i * 10,
+                    len: 1,
+                },
+                &mut |_, _| {},
+            );
+        }
+    };
+    build(&mut tree, 0);
+    tree.check();
+    let first = tree.arena_stats();
+
+    tree.clear();
+    build(&mut tree, 1_000_000);
+    tree.check();
+    let second = tree.arena_stats();
+
+    assert_eq!(first.leaf_capacity, second.leaf_capacity);
+    assert_eq!(first.internal_capacity, second.internal_capacity);
+    assert_eq!(first.leaf_slots, second.leaf_slots);
+    assert_eq!(first.internal_slots, second.internal_slots);
+}

@@ -1,12 +1,12 @@
 //! Model-based tests: the B-tree against a flat `Vec` of units.
 
-use eg_content_tree::{ContentTree, NodeIdx, RunStep, TreeEntry};
+use eg_content_tree::{ContentTree, LeafIdx, RunStep, TreeEntry};
 use eg_rle::{HasLength, MergableSpan, SplitableSpan};
 use proptest::prelude::*;
 
 /// A test span: `len` units starting at id `start`, with uniform visibility
 /// flags in both dimensions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct TestSpan {
     start: usize,
     len: usize,
@@ -438,7 +438,7 @@ fn notify_reports_every_entry_location() {
     use std::collections::HashMap;
     // Maintain an id → leaf map purely from notifications, then verify it.
     let mut tree: ContentTree<TestSpan> = ContentTree::new();
-    let mut index: HashMap<usize, NodeIdx> = HashMap::new();
+    let mut index: HashMap<usize, LeafIdx> = HashMap::new();
     let mut next_id = 0usize;
     let mut seed = 42u64;
     let mut rand = move |bound: usize| {

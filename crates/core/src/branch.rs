@@ -1,6 +1,7 @@
 //! [`Branch`]: a materialised document — the text plus the version it
 //! reflects (paper §3, "Document state").
 
+use crate::tracker::Tracker;
 use crate::walker::{self, WalkerOpts};
 use crate::OpLog;
 use eg_dag::{Frontier, LV};
@@ -50,6 +51,28 @@ impl Branch {
     /// intermediate `String` — the merge path performs no per-op heap
     /// allocation.
     pub fn merge_with_opts(&mut self, oplog: &OpLog, to: &[LV], opts: WalkerOpts) {
+        let mut tracker = Tracker::new();
+        self.merge_with_opts_reusing(oplog, to, opts, &mut tracker);
+    }
+
+    /// [`Branch::merge`] driving a caller-owned [`Tracker`]: the tracker is
+    /// reset but its slabs, ID index, and scratch buffers keep their
+    /// capacity, so a replica merging repeatedly (a sync daemon, a session
+    /// loop) pays the tracker's allocation cost once instead of per merge.
+    pub fn merge_reusing(&mut self, oplog: &OpLog, tracker: &mut Tracker) {
+        let tip = oplog.version().clone();
+        self.merge_with_opts_reusing(oplog, &tip, WalkerOpts::default(), tracker);
+    }
+
+    /// [`Branch::merge_with_opts`] with a caller-owned [`Tracker`] (see
+    /// [`Branch::merge_reusing`]).
+    pub fn merge_with_opts_reusing(
+        &mut self,
+        oplog: &OpLog,
+        to: &[LV],
+        opts: WalkerOpts,
+        tracker: &mut Tracker,
+    ) {
         let target = oplog.graph.version_union(&self.version, to);
         if target.as_slice() == self.version.as_slice() {
             return;
@@ -58,9 +81,17 @@ impl Branch {
         debug_assert!(diff.only_a.is_empty());
         let (base, spans) = oplog.graph.conflict_window(&self.version, &target);
         let content = &mut self.content;
-        walker::walk(oplog, &base, &spans, &diff.only_b, opts, &mut |_, op| {
-            op.apply_to(content);
-        });
+        walker::walk_reusing(
+            oplog,
+            &base,
+            &spans,
+            &diff.only_b,
+            opts,
+            tracker,
+            &mut |_, op| {
+                op.apply_to(content);
+            },
+        );
         self.version = target;
     }
 

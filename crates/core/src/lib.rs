@@ -49,6 +49,7 @@ pub use branch::Branch;
 pub use bundle::{BundleError, BundleRun, EventBundle};
 pub use op::{ListOpKind, OpRun, TextOpRef, TextOperation};
 pub use oplog::OpLog;
+pub use tracker::{Tracker, TRACKER_FANOUT};
 pub use walker::WalkerOpts;
 
 pub use eg_dag::{Frontier, RemoteId, LV};

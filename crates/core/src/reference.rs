@@ -9,7 +9,33 @@
 use crate::op::ListOpKind;
 use crate::OpLog;
 use eg_dag::{Frontier, LV};
-use std::collections::HashMap;
+
+/// Sentinel for "no delete target recorded at this LV".
+const NO_TARGET: usize = usize::MAX;
+
+/// Delete-event LV → id of the deleted character, dense over the event-LV
+/// space — the same representation the optimised tracker uses
+/// ([`crate::tracker`]'s `DelTargetIndex`), kept structurally identical
+/// here so the two implementations stay comparable.
+#[derive(Debug, Default)]
+struct DenseDelTargets {
+    dense: Vec<usize>,
+}
+
+impl DenseDelTargets {
+    fn record(&mut self, lv: LV, target: LV) {
+        if lv >= self.dense.len() {
+            self.dense.resize(lv + 1, NO_TARGET);
+        }
+        self.dense[lv] = target;
+    }
+
+    fn target_of(&self, lv: LV) -> LV {
+        let t = self.dense[lv];
+        debug_assert_ne!(t, NO_TARGET, "delete {lv} has no recorded target");
+        t
+    }
+}
 
 /// Sentinel: the new item was inserted at the document start.
 const START: usize = usize::MAX;
@@ -39,7 +65,7 @@ pub fn replay_reference_order(oplog: &OpLog, order: &[LV]) -> String {
     let mut items: Vec<RefItem> = Vec::new();
     let mut doc: Vec<char> = Vec::new();
     // Delete event LV → id of the character it deleted.
-    let mut del_targets: HashMap<LV, LV> = HashMap::new();
+    let mut del_targets = DenseDelTargets::default();
     let mut cur_version = Frontier::root();
 
     let find_idx = |items: &[RefItem], id: usize| -> usize {
@@ -54,7 +80,7 @@ pub fn replay_reference_order(oplog: &OpLog, order: &[LV]) -> String {
             for ev in r.iter() {
                 let target = match oplog.unit_op(ev).0 {
                     ListOpKind::Ins => ev,
-                    ListOpKind::Del => del_targets[&ev],
+                    ListOpKind::Del => del_targets.target_of(ev),
                 };
                 let idx = find_idx(&items, target);
                 items[idx].prepare_state -= 1;
@@ -64,7 +90,7 @@ pub fn replay_reference_order(oplog: &OpLog, order: &[LV]) -> String {
             for ev in r.iter() {
                 let target = match oplog.unit_op(ev).0 {
                     ListOpKind::Ins => ev,
-                    ListOpKind::Del => del_targets[&ev],
+                    ListOpKind::Del => del_targets.target_of(ev),
                 };
                 let idx = find_idx(&items, target);
                 items[idx].prepare_state += 1;
@@ -122,7 +148,7 @@ pub fn replay_reference_order(oplog: &OpLog, order: &[LV]) -> String {
                     }
                     idx += 1;
                 }
-                del_targets.insert(lv, items[idx].id);
+                del_targets.record(lv, items[idx].id);
                 let was_visible = !items[idx].ever_deleted;
                 items[idx].ever_deleted = true;
                 items[idx].prepare_state += 1;

@@ -19,6 +19,7 @@
 
 use crate::bundle::{BundleError, EventBundle};
 use crate::cursor::{transform_selection, Selection};
+use crate::tracker::Tracker;
 use crate::{Branch, OpLog};
 use eg_dag::{AgentId, Frontier};
 use eg_rle::{DTRange, HasLength};
@@ -101,6 +102,9 @@ pub struct Session {
     /// the characters inserted by `original` (always an ultimate original,
     /// never itself a replacement).
     aliases: Vec<(DTRange, DTRange)>,
+    /// Reused walker scratch state: every merge in the session drives the
+    /// same tracker, so its slab / index / scratch capacity is paid once.
+    tracker: Tracker,
 }
 
 impl Session {
@@ -117,7 +121,14 @@ impl Session {
             redo_stack: Vec::new(),
             outbox: Vec::new(),
             aliases: Vec::new(),
+            tracker: Tracker::new(),
         }
+    }
+
+    /// Merges all new oplog events into the branch, reusing the session's
+    /// tracker so repeated merges allocate (almost) nothing.
+    fn merge_branch(&mut self) {
+        self.branch.merge_reusing(&self.oplog, &mut self.tracker);
     }
 
     /// The current document text.
@@ -177,7 +188,7 @@ impl Session {
         assert!(pos <= self.len_chars(), "insert out of bounds");
         let before = self.branch.version.clone();
         let lvs = self.oplog.add_insert_at(self.agent, &before, pos, text);
-        self.branch.merge(&self.oplog);
+        self.merge_branch();
         self.undo_stack.push(UndoRecord::Insert { lvs });
         self.redo_stack.clear();
         self.outbox.push(self.oplog.bundle_since_local(&before));
@@ -208,7 +219,7 @@ impl Session {
         let left_anchor = self.left_anchor_of(pos);
         let before = self.branch.version.clone();
         self.oplog.add_delete_at(self.agent, &before, pos, len);
-        self.branch.merge(&self.oplog);
+        self.merge_branch();
         self.undo_stack.push(UndoRecord::Delete {
             pos,
             text: removed,
@@ -255,7 +266,7 @@ impl Session {
                 let from = self.branch.version.clone();
                 let tip = self.oplog.version().clone();
                 let ops = self.oplog.diff_versions(&from, &tip);
-                self.branch.merge(&self.oplog);
+                self.merge_branch();
                 self.selection = transform_selection(self.selection, &ops);
                 MergeOutcome::Applied
             }
@@ -311,7 +322,7 @@ impl Session {
                     removed_text.insert_str(0, &self.branch.content.slice_to_string(pos, len));
                     let before = self.branch.version.clone();
                     self.oplog.add_delete_at(self.agent, &before, pos, len);
-                    self.branch.merge(&self.oplog);
+                    self.merge_branch();
                     self.outbox.push(self.oplog.bundle_since_local(&before));
                     first_pos = pos;
                 }
@@ -356,7 +367,7 @@ impl Session {
                 let pos = pos.min(self.len_chars());
                 let before = self.branch.version.clone();
                 let lvs = self.oplog.add_insert_at(self.agent, &before, pos, text);
-                self.branch.merge(&self.oplog);
+                self.merge_branch();
                 self.outbox.push(self.oplog.bundle_since_local(&before));
                 self.selection = Selection::caret(pos + text.chars().count());
                 // The restored characters stand for the originals.

@@ -16,11 +16,12 @@
 
 use crate::op::{ListOpKind, OpRun, TextOpRef};
 use crate::OpLog;
-use eg_content_tree::{ContentTree, Cursor, NodeIdx, RunStep, TreeEntry, NODE_IDX_NONE};
+use eg_content_tree::{ContentTree, Cursor, LeafIdx, RunStep, TreeEntry};
+use eg_dag::walk::WalkPlan;
 use eg_dag::LV;
 use eg_rle::{DTRange, HasLength, IntervalMap, MergableSpan, SplitableSpan};
 use std::cell::Cell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// Fanout of the tracker's record tree. Chosen by the `walker_hot` fanout
 /// sweep (`cargo bench -p eg-bench --bench walker_hot`): on the C1/C2
@@ -97,6 +98,20 @@ impl CrdtSpan {
     }
 }
 
+// The record tree stores entries in inline arrays whose vacant slots hold
+// the default value; an empty span is never read back as a live record.
+impl Default for CrdtSpan {
+    fn default() -> Self {
+        CrdtSpan {
+            id: DTRange::default(),
+            origin_left: ORIGIN_START,
+            origin_right: ORIGIN_END,
+            sp: SpState::Ins,
+            se_deleted: false,
+        }
+    }
+}
+
 /// Returns `true` if `id` is a placeholder (underwater) character ID rather
 /// than a real insert-event LV.
 pub fn is_underwater_id(id: usize) -> bool {
@@ -154,36 +169,73 @@ impl TreeEntry for CrdtSpan {
     }
 }
 
-/// The characters targeted by a run of delete events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct DelTarget {
-    /// IDs of the deleted characters.
-    target: DTRange,
-    /// `true` if ascending event LVs deleted ascending IDs.
-    fwd: bool,
-    /// Number of delete events in the run.
-    len: usize,
+/// Sentinel in [`DelTargetIndex`] for event LVs that are not (applied)
+/// deletes. Real target ids top out below [`UNDERWATER_START`] +
+/// [`UNDERWATER_LEN`], well under `usize::MAX`.
+const NO_TARGET: usize = usize::MAX;
+
+/// Delete-event LV → target-character ID, over the dense event-LV space.
+///
+/// The same trick as [`IdIndex`]: event LVs are dense, so `dense[lv]` holds
+/// the id of the character that delete event `lv` removed ([`NO_TARGET`]
+/// for non-delete events). Runs re-materialise on lookup by scanning for
+/// consecutive ±1 targets, so replay stops paying a `BTreeMap` node
+/// allocation per recorded delete run.
+#[derive(Debug, Default)]
+struct DelTargetIndex {
+    dense: Vec<usize>,
 }
 
-impl DelTarget {
-    /// The target ID of the `k`-th delete event of the run.
-    #[cfg(test)]
-    fn id_at(&self, k: usize) -> usize {
-        if self.fwd {
-            self.target.start + k
-        } else {
-            self.target.end - 1 - k
+impl DelTargetIndex {
+    /// Records that delete events `events` removed the characters `target`
+    /// (ascending ids; `fwd` gives the event-to-id direction).
+    fn record(&mut self, events: DTRange, target: DTRange, fwd: bool) {
+        debug_assert_eq!(events.len(), target.len());
+        if self.dense.len() < events.end {
+            self.dense.resize(events.end, NO_TARGET);
+        }
+        for k in 0..events.len() {
+            self.dense[events.start + k] = if fwd {
+                target.start + k
+            } else {
+                target.end - 1 - k
+            };
         }
     }
 
-    /// The target IDs of events `[k, k + n)` of the run, as a contiguous
-    /// range (ascending regardless of direction).
-    fn ids_at(&self, k: usize, n: usize) -> DTRange {
-        if self.fwd {
-            (self.target.start + k..self.target.start + k + n).into()
+    /// The target id of delete event `lv`.
+    fn target_of(&self, lv: LV) -> usize {
+        let t = *self.dense.get(lv).expect("unknown delete event");
+        assert_ne!(t, NO_TARGET, "event {lv} is not a recorded delete");
+        t
+    }
+
+    /// The longest run of events starting at `lv` (bounded by `end`) whose
+    /// targets form one contiguous id run. Returns the target ids as an
+    /// ascending range plus the run length in events.
+    fn run_at(&self, lv: LV, end: LV) -> (DTRange, usize) {
+        let t0 = self.target_of(lv);
+        let mut n = 1usize;
+        if lv + 1 < end && self.dense.get(lv + 1) == Some(&(t0 + 1)) {
+            // Ascending (fwd) run.
+            while lv + n < end && self.dense.get(lv + n) == Some(&(t0 + n)) {
+                n += 1;
+            }
+            ((t0..t0 + n).into(), n)
+        } else if t0 > 0 && lv + 1 < end && self.dense.get(lv + 1) == Some(&(t0 - 1)) {
+            // Descending (bwd) run.
+            while lv + n < end && t0 >= n && self.dense.get(lv + n) == Some(&(t0 - n)) {
+                n += 1;
+            }
+            ((t0 + 1 - n..t0 + 1).into(), n)
         } else {
-            (self.target.end - k - n..self.target.end - k).into()
+            ((t0..t0 + 1).into(), 1)
         }
+    }
+
+    /// Forgets everything, retaining capacity.
+    fn clear(&mut self) {
+        self.dense.clear();
     }
 }
 
@@ -198,37 +250,35 @@ impl DelTarget {
 /// [`IntervalMap`], which handles their huge sparse ranges in O(pieces).
 #[derive(Debug, Default)]
 struct IdIndex {
-    /// Real IDs: `dense[lv]` is the leaf holding the record, or
-    /// [`NODE_IDX_NONE`] for ids never indexed.
-    dense: Vec<NodeIdx>,
+    /// Real IDs: `dense[lv]` is the leaf holding the record (`None` for ids
+    /// never indexed; `Option<LeafIdx>` packs into 4 bytes via the
+    /// `NonZeroU32` niche).
+    dense: Vec<Option<LeafIdx>>,
     /// Underwater IDs, keyed by their full `usize` range.
-    underwater: IntervalMap<NodeIdx>,
+    underwater: IntervalMap<LeafIdx>,
 }
 
 impl IdIndex {
     /// Points every id of `ids` (one uniform span: all real or all
     /// underwater) at `leaf`.
-    fn set(&mut self, ids: DTRange, leaf: NodeIdx) {
+    fn set(&mut self, ids: DTRange, leaf: LeafIdx) {
         if ids.start >= UNDERWATER_START {
             self.underwater.set(ids, leaf);
             return;
         }
         debug_assert!(ids.end <= UNDERWATER_START, "span straddles id spaces");
         if self.dense.len() < ids.end {
-            self.dense.resize(ids.end, NODE_IDX_NONE);
+            self.dense.resize(ids.end, None);
         }
-        self.dense[ids.start..ids.end].fill(leaf);
+        self.dense[ids.start..ids.end].fill(Some(leaf));
     }
 
     /// The leaf indexed for `id`, if any.
-    fn get(&self, id: usize) -> Option<NodeIdx> {
+    fn get(&self, id: usize) -> Option<LeafIdx> {
         if id >= UNDERWATER_START {
             return self.underwater.get(id).map(|(_, leaf)| leaf);
         }
-        self.dense
-            .get(id)
-            .copied()
-            .filter(|&leaf| leaf != NODE_IDX_NONE)
+        self.dense.get(id).copied().flatten()
     }
 
     fn clear(&mut self) {
@@ -246,8 +296,8 @@ pub struct Tracker<const N: usize = TRACKER_FANOUT> {
     tree: ContentTree<CrdtSpan, N>,
     /// Character ID → tree leaf holding its record.
     ins_loc: IdIndex,
-    /// Delete-event LV (run start) → targets.
-    del_targets: BTreeMap<LV, DelTarget>,
+    /// Delete-event LV → target character, dense over the event-LV space.
+    del_targets: DelTargetIndex,
     /// Last-used cursor, the fast path for sequential ID lookups.
     ///
     /// Validation is by ID containment: record IDs are unique across the
@@ -289,6 +339,9 @@ pub struct Tracker<const N: usize = TRACKER_FANOUT> {
     /// Reusable piece buffer for the forward-delete batch
     /// ([`Tracker::apply_delete_fwd`]).
     delete_scratch: Vec<DelPiece>,
+    /// Reusable walk plan: the planner's pooled buffers (node pools, CSR
+    /// edges, diff scratch, range pool) survive across walk windows.
+    pub(crate) plan: WalkPlan,
 }
 
 /// One entry-bounded chunk of a forward delete, recorded by the batch
@@ -305,7 +358,7 @@ struct DelPiece {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct EmitPos {
     /// Leaf that held the record.
-    leaf: NodeIdx,
+    leaf: LeafIdx,
     /// Entry index within the leaf.
     entry_idx: usize,
     /// `id.start` of the entry when cached (identity check: entry indexes
@@ -351,7 +404,7 @@ impl<const N: usize> Tracker<N> {
         let mut t = Tracker {
             tree: ContentTree::new(),
             ins_loc: IdIndex::default(),
-            del_targets: BTreeMap::new(),
+            del_targets: DelTargetIndex::default(),
             cache: Cell::new(None),
             cache_enabled,
             emit_cache: Cell::new(None),
@@ -359,6 +412,7 @@ impl<const N: usize> Tracker<N> {
             integrate_memo: HashMap::new(),
             prepare_scratch: Vec::new(),
             delete_scratch: Vec::new(),
+            plan: WalkPlan::new(),
         };
         t.install_placeholder();
         t
@@ -366,14 +420,31 @@ impl<const N: usize> Tracker<N> {
 
     /// Discards all internal state (paper §3.5) and reinstalls a fresh
     /// placeholder for the document at the new base version.
+    ///
+    /// Every allocation is retained: the record tree's slabs truncate in
+    /// place, the dense indexes keep their vectors, and the scratch buffers
+    /// keep their capacity — so the rebuild after a critical-version clear
+    /// (or the next merge on a reused tracker) costs zero allocator calls
+    /// until the state outgrows its previous high-water mark.
     pub fn clear(&mut self) {
         self.tree.clear();
         self.ins_loc.clear();
         self.del_targets.clear();
-        // The arena was released: cached node indexes are meaningless.
+        self.integrate_memo.clear();
+        // The arena was reset: cached node indexes are meaningless.
         self.cache.set(None);
         self.emit_cache.set(None);
         self.install_placeholder();
+    }
+
+    /// [`Tracker::clear`] plus cache-switch reconfiguration: resets the
+    /// tracker for a fresh walk while retaining every allocation. This is
+    /// the entry point for reusing one tracker across merge windows (see
+    /// `walker::walk_reusing`).
+    pub fn reset_with_caches(&mut self, cache_enabled: bool, emit_cache_enabled: bool) {
+        self.cache_enabled = cache_enabled;
+        self.emit_cache_enabled = emit_cache_enabled;
+        self.clear();
     }
 
     fn install_placeholder(&mut self) {
@@ -406,7 +477,7 @@ impl<const N: usize> Tracker<N> {
     }
 
     /// Scans one leaf for the entry containing `id`.
-    fn find_in_leaf(&self, leaf: NodeIdx, id: usize) -> Option<(Cursor, usize)> {
+    fn find_in_leaf(&self, leaf: LeafIdx, id: usize) -> Option<(Cursor, usize)> {
         for (i, e) in self.tree.entries_in_leaf(leaf).iter().enumerate() {
             if e.id.contains(id) {
                 let offset = id - e.id.start;
@@ -432,14 +503,9 @@ impl<const N: usize> Tracker<N> {
     fn cursor_for_id(&self, id: usize) -> (Cursor, usize) {
         if self.cache_enabled {
             if let Some(c) = self.cache.get() {
-                let hit = self.find_in_leaf(c.leaf, id).or_else(|| {
-                    let next = self.tree.next_leaf(c.leaf);
-                    if next != NODE_IDX_NONE {
-                        self.find_in_leaf(next, id)
-                    } else {
-                        None
-                    }
-                });
+                let hit = self
+                    .find_in_leaf(c.leaf, id)
+                    .or_else(|| self.find_in_leaf(self.tree.next_leaf(c.leaf)?, id));
                 if let Some(found) = hit {
                     self.cache.set(Some(found.0));
                     return found;
@@ -461,7 +527,7 @@ impl<const N: usize> Tracker<N> {
 
     /// Re-seeds the cursor cache at the start of `leaf` (the best guess
     /// after a batched mutation restructured it).
-    fn seed_cache(&self, leaf: NodeIdx) {
+    fn seed_cache(&self, leaf: LeafIdx) {
         if self.cache_enabled {
             self.cache.set(Some(Cursor {
                 leaf,
@@ -577,18 +643,11 @@ impl<const N: usize> Tracker<N> {
                 });
             }
             ListOpKind::Del => {
-                // Look up the targets chunk-wise in the del-target map.
+                // Look up the targets chunk-wise in the dense index, run
+                // coalescing by direction as we go.
                 let mut lv = lvs.start;
                 while lv < lvs.end {
-                    let (&run_start, dt) = self
-                        .del_targets
-                        .range(..=lv)
-                        .next_back()
-                        .expect("unknown delete event");
-                    let k = lv - run_start;
-                    assert!(k < dt.len, "delete event {lv} not in target map");
-                    let n = (lvs.end - lv).min(dt.len - k);
-                    let ids = dt.ids_at(k, n);
+                    let (ids, n) = self.del_targets.run_at(lv, lvs.end);
                     self.mutate_ids(ids, |e| {
                         e.sp = match (dir, e.sp) {
                             (Dir::Retreat, SpState::Del(1)) => SpState::Ins,
@@ -973,16 +1032,10 @@ impl<const N: usize> Tracker<N> {
                     ins_loc.set(e.id, leaf);
                 },
             );
-            self.del_targets.insert(
-                lvs.start + done,
-                DelTarget {
-                    target: target_ids,
-                    fwd: run.fwd,
-                    len: chunk,
-                },
-            );
+            let events: DTRange = (lvs.start + done..lvs.start + done + chunk).into();
+            self.del_targets.record(events, target_ids, run.fwd);
             observe(CrdtChange::Del {
-                events: (lvs.start + done..lvs.start + done + chunk).into(),
+                events,
                 target: target_ids,
                 fwd: run.fwd,
             });
@@ -1070,14 +1123,7 @@ impl<const N: usize> Tracker<N> {
             for p in &pieces {
                 let chunk = p.ids.len();
                 let events: DTRange = (lvs.start + done..lvs.start + done + chunk).into();
-                self.del_targets.insert(
-                    events.start,
-                    DelTarget {
-                        target: p.ids,
-                        fwd: true,
-                        len: chunk,
-                    },
-                );
+                self.del_targets.record(events, p.ids, true);
                 observe(CrdtChange::Del {
                     events,
                     target: p.ids,
@@ -1113,22 +1159,38 @@ mod tests {
 
     #[test]
     fn del_target_directions() {
-        let fwd = DelTarget {
-            target: (10..14).into(),
-            fwd: true,
-            len: 4,
-        };
-        assert_eq!(fwd.id_at(0), 10);
-        assert_eq!(fwd.id_at(3), 13);
-        assert_eq!(fwd.ids_at(1, 2), (11..13).into());
-        let bwd = DelTarget {
-            target: (10..14).into(),
-            fwd: false,
-            len: 4,
-        };
-        assert_eq!(bwd.id_at(0), 13);
-        assert_eq!(bwd.id_at(3), 10);
-        assert_eq!(bwd.ids_at(1, 2), (11..13).into());
+        // Forward run: events 20..24 delete ids 10..14 in order.
+        let mut idx = DelTargetIndex::default();
+        idx.record((20..24).into(), (10..14).into(), true);
+        assert_eq!(idx.target_of(20), 10);
+        assert_eq!(idx.target_of(23), 13);
+        assert_eq!(idx.run_at(20, 24), ((10..14).into(), 4));
+        // Bounded by the queried event range.
+        assert_eq!(idx.run_at(21, 23), ((11..13).into(), 2));
+        // Backward run: events 30..34 delete ids 13, 12, 11, 10.
+        let mut idx = DelTargetIndex::default();
+        idx.record((30..34).into(), (10..14).into(), false);
+        assert_eq!(idx.target_of(30), 13);
+        assert_eq!(idx.target_of(33), 10);
+        assert_eq!(idx.run_at(30, 34), ((10..14).into(), 4));
+        assert_eq!(idx.run_at(31, 33), ((11..13).into(), 2));
+        // Singleton in the middle of nothing.
+        let mut idx = DelTargetIndex::default();
+        idx.record((5..6).into(), (40..41).into(), true);
+        assert_eq!(idx.run_at(5, 6), ((40..41).into(), 1));
+    }
+
+    #[test]
+    fn del_target_runs_recorded_piecewise() {
+        // Two separately recorded forward chunks with contiguous targets
+        // coalesce on lookup — and a direction flip breaks the run.
+        let mut idx = DelTargetIndex::default();
+        idx.record((0..2).into(), (100..102).into(), true);
+        idx.record((2..4).into(), (102..104).into(), true);
+        assert_eq!(idx.run_at(0, 4), ((100..104).into(), 4));
+        idx.record((4..6).into(), (98..100).into(), false);
+        assert_eq!(idx.run_at(3, 6), ((103..104).into(), 1));
+        assert_eq!(idx.run_at(4, 6), ((98..100).into(), 2));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use crate::op::{ListOpKind, TextOpRef, TextOperation};
 use crate::tracker::{Tracker, TRACKER_FANOUT};
 use crate::OpLog;
-use eg_dag::walk::{plan_walk_with_order, PlanOrder};
+use eg_dag::walk::PlanOrder;
 use eg_dag::{Frontier, LV};
 use eg_rle::{DTRange, HasLength};
 
@@ -86,8 +86,46 @@ pub fn walk_with_fanout<const N: usize, F>(
 ) where
     F: FnMut(DTRange, TextOpRef<'_>),
 {
-    let plan = plan_walk_with_order(&oplog.graph, base, spans, emit, opts.plan_order);
     let mut tracker = Tracker::<N>::new_with_caches(opts.cursor_cache, opts.emit_cache);
+    walk_reusing_with_fanout(oplog, base, spans, emit, opts, &mut tracker, out)
+}
+
+/// [`walk`] driving a caller-owned [`Tracker`] instead of building a fresh
+/// one: the tracker is reset (retaining its slab, index, and scratch
+/// capacity) and left populated on return, so a long-lived replica can
+/// replay thousands of windows with near-zero allocator traffic.
+pub fn walk_reusing<F>(
+    oplog: &OpLog,
+    base: &Frontier,
+    spans: &[DTRange],
+    emit: &[DTRange],
+    opts: WalkerOpts,
+    tracker: &mut Tracker<TRACKER_FANOUT>,
+    out: &mut F,
+) where
+    F: FnMut(DTRange, TextOpRef<'_>),
+{
+    walk_reusing_with_fanout(oplog, base, spans, emit, opts, tracker, out)
+}
+
+/// [`walk_reusing`] with an explicit tracker-tree fanout.
+pub fn walk_reusing_with_fanout<const N: usize, F>(
+    oplog: &OpLog,
+    base: &Frontier,
+    spans: &[DTRange],
+    emit: &[DTRange],
+    opts: WalkerOpts,
+    tracker: &mut Tracker<N>,
+    out: &mut F,
+) where
+    F: FnMut(DTRange, TextOpRef<'_>),
+{
+    // The plan's pooled buffers live on the tracker so reuse carries them
+    // across windows; it is taken out for the duration of the walk because
+    // the steps borrow from its range pool while the tracker is mutated.
+    let mut plan = std::mem::take(&mut tracker.plan);
+    plan.plan_with_order(&oplog.graph, base, spans, emit, opts.plan_order);
+    tracker.reset_with_caches(opts.cursor_cache, opts.emit_cache);
     // `clean` means: the tracker holds nothing but a placeholder, standing
     // for the document at the current (prepare == effect) version.
     let mut clean = true;
@@ -117,13 +155,13 @@ pub fn walk_with_fanout<const N: usize, F>(
         }
     };
 
-    for step in &plan {
+    for step in plan.iter() {
         if !step.retreat.is_empty() || !step.advance.is_empty() {
-            debug_assert!(!clean || step_targets_are_post_clear(&step.retreat));
+            debug_assert!(!clean || step_targets_are_post_clear(step.retreat));
             for r in step.retreat.iter().rev() {
                 tracker.retreat(oplog, *r);
             }
-            for r in &step.advance {
+            for r in step.advance {
                 tracker.advance(oplog, *r);
             }
             clean = false;
@@ -160,6 +198,7 @@ pub fn walk_with_fanout<const N: usize, F>(
             }
         }
     }
+    tracker.plan = plan;
 }
 
 /// Emits the events of `range` untransformed (their version and parent
@@ -224,6 +263,30 @@ pub fn transformed_ops_with_fanout<const N: usize>(
     merge_frontier: &[LV],
     opts: WalkerOpts,
 ) -> (Frontier, Vec<(DTRange, TextOperation)>) {
+    let mut tracker = Tracker::<N>::new_with_caches(opts.cursor_cache, opts.emit_cache);
+    transformed_ops_reusing_with_fanout(oplog, from, merge_frontier, opts, &mut tracker)
+}
+
+/// [`transformed_ops`] driving a caller-owned [`Tracker`] (see
+/// [`walk_reusing`]).
+pub fn transformed_ops_reusing(
+    oplog: &OpLog,
+    from: &[LV],
+    merge_frontier: &[LV],
+    opts: WalkerOpts,
+    tracker: &mut Tracker<TRACKER_FANOUT>,
+) -> (Frontier, Vec<(DTRange, TextOperation)>) {
+    transformed_ops_reusing_with_fanout(oplog, from, merge_frontier, opts, tracker)
+}
+
+/// [`transformed_ops_reusing`] with an explicit tracker-tree fanout.
+pub fn transformed_ops_reusing_with_fanout<const N: usize>(
+    oplog: &OpLog,
+    from: &[LV],
+    merge_frontier: &[LV],
+    opts: WalkerOpts,
+    tracker: &mut Tracker<N>,
+) -> (Frontier, Vec<(DTRange, TextOperation)>) {
     let target = oplog.graph.version_union(from, merge_frontier);
     if target.as_slice() == from {
         return (target, Vec::new());
@@ -232,8 +295,14 @@ pub fn transformed_ops_with_fanout<const N: usize>(
     debug_assert!(diff.only_a.is_empty());
     let (base, spans) = oplog.graph.conflict_window(from, &target);
     let mut out = Vec::new();
-    walk_with_fanout::<N, _>(oplog, &base, &spans, &diff.only_b, opts, &mut |lvs, op| {
-        out.push((lvs, op.to_owned()))
-    });
+    walk_reusing_with_fanout::<N, _>(
+        oplog,
+        &base,
+        &spans,
+        &diff.only_b,
+        opts,
+        tracker,
+        &mut |lvs, op| out.push((lvs, op.to_owned())),
+    );
     (target, out)
 }

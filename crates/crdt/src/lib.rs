@@ -33,7 +33,7 @@
 //! assert_eq!(doc.to_string(), "hello");
 //! ```
 
-use eg_content_tree::{ContentTree, Cursor, NodeIdx, TreeEntry};
+use eg_content_tree::{ContentTree, Cursor, LeafIdx, TreeEntry};
 use eg_dag::LV;
 use eg_rle::{DTRange, HasLength, IntervalMap, MergableSpan, SplitableSpan};
 use egwalker::convert::CrdtOp;
@@ -45,7 +45,7 @@ const ORIGIN_NONE: usize = usize::MAX;
 /// A run of CRDT items: consecutively inserted characters sharing origins
 /// and deletion state. Deleted characters remain as tombstones forever —
 /// the defining memory cost of the CRDT approach.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct CrdtItem {
     /// Character IDs.
     id: DTRange,
@@ -125,7 +125,7 @@ impl TreeEntry for CrdtItem {
 pub struct CrdtDoc {
     tree: ContentTree<CrdtItem>,
     /// Character ID → leaf index (the CRDT's ID lookup structure).
-    index: IntervalMap<NodeIdx>,
+    index: IntervalMap<LeafIdx>,
     /// Characters currently visible.
     len_chars: usize,
     /// Total characters ever inserted (tombstones included).

@@ -25,6 +25,15 @@ enum Flag {
     Shared,
 }
 
+/// Reusable scratch state for [`Graph::diff_with_scratch`]: the priority
+/// queue's backing buffer survives across calls, so a loop diffing many
+/// version pairs (the walk planner's per-step retreat/advance computation)
+/// performs no per-call allocation.
+#[derive(Debug, Default)]
+pub struct DiffScratch {
+    queue: BinaryHeap<(LV, Flag)>,
+}
+
 impl Graph {
     /// Returns `true` if `target` is contained in `Events(frontier)` — that
     /// is, `target` is an entry of the frontier or happened before one.
@@ -103,7 +112,27 @@ impl Graph {
     /// enqueue the run's parents. It stops as soon as every queued event is
     /// reachable from both sides.
     pub fn diff(&self, a: &[LV], b: &[LV]) -> DiffResult {
-        let mut queue: BinaryHeap<(LV, Flag)> = BinaryHeap::new();
+        let mut scratch = DiffScratch::default();
+        let mut result = DiffResult::default();
+        self.diff_with_scratch(a, b, &mut scratch, &mut result.only_a, &mut result.only_b);
+        result
+    }
+
+    /// [`Graph::diff`] into caller-owned buffers: `only_a` / `only_b` are
+    /// cleared and filled (ascending), and `scratch` is recycled, so
+    /// repeated diffs allocate nothing once the buffers have grown.
+    pub fn diff_with_scratch(
+        &self,
+        a: &[LV],
+        b: &[LV],
+        scratch: &mut DiffScratch,
+        only_a: &mut Vec<DTRange>,
+        only_b: &mut Vec<DTRange>,
+    ) {
+        let queue = &mut scratch.queue;
+        queue.clear();
+        only_a.clear();
+        only_b.clear();
         let mut num_shared = 0usize;
         for &v in a {
             queue.push((v, Flag::OnlyA));
@@ -113,8 +142,6 @@ impl Graph {
         }
 
         // Collected in descending order, reversed before returning.
-        let mut only_a: Vec<DTRange> = Vec::new();
-        let mut only_b: Vec<DTRange> = Vec::new();
 
         fn mark(only_a: &mut Vec<DTRange>, only_b: &mut Vec<DTRange>, flag: Flag, range: DTRange) {
             if range.is_empty() {
@@ -173,13 +200,13 @@ impl Graph {
                 if peek_flag != flag {
                     // The part of the run above the peeked event belongs to
                     // `flag` alone; below it both sides reach the run.
-                    mark(&mut only_a, &mut only_b, flag, (peek_lv + 1..lv + 1).into());
+                    mark(only_a, only_b, flag, (peek_lv + 1..lv + 1).into());
                     lv = peek_lv;
                     flag = Flag::Shared;
                 }
             }
 
-            mark(&mut only_a, &mut only_b, flag, (run_start..lv + 1).into());
+            mark(only_a, only_b, flag, (run_start..lv + 1).into());
 
             for &p in entry.parents.iter() {
                 queue.push((p, flag));
@@ -191,7 +218,6 @@ impl Graph {
 
         only_a.reverse();
         only_b.reverse();
-        DiffResult { only_a, only_b }
     }
 
     /// Finds the *conflict window* for merging version `b` into version `a`

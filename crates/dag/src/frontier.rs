@@ -31,6 +31,14 @@ impl Frontier {
         Self(vec![lv])
     }
 
+    /// Overwrites this frontier with the single event `lv`, retaining the
+    /// backing allocation (the zero-alloc counterpart of [`Frontier::new_1`]
+    /// for hot loops that move a version forward run by run).
+    pub fn replace_with_1(&mut self, lv: LV) {
+        self.0.clear();
+        self.0.push(lv);
+    }
+
     /// Builds a frontier from unsorted LVs, sorting and de-duplicating.
     pub fn from_unsorted(lvs: &[LV]) -> Self {
         let mut v = lvs.to_vec();

@@ -22,10 +22,19 @@ use std::collections::BTreeMap;
 /// assert_eq!(m.get(8), Some(((6..10).into(), 1)));
 /// assert_eq!(m.num_entries(), 3);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct IntervalMap<V> {
     // Key: range start. Value: (range length, value).
     entries: BTreeMap<usize, (usize, V)>,
+}
+
+// Manual impl: the derive would needlessly require `V: Default`.
+impl<V> Default for IntervalMap<V> {
+    fn default() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+        }
+    }
 }
 
 impl<V: Copy + Eq> IntervalMap<V> {

@@ -28,7 +28,7 @@ use std::fmt;
 const MAX_CHUNK_CHARS: usize = 64;
 
 /// A bounded chunk of text with cached character and newline counts.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct Chunk {
     text: String,
     chars: usize,

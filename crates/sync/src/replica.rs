@@ -11,7 +11,7 @@
 
 use eg_dag::RemoteId;
 use eg_rle::HasLength;
-use egwalker::{Branch, BundleError, EventBundle, Frontier, OpLog};
+use egwalker::{Branch, BundleError, EventBundle, Frontier, OpLog, Tracker};
 use std::collections::BTreeMap;
 
 /// Identifies one document in a replica's shard space.
@@ -63,7 +63,7 @@ pub enum ReceiveOutcome {
 
 /// One document's replicated state: the event graph, the materialised
 /// branch, and the causal buffer for out-of-order bundles.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct DocState {
     /// The event graph and operations (durable state).
     oplog: OpLog,
@@ -71,6 +71,11 @@ struct DocState {
     branch: Branch,
     /// Causal buffer: bundles whose parents have not all arrived yet.
     pending: Vec<EventBundle>,
+    /// Reused walker scratch state: every merge for this document drives
+    /// the same tracker, so its slabs / ID index / scratch buffers are
+    /// allocated once and recycled (the per-merge allocation storm the
+    /// slab arena exists to kill).
+    tracker: Tracker,
 }
 
 impl DocState {
@@ -81,6 +86,23 @@ impl DocState {
             oplog,
             branch: Branch::new(),
             pending: Vec::new(),
+            tracker: Tracker::new(),
+        }
+    }
+
+    fn merge(&mut self) {
+        self.branch.merge_reusing(&self.oplog, &mut self.tracker);
+    }
+}
+
+impl Clone for DocState {
+    fn clone(&self) -> Self {
+        // The tracker is transient scratch state; a clone starts fresh.
+        DocState {
+            oplog: self.oplog.clone(),
+            branch: self.branch.clone(),
+            pending: self.pending.clone(),
+            tracker: Tracker::new(),
         }
     }
 }
@@ -263,7 +285,7 @@ impl Replica {
         let before = d.branch.version.clone();
         let agent = d.oplog.get_or_create_agent(name);
         d.oplog.add_insert_at(agent, &before, pos, text);
-        d.branch.merge(&d.oplog);
+        d.merge();
         d.oplog.bundle_since_local(&before)
     }
 
@@ -280,7 +302,7 @@ impl Replica {
         let before = d.branch.version.clone();
         let agent = d.oplog.get_or_create_agent(name);
         d.oplog.add_delete_at(agent, &before, pos, len);
-        d.branch.merge(&d.oplog);
+        d.merge();
         d.oplog.bundle_since_local(&before)
     }
 
@@ -302,7 +324,7 @@ impl Replica {
             Ok(new) => {
                 let mut total = new.len();
                 total += Self::drain_pending(d);
-                d.branch.merge(&d.oplog);
+                d.merge();
                 stats.applied_direct += 1;
                 stats.remote_events += total;
                 ReceiveOutcome::Applied(total)

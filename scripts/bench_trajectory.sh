@@ -55,3 +55,15 @@ if [[ "${EG_SKIP_DIFF:-0}" != "1" && -d "$PREV_DIR" ]]; then
         --baseline "$PREV_DIR" --current "$OUT_DIR" --threshold "$THRESHOLD" \
         ${DIFF_FLAGS[@]+"${DIFF_FLAGS[@]}"}
 fi
+
+# Trend view: the trajectory of every checked metric across the frozen
+# per-PR baselines plus this capture (informational; never fails).
+TREND_DIRS=()
+for d in "$OUT_DIR"/pr*_baseline; do
+    [[ -d "$d" ]] && TREND_DIRS+=("$d")
+done
+if (( ${#TREND_DIRS[@]} >= 1 )); then
+    echo "== trend across ${#TREND_DIRS[@]} frozen baseline(s) + current =="
+    cargo run --release -q -p eg-bench --bin bench_diff -- \
+        --trend "${TREND_DIRS[@]}" "$OUT_DIR"
+fi
