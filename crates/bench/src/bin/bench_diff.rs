@@ -20,14 +20,18 @@
 //! Numeric fields ending in `_s` (seconds) are regression-checked: a
 //! current value more than `threshold` (fractional) above the baseline
 //! fails the run, unless both sides are below `min-seconds` (too small to
-//! measure reliably). Byte and allocation-count fields (`_bytes`,
+//! measure reliably). Fields ending in `_per_sec` (throughput) are
+//! higher-is-better: a *drop* below `1/(1+threshold)` of the baseline
+//! fails the same way. Byte and allocation-count fields (`_bytes`,
 //! `_calls`) are near-deterministic but only fail above `2 × threshold`,
 //! so allocator noise does not trip the bound while blowups (e.g. a
 //! reintroduced per-op allocation) still do. With
-//! `--advisory-time`, time regressions are printed but do not fail the
-//! run — for CI, where the fresh capture runs on a different machine
-//! class than the committed baseline and absolute `_s` comparisons are
-//! meaningless (bytes still enforce). Checked metrics present in the
+//! `--advisory-time`, time and throughput regressions are printed but do
+//! not fail the run — for CI, where the fresh capture runs on a different
+//! machine class than the committed baseline and absolute `_s`/`_per_sec`
+//! comparisons are meaningless (bytes still enforce). Captures whose
+//! top-level `workers` sweep differs are refused outright, like captures
+//! at different `scale`. Checked metrics present in the
 //! baseline but missing from the current capture are a hard failure —
 //! a renamed row or field must come with a refreshed baseline, not
 //! silently lose its regression check. An entirely empty baseline is
@@ -126,9 +130,9 @@ fn run_trend(paths: &[PathBuf]) -> ExitCode {
 
     // Captures at different EG_SCALE are not comparable; warn (but still
     // print — the trend view is informational).
-    for (i, (_, scales)) in captures.iter().enumerate().skip(1) {
-        for (stem, scale) in scales {
-            if let Some((_, first)) = captures[0].1.iter().find(|(s, _)| s == stem) {
+    for (i, capture) in captures.iter().enumerate().skip(1) {
+        for (stem, scale) in &capture.scales {
+            if let Some((_, first)) = captures[0].scales.iter().find(|(s, _)| s == stem) {
                 if (scale - first).abs() > f64::EPSILON * first.abs() {
                     eprintln!(
                         "warning: {stem} captured at scale {scale} in {} vs {first} in {} — \
@@ -142,8 +146,8 @@ fn run_trend(paths: &[PathBuf]) -> ExitCode {
 
     // Metric keys in first-seen order across all captures.
     let mut keys: Vec<(&str, &str, &str)> = Vec::new();
-    for (metrics, _) in &captures {
-        for (stem, name, field, _) in metrics {
+    for capture in &captures {
+        for (stem, name, field, _) in &capture.metrics {
             if !checked_field(field) {
                 continue;
             }
@@ -163,8 +167,9 @@ fn run_trend(paths: &[PathBuf]) -> ExitCode {
     for (stem, name, field) in keys {
         let values: Vec<Option<f64>> = captures
             .iter()
-            .map(|(metrics, _)| {
-                metrics
+            .map(|capture| {
+                capture
+                    .metrics
                     .iter()
                     .find(|(s, n, f, _)| s == stem && n == name && f == field)
                     .map(|(_, _, _, v)| *v)
@@ -201,7 +206,16 @@ fn checked_field(field: &str) -> bool {
     field.ends_with("_s")
         || field.ends_with("_bytes")
         || field.ends_with("_calls")
+        || field.ends_with("_per_sec")
         || exact_field(field)
+}
+
+/// Higher-is-better throughput metrics (`_per_sec`): a *drop* beyond the
+/// threshold is the regression, mirrored from the time check (ratio below
+/// `1/(1+threshold)`), and they share the machine-dependence of `_s`
+/// fields, so `--advisory-time` downgrades them too.
+fn rate_field(field: &str) -> bool {
+    field.ends_with("_per_sec")
 }
 
 /// Machine-independent trace statistics (the `table1` columns): fully
@@ -217,13 +231,21 @@ fn exact_field(field: &str) -> bool {
 /// One numeric metric: `(file stem, row name, field, value)`.
 type Metric = (String, String, String, f64);
 
-/// Everything `load` extracts from one capture: its metrics plus each
-/// file's recorded capture scale (stem -> scale).
-type Capture = (Vec<Metric>, Vec<(String, f64)>);
+/// Everything `load` extracts from one capture.
+struct Capture {
+    metrics: Vec<Metric>,
+    /// Each file's recorded capture scale: stem -> scale.
+    scales: Vec<(String, f64)>,
+    /// Top-level capture configuration that must match between diffed
+    /// captures — currently the `workers` sweep of `server_load`, where
+    /// comparing a 1,2,4-worker capture against a 1,2,4,8 one would
+    /// match rows by name across different pool shapes: stem -> value.
+    workers: Vec<(String, String)>,
+}
 
 /// `(file stem, row name, field) -> value` for every numeric field of
 /// every row of every bench JSON under `path` (a file or a directory),
-/// plus each file's recorded capture scale (stem -> scale).
+/// plus each file's recorded capture scale and worker sweep.
 fn load(path: &Path) -> Capture {
     let files: Vec<PathBuf> = if path.is_dir() {
         let mut v: Vec<PathBuf> = std::fs::read_dir(path)
@@ -238,6 +260,7 @@ fn load(path: &Path) -> Capture {
     };
     let mut out = Vec::new();
     let mut scales = Vec::new();
+    let mut workers = Vec::new();
     for file in files {
         let stem = file
             .file_stem()
@@ -270,6 +293,9 @@ fn load(path: &Path) -> Capture {
         {
             scales.push((stem.clone(), scale));
         }
+        if let Some(Value::Str(w)) = top.iter().find(|(k, _)| k == "workers").map(|(_, v)| v) {
+            workers.push((stem.clone(), w.clone()));
+        }
         let Some(Value::Arr(rows)) = top.iter().find(|(k, _)| k == "rows").map(|(_, v)| v) else {
             continue;
         };
@@ -293,7 +319,11 @@ fn load(path: &Path) -> Capture {
             }
         }
     }
-    (out, scales)
+    Capture {
+        metrics: out,
+        scales,
+        workers,
+    }
 }
 
 fn main() -> ExitCode {
@@ -302,16 +332,30 @@ fn main() -> ExitCode {
         return run_trend(&args.trend);
     }
     let baseline_path = args.baseline.expect("--baseline is required");
-    let (baseline, baseline_scales) = load(&baseline_path);
-    let (current, current_scales) = load(&args.current.expect("--current is required"));
+    let base_capture = load(&baseline_path);
+    let cur_capture = load(&args.current.expect("--current is required"));
+    let (baseline, current) = (&base_capture.metrics, &cur_capture.metrics);
     // Captures at different EG_SCALE are not comparable at all — every
     // metric shifts with trace size. Refuse rather than report bogus
     // regressions (or mask real ones).
-    for (stem, cur_scale) in &current_scales {
-        if let Some((_, base_scale)) = baseline_scales.iter().find(|(s, _)| s == stem) {
+    for (stem, cur_scale) in &cur_capture.scales {
+        if let Some((_, base_scale)) = base_capture.scales.iter().find(|(s, _)| s == stem) {
             if (cur_scale - base_scale).abs() > f64::EPSILON * base_scale.abs() {
                 eprintln!(
                     "scale mismatch for {stem}: baseline captured at {base_scale}, current at {cur_scale} — re-capture both at the same EG_SCALE"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Same refusal for worker-count sweeps: rows are matched by name
+    // ("w4"), so diffing captures with different pool shapes would
+    // silently compare different configurations.
+    for (stem, cur_workers) in &cur_capture.workers {
+        if let Some((_, base_workers)) = base_capture.workers.iter().find(|(s, _)| s == stem) {
+            if cur_workers != base_workers {
+                eprintln!(
+                    "worker-count mismatch for {stem}: baseline captured with workers={base_workers}, current with workers={cur_workers} — re-capture both with the same sweep"
                 );
                 return ExitCode::FAILURE;
             }
@@ -334,7 +378,7 @@ fn main() -> ExitCode {
     // capture means a bench or field was renamed/dropped without
     // refreshing the baseline — its regression check would silently
     // vanish. Fail loudly instead.
-    for (stem, name, field, _) in &baseline {
+    for (stem, name, field, _) in baseline {
         if !checked_field(field) {
             continue;
         }
@@ -350,7 +394,7 @@ fn main() -> ExitCode {
         "{:<12} {:<6} {:<22} {:>12} {:>12} {:>8}",
         "bench", "row", "field", "baseline", "current", "ratio"
     );
-    for (stem, name, field, cur) in &current {
+    for (stem, name, field, cur) in current {
         let Some((_, _, _, base)) = baseline
             .iter()
             .find(|(s, n, f, _)| s == stem && n == name && f == field)
@@ -358,6 +402,7 @@ fn main() -> ExitCode {
             continue;
         };
         let checked_time = field.ends_with("_s");
+        let checked_rate = rate_field(field);
         if !checked_field(field) {
             continue;
         }
@@ -366,6 +411,10 @@ fn main() -> ExitCode {
         let over = if exact_field(field) {
             // Deterministic statistics: any drift, either direction.
             cur != base
+        } else if checked_rate {
+            // Higher is better: a throughput *drop* beyond the time
+            // threshold regresses (mirror of the `_s` bound).
+            ratio.is_finite() && ratio < 1.0 / (1.0 + args.threshold)
         } else {
             let limit = if checked_time {
                 1.0 + args.threshold
@@ -375,7 +424,7 @@ fn main() -> ExitCode {
             let too_small = checked_time && *base < args.min_seconds && *cur < args.min_seconds;
             ratio.is_finite() && ratio > limit && !too_small
         };
-        let advisory_only = over && checked_time && args.advisory_time;
+        let advisory_only = over && (checked_time || checked_rate) && args.advisory_time;
         println!(
             "{:<12} {:<6} {:<22} {:>12.4e} {:>12.4e} {:>7.2}x{}",
             stem,

@@ -1,0 +1,193 @@
+//! Fleet-scale load benchmark for the multi-core server host.
+//!
+//! Drives the deterministic `eg-trace` fleet workload (zipfian document
+//! popularity, bursty sessions, join/leave churn) through `eg-server`
+//! worker pools of increasing size and reports, per pool size:
+//!
+//! * `merge_ops_per_sec` — aggregate merged-edit throughput (submit →
+//!   merged, including routing and queueing);
+//! * `{insert,delete}_{p50,p99,p999}_latency_s` — end-to-end per-op-class
+//!   latency percentiles from the workers' mergeable histograms;
+//! * `events` — merged edit count, a deterministic function of the seed
+//!   (exact-checked by `bench_diff`, so generator or skip-rule drift in
+//!   either direction fails the nightly diff).
+//!
+//! Every run is verified byte-identical against the single-threaded
+//! sequential replay of the same script before its numbers are reported —
+//! a fast parallel host that diverges from the paper's merge semantics is
+//! a bug, not a result. The JSON capture records the worker sweep
+//! top-level so `bench_diff` refuses cross-sweep comparisons, and
+//! `_per_sec` fields diff as higher-is-better.
+//!
+//! `EG_WORKERS=1,2,4` overrides the default `1,2,4,8` sweep. Wall-clock
+//! speedup needs actual cores; on a single-core machine the sweep still
+//! measures (and regression-gates) the routing/queueing overhead of the
+//! pool, while the byte-identity check keeps its full strength.
+
+use eg_bench::harness::{fmt_time, json_num, json_str, parse_args, row, write_json_extra, JsonRow};
+use eg_server::{replay_fleet_sequential, LoadReport, ServerConfig, ServerHost};
+use eg_trace::{fleet_workload, FleetOp, FleetSpec};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The fleet at scale 1.0; floors keep tiny scales meaningful (enough
+/// documents to shard across 8 workers, enough sessions to churn).
+fn fleet_spec(scale: f64) -> FleetSpec {
+    FleetSpec {
+        docs: ((1024.0 * scale) as u64).max(64),
+        sessions: ((512.0 * scale) as usize).max(32),
+        edits: ((400_000.0 * scale) as usize).max(2_000),
+        ..FleetSpec::default()
+    }
+}
+
+/// Trimmed-mean over per-run wall times (same policy as
+/// `harness::time_mean`, but each run needs a fresh host, so the samples
+/// are collected by the caller).
+fn trimmed_mean(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let trim = if samples.len() >= 5 {
+        (samples.len() / 10).max(1)
+    } else {
+        0
+    };
+    let kept = &samples[trim..samples.len() - trim];
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+fn main() {
+    let args = parse_args();
+    let sweep: Vec<usize> = std::env::var("EG_WORKERS")
+        .unwrap_or_else(|_| "1,2,4,8".to_string())
+        .split(',')
+        .map(|s| s.trim().parse().expect("EG_WORKERS: bad worker count"))
+        .collect();
+    assert!(!sweep.is_empty());
+
+    let spec = fleet_spec(args.scale);
+    eprintln!(
+        "generating fleet workload: {} docs, {} sessions, {} edits (scale {}) …",
+        spec.docs, spec.sessions, spec.edits, args.scale
+    );
+    let script: Arc<[FleetOp]> = fleet_workload(&spec).into();
+
+    eprintln!("sequential reference replay …");
+    let reference = replay_fleet_sequential("server", &script);
+
+    println!(
+        "server_load — fleet workload over shard-affinity worker pools (scale {:.3})",
+        args.scale
+    );
+    let widths = [4, 8, 14, 12, 12, 12, 9];
+    println!(
+        "{}",
+        row(
+            &[
+                "w",
+                "events",
+                "merge ops/s",
+                "ins p50",
+                "ins p99",
+                "ins p999",
+                "speedup"
+            ]
+            .map(String::from),
+            &widths
+        )
+    );
+
+    let mut json_rows: Vec<JsonRow> = Vec::new();
+    let mut base_rate = None;
+    for &workers in &sweep {
+        // Fresh host per run (state accumulates); first run is warm-up.
+        let runs = args.iters.max(2);
+        let mut times = Vec::with_capacity(runs);
+        let mut report = LoadReport::default();
+        let mut per_run_edits = 0u64;
+        for i in 0..=runs {
+            let host = ServerHost::with_config(ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            });
+            let t0 = Instant::now();
+            let run = host.run_script(&script);
+            let dt = t0.elapsed().as_secs_f64();
+            // Byte-identity against the sequential replay: every run,
+            // not just the warm-up — this is the determinism contract.
+            assert_eq!(
+                host.snapshot(),
+                reference,
+                "parallel host diverged from sequential replay at {workers} workers"
+            );
+            if i > 0 {
+                times.push(dt);
+                per_run_edits = run.edits();
+                report.merge(&run);
+            }
+        }
+        let mean = trimmed_mean(&mut times);
+        let rate = per_run_edits as f64 / mean;
+        let speedup = *base_rate.get_or_insert(rate);
+        println!(
+            "{}",
+            row(
+                &[
+                    workers.to_string(),
+                    per_run_edits.to_string(),
+                    format!("{rate:.0}"),
+                    fmt_time(report.insert_latency.percentile_secs(0.50)),
+                    fmt_time(report.insert_latency.percentile_secs(0.99)),
+                    fmt_time(report.insert_latency.percentile_secs(0.999)),
+                    format!("{:.2}x", rate / speedup),
+                ],
+                &widths
+            )
+        );
+        json_rows.push(vec![
+            ("name", json_str(&format!("w{workers}"))),
+            ("workers", json_num(workers as f64)),
+            ("events", json_num(per_run_edits as f64)),
+            ("merge_ops_per_sec", json_num(rate)),
+            (
+                "insert_p50_latency_s",
+                json_num(report.insert_latency.percentile_secs(0.50)),
+            ),
+            (
+                "insert_p99_latency_s",
+                json_num(report.insert_latency.percentile_secs(0.99)),
+            ),
+            (
+                "insert_p999_latency_s",
+                json_num(report.insert_latency.percentile_secs(0.999)),
+            ),
+            (
+                "delete_p50_latency_s",
+                json_num(report.delete_latency.percentile_secs(0.50)),
+            ),
+            (
+                "delete_p99_latency_s",
+                json_num(report.delete_latency.percentile_secs(0.99)),
+            ),
+            (
+                "delete_p999_latency_s",
+                json_num(report.delete_latency.percentile_secs(0.999)),
+            ),
+        ]);
+    }
+    println!("(all runs byte-identical to the single-threaded sequential replay)");
+
+    if let Some(path) = &args.json {
+        let sweep_str = sweep
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        write_json_extra(
+            path,
+            "server_load",
+            args.scale,
+            &[("workers", json_str(&sweep_str))],
+            &json_rows,
+        );
+    }
+}

@@ -91,24 +91,41 @@ pub fn json_num(v: f64) -> Value {
 /// Writes one bench result file for trajectory capture:
 /// `{"bench": ..., "scale": ..., "rows": [{...}, ...]}`.
 pub fn write_json(path: &str, bench: &str, scale: f64, rows: &[JsonRow]) {
-    let doc = Value::Obj(vec![
+    write_json_extra(path, bench, scale, &[], rows);
+}
+
+/// [`write_json`] with additional top-level fields (e.g. the worker-count
+/// sweep of `server_load`, which `bench_diff` uses to refuse diffs across
+/// differently-configured captures).
+pub fn write_json_extra(
+    path: &str,
+    bench: &str,
+    scale: f64,
+    extras: &[(&str, Value)],
+    rows: &[JsonRow],
+) {
+    let mut top = vec![
         ("bench".to_string(), json_str(bench)),
         ("scale".to_string(), json_num(scale)),
-        (
-            "rows".to_string(),
-            Value::Arr(
-                rows.iter()
-                    .map(|row| {
-                        Value::Obj(
-                            row.iter()
-                                .map(|(k, v)| (k.to_string(), v.clone()))
-                                .collect(),
-                        )
-                    })
-                    .collect(),
-            ),
+    ];
+    for (k, v) in extras {
+        top.push((k.to_string(), v.clone()));
+    }
+    top.push((
+        "rows".to_string(),
+        Value::Arr(
+            rows.iter()
+                .map(|row| {
+                    Value::Obj(
+                        row.iter()
+                            .map(|(k, v)| (k.to_string(), v.clone()))
+                            .collect(),
+                    )
+                })
+                .collect(),
         ),
-    ]);
+    ));
+    let doc = Value::Obj(top);
     let mut out = serde_json::to_string(&doc).expect("serialise bench JSON");
     out.push('\n');
     if let Some(dir) = std::path::Path::new(path).parent() {

@@ -1,0 +1,58 @@
+//! Compile-time thread-safety audit: a `ContentTree` must be `Send` (and
+//! `Sync` for `&`-only access) for any `Send` entry type, so worker
+//! threads in the multi-core server host can own trackers built on it.
+//! The slab arena indexes nodes with plain integers — if a refactor ever
+//! introduces raw-pointer parent links or `Rc` sharing, this stops
+//! compiling.
+
+use eg_content_tree::{ContentTree, TreeEntry};
+use eg_rle::{HasLength, MergableSpan, SplitableSpan};
+
+/// Minimal entry: `len` visible units.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Span {
+    len: usize,
+}
+
+impl HasLength for Span {
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl SplitableSpan for Span {
+    fn truncate(&mut self, at: usize) -> Self {
+        let rem = Span { len: self.len - at };
+        self.len = at;
+        rem
+    }
+}
+
+impl MergableSpan for Span {
+    fn can_append(&self, _other: &Self) -> bool {
+        true
+    }
+
+    fn append(&mut self, other: Self) {
+        self.len += other.len;
+    }
+}
+
+impl TreeEntry for Span {
+    fn width_cur(&self) -> usize {
+        self.len
+    }
+
+    fn width_end(&self) -> usize {
+        self.len
+    }
+}
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn content_tree_is_send_and_sync() {
+    assert_send::<ContentTree<Span>>();
+    assert_sync::<ContentTree<Span>>();
+}

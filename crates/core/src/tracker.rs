@@ -291,6 +291,18 @@ impl IdIndex {
 ///
 /// `N` is the fanout of the record tree (see [`TRACKER_FANOUT`]); it is a
 /// parameter so the `walker_hot` benchmark can sweep it.
+///
+/// A tracker is `Send` — the multi-core server host moves one onto each
+/// worker thread — but deliberately **not** `Sync`: the cursor and
+/// emit-position caches are plain [`Cell`]s, so sharing a tracker across
+/// threads would be a data race. Each worker owns its own. Frozen by
+/// this compile-fail check (it compiles the day `Tracker` becomes
+/// `Sync`, failing the doctest):
+///
+/// ```compile_fail
+/// fn assert_sync<T: Sync>() {}
+/// assert_sync::<egwalker::Tracker>();
+/// ```
 #[derive(Debug)]
 pub struct Tracker<const N: usize = TRACKER_FANOUT> {
     tree: ContentTree<CrdtSpan, N>,

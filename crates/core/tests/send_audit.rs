@@ -1,0 +1,41 @@
+//! Compile-time thread-safety audit for the types the multi-core server
+//! host moves onto worker threads.
+//!
+//! `eg-server` works because an `OpLog`, its `Branch`, and a long-lived
+//! reused `Tracker` can all live inside a worker thread: the slab arenas
+//! index with plain integers and the only interior mutability is the
+//! tracker's `Cell`-based cursor caches. These assertions freeze that
+//! property — if a future change smuggles an `Rc`, a raw-pointer alias,
+//! or a thread-bound handle into any of these types, this file stops
+//! compiling instead of the server host failing at a distance.
+//!
+//! `Tracker` is deliberately `Send` but NOT `Sync`: its cursor and
+//! emit-position caches are `Cell`s, so sharing one across threads would
+//! be a data race. The shard-affinity design never shares a tracker —
+//! each worker owns its own. The `!Sync` side is frozen by a
+//! `compile_fail` doctest on the `Tracker` struct itself (negative trait
+//! reasoning is not expressible in an integration test).
+
+use egwalker::{Branch, EventBundle, Frontier, OpLog, Tracker};
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn worker_owned_state_is_send() {
+    assert_send::<OpLog>();
+    assert_send::<Branch>();
+    assert_send::<Tracker>();
+    assert_send::<EventBundle>();
+    assert_send::<Frontier>();
+}
+
+#[test]
+fn shared_read_state_is_sync() {
+    // Digests and bundles cross threads behind `Arc` in the server's
+    // anti-entropy fan-out, which needs `Sync`, not just `Send`.
+    assert_sync::<OpLog>();
+    assert_sync::<Branch>();
+    assert_sync::<EventBundle>();
+    assert_sync::<Frontier>();
+}

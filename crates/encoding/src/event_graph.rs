@@ -326,7 +326,10 @@ pub fn decode(data: &[u8]) -> Result<Decoded, DecodeError> {
         };
         let fwd = head & 1 != 0;
         let pos = prev_pos + read_i64(&mut ops_cur)?;
-        if pos < 0 || len == 0 {
+        // `pos + len` must not overflow: backward-delete rebuild computes
+        // `pos + len - 1`, and a wrap there turns a corrupt file into an
+        // assertion failure inside `add_backspace_at` (fuzz-found).
+        if pos < 0 || len == 0 || (pos as usize).checked_add(len).is_none() {
             return Err(DecodeError::Corrupt);
         }
         prev_pos = pos;
@@ -352,6 +355,11 @@ pub fn decode(data: &[u8]) -> Result<Decoded, DecodeError> {
     let mut covered = 0usize;
     while covered < n {
         let span_len = read_usize(&mut parents_cur)?;
+        // A zero-length span would make the rebuild below emit an empty
+        // run (`add_*` asserts) or spin without advancing (fuzz-found).
+        if span_len == 0 {
+            return Err(DecodeError::Corrupt);
+        }
         let pcount = read_usize(&mut parents_cur)?;
         // Each parent takes at least one byte: reject inflated counts
         // before allocating.
@@ -408,6 +416,12 @@ pub fn decode(data: &[u8]) -> Result<Decoded, DecodeError> {
         let (plen, parents) = &parents_runs[par_i];
         let (agent, seq_start, alen) = assigns[asn_i];
         let chunk_len = (op.len - op_off).min(plen - par_off).min(alen - asn_off);
+        // All three streams were validated non-degenerate above; a zero
+        // chunk would emit an empty run or stall the loop. Belt and
+        // braces for whatever corruption shape gets past those checks.
+        if chunk_len == 0 {
+            return Err(DecodeError::Corrupt);
+        }
         let parents_here: Vec<usize> = if par_off == 0 {
             parents.clone()
         } else {

@@ -274,6 +274,54 @@ fn corpus_inflated_counts_rejected_before_allocation() {
 }
 
 #[test]
+fn corpus_zero_length_parents_span_rejected() {
+    // Fuzz-loop find: a whole-file frame whose PARENTS column contains a
+    // zero-length span record. The rebuild loop computed a zero chunk
+    // length from it and fed an empty run into `add_backspace_at`, whose
+    // `len > 0` assertion panicked — a crash on attacker-controlled
+    // bytes. The frame CRC-validates; only the span-length check can
+    // reject it.
+    let mut body = Vec::new();
+    body.extend_from_slice(b"EGWALKR1");
+    push_usize(&mut body, 1); // one event
+    let mut ops = Vec::new();
+    push_usize(&mut ops, 1 << 2 | 0b10); // one backward delete
+    push_usize(&mut ops, 0); // pos delta 0 (i64 zigzag of 0)
+    push_chunk(&mut body, 1, &ops); // OPS
+    let mut content = Vec::new();
+    push_usize(&mut content, 0); // no content bytes
+    content.push(0); // uncompressed
+    push_chunk(&mut body, 2, &content); // CONTENT
+    let mut parents = Vec::new();
+    push_usize(&mut parents, 0); // span length 0  << the corpus entry
+    push_usize(&mut parents, 0); // no parents
+    push_usize(&mut parents, 1); // span length 1 (the real event)
+    push_usize(&mut parents, 0); // root
+    push_chunk(&mut body, 3, &parents); // PARENTS
+    let mut names = Vec::new();
+    push_usize(&mut names, 1); // one agent
+    push_usize(&mut names, 1);
+    names.push(b'a');
+    push_chunk(&mut body, 4, &names); // AGENT_NAMES
+    let mut assign = Vec::new();
+    push_usize(&mut assign, 0); // agent 0
+    push_usize(&mut assign, 0); // seq 0
+    push_usize(&mut assign, 1); // one event
+    push_chunk(&mut body, 5, &assign); // AGENT_ASSIGNMENT
+    let crc = crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    assert_eq!(decode(&body).err(), Some(DecodeError::Corrupt));
+}
+
+/// Mirror of `push_chunk` in `event_graph.rs` (not exported): tag byte,
+/// payload length, payload.
+fn push_chunk(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    out.push(tag);
+    push_usize(out, payload.len());
+    out.extend_from_slice(payload);
+}
+
+#[test]
 fn corpus_truncated_frames_rejected() {
     // Every prefix of valid digest / bundle-batch frames must error; the
     // shortest interesting ones (inside the CRC trailer) are kept as

@@ -1,0 +1,21 @@
+//! Compile-time thread-safety audit for the run-length substrates: they
+//! sit at the bottom of every structure the server host moves across
+//! threads (`OpLog` columns, tracker arenas, interval maps), so a
+//! non-`Send` field here would poison the whole stack.
+
+use eg_rle::{CharWidthIndex, DTRange, IntervalMap, KVPair, RleRun, RleVec};
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn rle_substrates_are_send_and_sync() {
+    assert_send::<DTRange>();
+    assert_sync::<DTRange>();
+    assert_send::<RleVec<KVPair<RleRun<u32>>>>();
+    assert_sync::<RleVec<KVPair<RleRun<u32>>>>();
+    assert_send::<IntervalMap<u32>>();
+    assert_sync::<IntervalMap<u32>>();
+    assert_send::<CharWidthIndex>();
+    assert_sync::<CharWidthIndex>();
+}

@@ -1,0 +1,457 @@
+//! [`ServerHost`]: the coordinator that owns the worker pool.
+//!
+//! The host is the single seam between callers and the shard threads. It
+//! never touches document state itself; it routes work by shard affinity,
+//! fans anti-entropy out across the pool, and rolls replies back up.
+//! Every public method takes `&self` — the host's own state is channels
+//! and config — so a driver thread can interleave edit submission and
+//! sync rounds freely.
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use eg_dag::RemoteId;
+use eg_sync::{DocId, Message};
+use eg_trace::FleetOp;
+use egwalker::EventBundle;
+
+use crate::shard::shard_for;
+use crate::worker::{worker_main, EditBatch, EncodeRound, Job, LoadReport};
+
+/// Pool construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Replica name; also the namespace for fleet session agents, so two
+    /// hosts syncing with each other must use distinct names.
+    pub name: String,
+    /// Worker thread count. Fixed for the host's lifetime (the shard map
+    /// depends on it).
+    pub workers: usize,
+    /// Edits per batch handed to a worker. Larger batches amortise the
+    /// channel send; smaller ones reduce queueing latency.
+    pub batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            name: "server".to_owned(),
+            workers: thread::available_parallelism().map_or(1, |n| n.get()),
+            batch: 128,
+        }
+    }
+}
+
+/// A multi-threaded in-process document host: shard-affinity worker pool
+/// over [`eg_sync::Replica`] state, parallel anti-entropy, work-stealing
+/// wire encoding.
+pub struct ServerHost {
+    config: ServerConfig,
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Spent edit-batch vectors coming back from workers for reuse.
+    recycle: Receiver<Vec<(u32, Instant)>>,
+}
+
+impl ServerHost {
+    /// A host named `"server"` with `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        Self::with_config(ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        })
+    }
+
+    pub fn with_config(config: ServerConfig) -> Self {
+        assert!(config.workers > 0, "worker pool must not be empty");
+        assert!(config.batch > 0, "batch size must not be zero");
+        let (recycle_tx, recycle) = mpsc::channel();
+        let mut senders = Vec::with_capacity(config.workers);
+        let mut handles = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let (tx, rx) = mpsc::channel();
+            let name = config.name.clone();
+            let recycle_tx = recycle_tx.clone();
+            let handle = thread::Builder::new()
+                .name(format!("eg-server-w{i}"))
+                .spawn(move || worker_main(name, rx, recycle_tx))
+                .expect("spawn worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        ServerHost {
+            config,
+            senders,
+            handles,
+            recycle,
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn send(&self, worker: usize, job: Job) {
+        self.senders[worker]
+            .send(job)
+            .expect("worker thread died (panicked?)");
+    }
+
+    /// A fresh or recycled batch vector.
+    fn grab_items(&self) -> Vec<(u32, Instant)> {
+        self.recycle
+            .try_recv()
+            .unwrap_or_else(|_| Vec::with_capacity(self.config.batch))
+    }
+
+    /// Streams a fleet script into the pool: each edit op is routed to
+    /// its document's owner with a submit timestamp, in script order.
+    /// Per-worker FIFO channels plus per-doc affinity mean every
+    /// document sees its ops exactly in script order — the determinism
+    /// invariant. Non-edit ops (join/leave/ticks) shape the script at
+    /// generation time and are not shipped. Returns the number of edit
+    /// ops submitted; call [`Self::flush`] to wait for them.
+    pub fn submit_script(&self, script: &Arc<[FleetOp]>) -> usize {
+        assert!(script.len() <= u32::MAX as usize, "script too long");
+        let nw = self.senders.len();
+        let mut pending: Vec<Vec<(u32, Instant)>> = (0..nw).map(|_| self.grab_items()).collect();
+        let mut submitted = 0usize;
+        for (idx, op) in script.iter().enumerate() {
+            let doc = match op {
+                FleetOp::Insert { doc, .. } | FleetOp::Delete { doc, .. } => *doc,
+                FleetOp::Join { .. } | FleetOp::Leave { .. } | FleetOp::Ticks(_) => continue,
+            };
+            let w = shard_for(DocId(doc), nw);
+            pending[w].push((idx as u32, Instant::now()));
+            submitted += 1;
+            if pending[w].len() >= self.config.batch {
+                let items = std::mem::replace(&mut pending[w], self.grab_items());
+                self.send(
+                    w,
+                    Job::Edits(EditBatch {
+                        script: Arc::clone(script),
+                        items,
+                    }),
+                );
+            }
+        }
+        for (w, items) in pending.into_iter().enumerate() {
+            if !items.is_empty() {
+                self.send(
+                    w,
+                    Job::Edits(EditBatch {
+                        script: Arc::clone(script),
+                        items,
+                    }),
+                );
+            }
+        }
+        submitted
+    }
+
+    /// Barrier: returns once every job queued so far has been processed.
+    pub fn flush(&self) {
+        let (tx, rx) = mpsc::channel();
+        for w in 0..self.senders.len() {
+            self.send(w, Job::Flush(tx.clone()));
+        }
+        drop(tx);
+        let acks = rx.iter().count();
+        assert_eq!(acks, self.senders.len(), "worker died before flush ack");
+    }
+
+    /// Harvests and resets all per-worker load reports, merged into one.
+    pub fn harvest(&self) -> LoadReport {
+        let (tx, rx) = mpsc::channel();
+        for w in 0..self.senders.len() {
+            self.send(w, Job::Harvest(tx.clone()));
+        }
+        drop(tx);
+        let mut merged = LoadReport::default();
+        let mut replies = 0;
+        for report in rx.iter() {
+            merged.merge(&report);
+            replies += 1;
+        }
+        assert_eq!(replies, self.senders.len(), "worker died before harvest");
+        merged
+    }
+
+    /// Submit + flush + harvest in one call.
+    pub fn run_script(&self, script: &Arc<[FleetOp]>) -> LoadReport {
+        self.submit_script(script);
+        self.flush();
+        self.harvest()
+    }
+
+    /// Per-document digests of the whole host, fanned out across workers
+    /// and merged sorted by document id — the parallel equivalent of
+    /// [`eg_sync::Replica::digest_all`].
+    pub fn digest_all(&self) -> Vec<(DocId, Vec<RemoteId>)> {
+        let (tx, rx) = mpsc::channel();
+        for w in 0..self.senders.len() {
+            self.send(w, Job::Digests(tx.clone()));
+        }
+        drop(tx);
+        let mut replies = 0;
+        let mut out = Vec::new();
+        for shard in rx.iter() {
+            out.extend(shard);
+            replies += 1;
+        }
+        assert_eq!(replies, self.senders.len(), "worker died before digest");
+        out.sort_by_key(|e| e.0);
+        out
+    }
+
+    /// Bundles this host has that a peer digest lacks. Extraction runs
+    /// on each document's owning worker (it walks live oplog state);
+    /// only the returned owned bundles cross threads.
+    pub fn bundles_for(&self, peer: &[(DocId, Vec<RemoteId>)]) -> Vec<(DocId, EventBundle)> {
+        let mut sorted = peer.to_vec();
+        sorted.sort_by_key(|e| e.0);
+        let peer = Arc::new(sorted);
+        let (tx, rx) = mpsc::channel();
+        for w in 0..self.senders.len() {
+            self.send(
+                w,
+                Job::Extract {
+                    peer: Arc::clone(&peer),
+                    reply: tx.clone(),
+                },
+            );
+        }
+        drop(tx);
+        let mut replies = 0;
+        let mut out = Vec::new();
+        for shard in rx.iter() {
+            out.extend(shard);
+            replies += 1;
+        }
+        assert_eq!(replies, self.senders.len(), "worker died before extract");
+        out.sort_by_key(|e| e.0);
+        out
+    }
+
+    /// Routes remote bundles to their owning workers for integration.
+    /// Returns once routed (not integrated); [`Self::flush`] to wait.
+    pub fn receive_bundles(&self, bundles: Vec<(DocId, EventBundle)>) {
+        let nw = self.senders.len();
+        let mut per: Vec<Vec<(DocId, EventBundle)>> = (0..nw).map(|_| Vec::new()).collect();
+        for (doc, bundle) in bundles {
+            per[shard_for(doc, nw)].push((doc, bundle));
+        }
+        for (w, batch) in per.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.send(w, Job::Receive(batch));
+            }
+        }
+    }
+
+    /// Wire-encodes extracted bundles as one frame per document via a
+    /// work-stealing round: every worker gets a handle to the shared
+    /// round, the coordinator steals too, and whoever is idle drains the
+    /// task cursor. Also acts as a soft barrier (each worker touches the
+    /// round when it reaches it in queue order).
+    pub fn encode_bundles(&self, bundles: Vec<(DocId, EventBundle)>) -> Vec<(DocId, Vec<u8>)> {
+        let round = Arc::new(EncodeRound::new(bundles));
+        for w in 0..self.senders.len() {
+            self.send(w, Job::Encode(Arc::clone(&round)));
+        }
+        round.steal();
+        while !round.done() {
+            thread::yield_now();
+        }
+        // Wait for workers to drop their handles so the round can be
+        // consumed; they already can't add results (cursor is dry).
+        let mut round = round;
+        let round = loop {
+            match Arc::try_unwrap(round) {
+                Ok(r) => break r,
+                Err(again) => {
+                    thread::yield_now();
+                    round = again;
+                }
+            }
+        };
+        round.into_frames()
+    }
+
+    /// One full bidirectional anti-entropy round with `peer` over real
+    /// wire frames: digest fan-out, owner-affine extraction, work-stolen
+    /// encoding, `Message::decode` on the receiving side, owner-routed
+    /// integration, flush. Returns frames shipped (to_self, to_peer).
+    pub fn sync_with(&self, peer: &ServerHost) -> (usize, usize) {
+        let to_peer = Self::pull(self, peer);
+        let to_self = Self::pull(peer, self);
+        (to_self, to_peer)
+    }
+
+    /// `dst` pulls what it lacks from `src`.
+    fn pull(src: &ServerHost, dst: &ServerHost) -> usize {
+        let digest = dst.digest_all();
+        let bundles = src.bundles_for(&digest);
+        let frames = src.encode_bundles(bundles);
+        let shipped = frames.len();
+        let mut incoming = Vec::new();
+        for (_, frame) in &frames {
+            match Message::decode(frame).expect("self-encoded frame must decode") {
+                Message::Bundles(batch) => incoming.extend(batch),
+                Message::Digest(_) => unreachable!("encode round emits bundle frames"),
+            }
+        }
+        dst.receive_bundles(incoming);
+        dst.flush();
+        shipped
+    }
+
+    /// Canonical snapshot of every non-empty document: `(doc, version,
+    /// text)` sorted by document id. Byte-comparable against
+    /// [`crate::replay_fleet_sequential`] and against other hosts.
+    pub fn snapshot(&self) -> Vec<(DocId, Vec<RemoteId>, String)> {
+        let (tx, rx) = mpsc::channel();
+        for w in 0..self.senders.len() {
+            self.send(w, Job::Snapshot(tx.clone()));
+        }
+        drop(tx);
+        let mut replies = 0;
+        let mut out = Vec::new();
+        for shard in rx.iter() {
+            out.extend(shard);
+            replies += 1;
+        }
+        assert_eq!(replies, self.senders.len(), "worker died before snapshot");
+        out.sort_by_key(|e| e.0);
+        out
+    }
+
+    /// The current text of one document (empty string if unknown).
+    pub fn text(&self, doc: DocId) -> String {
+        let (tx, rx) = mpsc::channel();
+        self.send(shard_for(doc, self.senders.len()), Job::Snapshot(tx));
+        let shard = rx.recv().expect("worker died before snapshot");
+        shard
+            .into_iter()
+            .find(|(d, _, _)| *d == doc)
+            .map(|(_, _, text)| text)
+            .unwrap_or_default()
+    }
+
+    /// Whether both hosts hold identical documents (versions and text).
+    pub fn converged_with(&self, peer: &ServerHost) -> bool {
+        self.snapshot() == peer.snapshot()
+    }
+}
+
+impl Drop for ServerHost {
+    fn drop(&mut self) {
+        // Closing the job channels is the shutdown signal.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::replay_fleet_sequential;
+    use eg_trace::{fleet_workload, FleetSpec};
+
+    fn small_script() -> Arc<[FleetOp]> {
+        let spec = FleetSpec {
+            docs: 16,
+            sessions: 8,
+            edits: 400,
+            ..FleetSpec::default()
+        };
+        fleet_workload(&spec).into()
+    }
+
+    #[test]
+    fn host_matches_sequential_replay() {
+        let script = small_script();
+        for workers in [1, 3] {
+            let host = ServerHost::new(workers);
+            let report = host.run_script(&script);
+            assert!(report.edits() > 0);
+            assert_eq!(host.snapshot(), replay_fleet_sequential("server", &script));
+        }
+    }
+
+    #[test]
+    fn report_counts_match_outcomes() {
+        let script = small_script();
+        let host = ServerHost::new(2);
+        let report = host.run_script(&script);
+        let edit_ops = script
+            .iter()
+            .filter(|op| matches!(op, FleetOp::Insert { .. } | FleetOp::Delete { .. }))
+            .count() as u64;
+        assert_eq!(report.edits() + report.skipped, edit_ops);
+        assert_eq!(report.insert_latency.count(), report.inserts);
+        assert_eq!(report.delete_latency.count(), report.deletes);
+        // Harvest resets: a second harvest is empty.
+        assert_eq!(host.harvest().edits(), 0);
+    }
+
+    #[test]
+    fn two_hosts_converge_via_wire_sync() {
+        let script = small_script();
+        let a = ServerHost::with_config(ServerConfig {
+            name: "hostA".into(),
+            workers: 2,
+            ..ServerConfig::default()
+        });
+        let b = ServerHost::with_config(ServerConfig {
+            name: "hostB".into(),
+            workers: 3,
+            ..ServerConfig::default()
+        });
+        a.run_script(&script);
+        assert!(!a.converged_with(&b));
+        let (to_a, to_b) = a.sync_with(&b);
+        assert_eq!(to_a, 0, "b had nothing a lacks");
+        assert!(to_b > 0);
+        assert!(a.converged_with(&b));
+        // A second round ships nothing.
+        assert_eq!(a.sync_with(&b), (0, 0));
+    }
+
+    #[test]
+    fn encode_round_frames_decode() {
+        let script = small_script();
+        let host = ServerHost::new(2);
+        host.run_script(&script);
+        let bundles = host.bundles_for(&[]);
+        assert!(!bundles.is_empty());
+        let frames = host.encode_bundles(bundles.clone());
+        assert_eq!(frames.len(), bundles.len());
+        for ((doc, bundle), (fdoc, frame)) in bundles.iter().zip(&frames) {
+            assert_eq!(doc, fdoc);
+            match Message::decode(frame).unwrap() {
+                Message::Bundles(batch) => {
+                    assert_eq!(batch.len(), 1);
+                    assert_eq!(batch[0].0, *doc);
+                    assert_eq!(&batch[0].1, bundle);
+                }
+                Message::Digest(_) => panic!("expected bundle frame"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_encode_round_is_fine() {
+        let host = ServerHost::new(2);
+        assert!(host.encode_bundles(Vec::new()).is_empty());
+        assert!(host.digest_all().is_empty());
+        assert!(host.snapshot().is_empty());
+    }
+}

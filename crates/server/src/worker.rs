@@ -1,0 +1,217 @@
+//! The worker thread: one `Replica` shard, one mpsc inbox, no locks.
+//!
+//! Each worker owns the documents its shard maps to ([`crate::shard_for`])
+//! and is the only thread that ever touches them, so every per-document
+//! code path — merge, digest, extraction, integration — runs with the
+//! exact single-threaded machinery PRs 4–6 optimised (reused trackers,
+//! slab arenas, zero-alloc steady state). Cross-thread traffic is plain
+//! `std::sync::mpsc`: jobs flow in, replies flow out on per-call channels,
+//! and edit batches recycle their backing `Vec`s to the host so the
+//! steady-state loop allocates nothing per op.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use eg_dag::RemoteId;
+use eg_sync::{DocId, Message, Replica};
+use eg_trace::FleetOp;
+use egwalker::EventBundle;
+
+use crate::fleet::{apply_fleet_op, FleetOutcome, SessionNames};
+use crate::latency::LatencyHistogram;
+
+/// A batch of edit submissions: indices into a shared script plus the
+/// submit timestamp for end-to-end (queue + merge) latency. The `items`
+/// vector is recycled back to the host after processing.
+pub(crate) struct EditBatch {
+    pub script: Arc<[FleetOp]>,
+    pub items: Vec<(u32, Instant)>,
+}
+
+/// Merge/latency counters one worker accumulates between harvests, and
+/// the host's roll-up of all of them (histograms merge exactly).
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    pub inserts: u64,
+    pub deletes: u64,
+    /// Edit ops that reduced to nothing (delete on an empty document).
+    pub skipped: u64,
+    pub insert_latency: LatencyHistogram,
+    pub delete_latency: LatencyHistogram,
+}
+
+impl LoadReport {
+    /// Total merged edit ops.
+    pub fn edits(&self) -> u64 {
+        self.inserts + self.deletes
+    }
+
+    pub fn merge(&mut self, other: &LoadReport) {
+        self.inserts += other.inserts;
+        self.deletes += other.deletes;
+        self.skipped += other.skipped;
+        self.insert_latency.merge(&other.insert_latency);
+        self.delete_latency.merge(&other.delete_latency);
+    }
+}
+
+/// A work-stealing wire-encode round. The coordinator enqueues one
+/// `Job::Encode(Arc<EncodeRound>)` per worker *and participates itself*:
+/// everyone pulls task indices from a shared atomic cursor, so however
+/// many workers are idle right now do the encoding, and a pool drowning
+/// in edits degrades gracefully to coordinator-only encoding instead of
+/// stalling the round. Encoding needs no shard state — the bundles are
+/// extracted, owned data — which is why this is the one job that ignores
+/// affinity.
+pub(crate) struct EncodeRound {
+    tasks: Vec<(DocId, EventBundle)>,
+    next: AtomicUsize,
+    remaining: AtomicUsize,
+    results: Vec<OnceLock<Vec<u8>>>,
+}
+
+impl EncodeRound {
+    pub(crate) fn new(tasks: Vec<(DocId, EventBundle)>) -> Self {
+        let n = tasks.len();
+        EncodeRound {
+            tasks,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(n),
+            results: (0..n).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Claims and encodes tasks until the cursor runs dry.
+    pub(crate) fn steal(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.tasks.len() {
+                return;
+            }
+            let (doc, bundle) = &self.tasks[i];
+            let frame = Message::Bundles(vec![(*doc, bundle.clone())]).encode();
+            self.results[i]
+                .set(frame)
+                .expect("encode task claimed twice");
+            self.remaining.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Consumes the finished round into `(doc, frame)` pairs. Panics if
+    /// called before [`Self::done`].
+    pub(crate) fn into_frames(self) -> Vec<(DocId, Vec<u8>)> {
+        assert!(self.remaining.load(Ordering::Acquire) == 0);
+        self.tasks
+            .iter()
+            .map(|(d, _)| *d)
+            .zip(
+                self.results
+                    .into_iter()
+                    .map(|c| c.into_inner().expect("missing encode result")),
+            )
+            .collect()
+    }
+}
+
+/// Everything a worker can be asked to do. Reply channels are per-call,
+/// created by the host for each fan-out.
+pub(crate) enum Job {
+    /// Apply a batch of fleet edits to this shard.
+    Edits(EditBatch),
+    /// Report this shard's per-document digests.
+    Digests(Sender<Vec<(DocId, Vec<RemoteId>)>>),
+    /// Extract bundles this shard has that the peer digest lacks. The
+    /// digest is sorted by `DocId` for binary search.
+    Extract {
+        peer: Arc<Vec<(DocId, Vec<RemoteId>)>>,
+        reply: Sender<Vec<(DocId, EventBundle)>>,
+    },
+    /// Integrate remote bundles into this shard (host pre-routed them by
+    /// affinity).
+    Receive(Vec<(DocId, EventBundle)>),
+    /// Join a work-stealing encode round.
+    Encode(Arc<EncodeRound>),
+    /// Report a canonical snapshot of this shard.
+    Snapshot(Sender<Vec<(DocId, Vec<RemoteId>, String)>>),
+    /// Hand over (and reset) the accumulated load report.
+    Harvest(Sender<LoadReport>),
+    /// Pure barrier: ack once every previously queued job is done.
+    Flush(Sender<()>),
+}
+
+/// The worker main loop. Exits when the host drops all job senders.
+pub(crate) fn worker_main(
+    host_name: String,
+    jobs: Receiver<Job>,
+    recycle: Sender<Vec<(u32, Instant)>>,
+) {
+    let mut replica = Replica::new(&host_name);
+    let mut names = SessionNames::new(&host_name);
+    let mut report = LoadReport::default();
+
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Edits(batch) => {
+                for &(idx, submitted) in &batch.items {
+                    let op = &batch.script[idx as usize];
+                    let outcome = apply_fleet_op(&mut replica, &mut names, op);
+                    let nanos = submitted.elapsed().as_nanos() as u64;
+                    match outcome {
+                        FleetOutcome::Insert => {
+                            report.inserts += 1;
+                            report.insert_latency.record(nanos);
+                        }
+                        FleetOutcome::Delete => {
+                            report.deletes += 1;
+                            report.delete_latency.record(nanos);
+                        }
+                        FleetOutcome::Skipped => report.skipped += 1,
+                        FleetOutcome::NonEdit => {}
+                    }
+                }
+                let mut items = batch.items;
+                items.clear();
+                // Host gone mid-shutdown: recycling is best-effort.
+                let _ = recycle.send(items);
+            }
+            Job::Digests(reply) => {
+                let _ = reply.send(replica.digest_all());
+            }
+            Job::Extract { peer, reply } => {
+                let mut out = Vec::new();
+                for doc in replica.doc_ids() {
+                    let have = match peer.binary_search_by_key(&doc, |e| e.0) {
+                        Ok(i) => peer[i].1.as_slice(),
+                        Err(_) => &[],
+                    };
+                    let bundle = replica.bundle_since_doc(doc, have);
+                    if !bundle.is_empty() {
+                        out.push((doc, bundle));
+                    }
+                }
+                let _ = reply.send(out);
+            }
+            Job::Receive(bundles) => {
+                for (doc, bundle) in &bundles {
+                    replica.receive_doc(*doc, bundle);
+                }
+            }
+            Job::Encode(round) => round.steal(),
+            Job::Snapshot(reply) => {
+                let _ = reply.send(replica.snapshot());
+            }
+            Job::Harvest(reply) => {
+                let _ = reply.send(std::mem::take(&mut report));
+            }
+            Job::Flush(reply) => {
+                let _ = reply.send(());
+            }
+        }
+    }
+}

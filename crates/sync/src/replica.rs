@@ -306,6 +306,45 @@ impl Replica {
         d.oplog.bundle_since_local(&before)
     }
 
+    /// Inserts `text` at `pos` in `doc` **authored by `agent`**, without
+    /// extracting a per-edit bundle — the server-host hot path.
+    ///
+    /// [`Replica::insert_doc`] authors every edit as the replica itself
+    /// and pays for a replication bundle per keystroke; a multi-session
+    /// host authors edits as the originating session and replicates later
+    /// via batched anti-entropy, so this path does neither. It also skips
+    /// the pre-edit frontier clone (the edit parents directly at the live
+    /// branch version), keeping the steady state allocation-free apart
+    /// from the log append itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is beyond the end of the document or `text` is
+    /// empty.
+    pub fn edit_insert_as(&mut self, doc: DocId, agent: &str, pos: usize, text: &str) {
+        let Self { name, docs, .. } = self;
+        let d = docs.entry(doc).or_insert_with(|| DocState::new(name));
+        assert!(pos <= d.branch.len_chars(), "insert out of bounds");
+        let agent = d.oplog.get_or_create_agent(agent);
+        d.oplog.add_insert_at(agent, &d.branch.version, pos, text);
+        d.merge();
+    }
+
+    /// Deletes `len` characters at `pos` in `doc` authored by `agent`;
+    /// the delete-side twin of [`Replica::edit_insert_as`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or empty.
+    pub fn edit_delete_as(&mut self, doc: DocId, agent: &str, pos: usize, len: usize) {
+        let Self { name, docs, .. } = self;
+        let d = docs.entry(doc).or_insert_with(|| DocState::new(name));
+        assert!(pos + len <= d.branch.len_chars(), "delete out of bounds");
+        let agent = d.oplog.get_or_create_agent(agent);
+        d.oplog.add_delete_at(agent, &d.branch.version, pos, len);
+        d.merge();
+    }
+
     /// Ingests a remote bundle for `doc` with causal buffering.
     ///
     /// Premature bundles are stashed; each successful application retries
@@ -379,8 +418,10 @@ impl Replica {
     }
 
     /// Canonical comparable state: per non-empty document, the sorted
-    /// digest and the text.
-    pub(crate) fn snapshot(&self) -> Vec<(DocId, Vec<RemoteId>, String)> {
+    /// digest and the text. Two replicas (or any unions of per-shard
+    /// replicas, e.g. a worker pool's) hold the same documents iff their
+    /// snapshots are equal.
+    pub fn snapshot(&self) -> Vec<(DocId, Vec<RemoteId>, String)> {
         self.docs
             .iter()
             .filter(|(_, d)| !d.oplog.is_empty())
@@ -517,6 +558,26 @@ mod tests {
         let c5 = a.insert_doc(DocId(6), 0, "z");
         b.receive_doc(DocId(7), &c5);
         assert!(!a.converged_with(&b));
+    }
+
+    #[test]
+    fn agent_scoped_edits_author_as_their_session() {
+        let mut r = Replica::new("server");
+        r.edit_insert_as(DocId(1), "s0", 0, "hello");
+        r.edit_insert_as(DocId(1), "s1", 5, " world");
+        r.edit_delete_as(DocId(1), "s0", 0, 1);
+        assert_eq!(r.text_doc(DocId(1)), "ello world");
+        // The digest names the authoring sessions, not the host.
+        let digest = r.digest_doc(DocId(1));
+        assert!(digest.iter().all(|id| id.agent.starts_with('s')));
+        // And the edits replicate like any other events.
+        let mut peer = Replica::new("peer");
+        let bundle = r.bundle_since_doc(DocId(1), &peer.digest_doc(DocId(1)));
+        assert!(matches!(
+            peer.receive_doc(DocId(1), &bundle),
+            ReceiveOutcome::Applied(12)
+        ));
+        assert!(peer.converged_with(&r));
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //!   modelled on the `editing-traces` repository's concurrent format;
 //! * [`workload`] — multi-document sync workloads: deterministic edit
 //!   scripts for driving `eg-sync` topologies (mesh vs star) over many
-//!   nodes and shards.
+//!   nodes and shards, plus fleet workloads (zipfian document popularity,
+//!   bursty sessions with churn) for the multi-core server host.
 
 pub mod gen;
 pub mod json;
@@ -30,4 +31,7 @@ pub mod workload;
 pub use gen::generate;
 pub use spec::{builtin_specs, spec_by_name, TraceKind, TraceSpec};
 pub use stats::{trace_stats, TraceStats};
-pub use workload::{apply_sync_workload, sync_workload, SyncOp, SyncWorkloadSpec};
+pub use workload::{
+    apply_sync_workload, fleet_workload, sync_workload, FleetOp, FleetSpec, SyncOp,
+    SyncWorkloadSpec,
+};

@@ -39,6 +39,11 @@ EG_SCALE="$SCALE" cargo run --release -q -p eg-bench --bin fig9_opts -- \
     --json "$OUT_DIR/fig9.json"
 EG_SCALE="$SCALE" cargo run --release -q -p eg-bench --bin fig10_memusage -- \
     --json "$OUT_DIR/fig10.json"
+# Worker-pool sweep. EG_WORKERS here must match the committed capture:
+# bench_diff refuses to compare sweeps over different worker counts.
+EG_SCALE="$SCALE" EG_WORKERS="${EG_WORKERS:-1,2,4,8}" \
+    cargo run --release -q -p eg-bench --bin server_load -- \
+    --json "$OUT_DIR/server_load.json"
 
 echo "== captured =="
 ls -l "$OUT_DIR"/*.json

@@ -11,6 +11,7 @@
 //! * [`crdt_ref`], [`ot`] — the evaluation baselines;
 //! * [`encoding`] — the on-disk format;
 //! * [`sync`] — causal broadcast replication over a simulated network;
+//! * [`server`] — the multi-core shard-affinity host over [`sync`];
 //! * [`trace`] — the benchmark workload suite.
 
 pub use egwalker::{
@@ -25,6 +26,7 @@ pub use eg_encoding as encoding;
 pub use eg_ot as ot;
 pub use eg_rle as rle;
 pub use eg_rope as rope;
+pub use eg_server as server;
 pub use eg_sync as sync;
 pub use eg_trace as trace;
 pub use egwalker as core_crate;
