@@ -25,7 +25,10 @@
 //! fails the same way. Byte and allocation-count fields (`_bytes`,
 //! `_calls`) are near-deterministic but only fail above `2 × threshold`,
 //! so allocator noise does not trip the bound while blowups (e.g. a
-//! reintroduced per-op allocation) still do. With
+//! reintroduced per-op allocation) still do. Speedup-ratio fields
+//! (`_x`, e.g. `doc_load`'s `speedup_x`) are higher-is-better like
+//! `_per_sec` but machine-independent (both sides measured in the same
+//! process), so they enforce even under `--advisory-time`. With
 //! `--advisory-time`, time and throughput regressions are printed but do
 //! not fail the run — for CI, where the fresh capture runs on a different
 //! machine class than the committed baseline and absolute `_s`/`_per_sec`
@@ -207,7 +210,17 @@ fn checked_field(field: &str) -> bool {
         || field.ends_with("_bytes")
         || field.ends_with("_calls")
         || field.ends_with("_per_sec")
+        || ratio_field(field)
         || exact_field(field)
+}
+
+/// Same-machine speedup ratios (`_x`, e.g. `doc_load`'s `speedup_x`):
+/// higher is better, like `_per_sec`, but because both sides of the
+/// ratio were measured in the same process on the same machine, the
+/// value is machine-independent — so unlike raw times, a drop beyond
+/// the threshold still *fails* under `--advisory-time`.
+fn ratio_field(field: &str) -> bool {
+    field.ends_with("_x")
 }
 
 /// Higher-is-better throughput metrics (`_per_sec`): a *drop* beyond the
@@ -411,6 +424,10 @@ fn main() -> ExitCode {
         let over = if exact_field(field) {
             // Deterministic statistics: any drift, either direction.
             cur != base
+        } else if ratio_field(field) {
+            // Same-machine speedup ratio: a drop beyond the threshold
+            // regresses, and `--advisory-time` does not soften it.
+            ratio.is_finite() && ratio < 1.0 / (1.0 + args.threshold)
         } else if checked_rate {
             // Higher is better: a throughput *drop* beyond the time
             // threshold regresses (mirror of the `_s` bound).

@@ -1,0 +1,141 @@
+//! Cached-load fast path (paper §3.5/§3.6): opening a document from its
+//! on-disk segment store, cold vs checkpointed.
+//!
+//! Cold open rebuilds the oplog from the event records and replays the
+//! *whole* history through the walker — O(history). A checkpointed store
+//! restores the materialised text plus the tracker snapshot and replays
+//! only the events past the checkpoint frontier — O(tail). This bin
+//! measures both against the same store contents: every file holds the
+//! full trace plus a small "typed since last save" tail; the cached
+//! variant has a checkpoint record just before that tail.
+//!
+//! The `speedup_x` column is the paper's claim made concrete on disk:
+//! unlike the raw `_s` timings it is a same-machine ratio, so the
+//! `bench_diff` gate enforces it even in cross-machine CI runs.
+
+use eg_bench::harness::{
+    build_traces, fmt_bytes, fmt_time, json_num, json_str, parse_args, row, time_mean, write_json,
+};
+use eg_storage::DocStore;
+use egwalker::OpLog;
+use std::path::PathBuf;
+
+/// Events typed "since the last checkpoint" — the tail a cached open
+/// still has to replay. A couple of edit rounds' worth.
+const TAIL_EVENTS: usize = 64;
+
+/// Appends a short single-author tail at the tip, the shape of a user
+/// typing after the last autosave.
+fn extend_with_tail(oplog: &OpLog) -> OpLog {
+    let mut extended = oplog.clone();
+    let agent = extended.get_or_create_agent("post-checkpoint-typist");
+    let parents = extended.version().to_vec();
+    let text = "t".repeat(TAIL_EVENTS);
+    extended.add_insert_at(agent, &parents, 0, &text);
+    extended
+}
+
+/// A scratch directory for the segment files, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new() -> Self {
+        let dir = std::env::temp_dir().join(format!("eg-doc-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!("building traces at scale {} …", args.scale);
+    let traces = build_traces(args.scale);
+    let scratch = ScratchDir::new();
+    let widths = [4, 16, 16, 10, 12];
+    println!(
+        "Document open from segment store (scale {:.3}) — cold replay vs checkpointed",
+        args.scale
+    );
+    println!(
+        "{}",
+        row(
+            &["", "cold open", "cached open", "speedup", "store size"].map(String::from),
+            &widths
+        )
+    );
+    let mut json_rows = Vec::new();
+    for (spec, oplog) in &traces {
+        let extended = extend_with_tail(oplog);
+
+        // Cold store: the full history as event records, no checkpoint.
+        let cold_path = scratch.0.join(format!("{}-cold.seg", spec.name));
+        let (mut store, _) = DocStore::open(&cold_path).expect("create cold store");
+        store.append_new(&extended).expect("append events");
+        drop(store);
+
+        // Cached store: same events, with a checkpoint written where the
+        // last autosave would have run — just before the tail.
+        let cached_path = scratch.0.join(format!("{}-cached.seg", spec.name));
+        let (mut store, _) = DocStore::open(&cached_path).expect("create cached store");
+        store.append_new(oplog).expect("append events");
+        let at_save = oplog.checkout_tip();
+        store
+            .write_checkpoint(oplog, &at_save)
+            .expect("write checkpoint");
+        store.append_new(&extended).expect("append tail");
+        drop(store);
+
+        // Both paths must materialise the identical document before we
+        // bother timing them.
+        let expect = extended.checkout_tip();
+        let (_, cold_doc) = DocStore::open(&cold_path).expect("reopen cold");
+        let (_, cached_doc) = DocStore::open(&cached_path).expect("reopen cached");
+        assert!(!cold_doc.cached, "cold store must take the replay path");
+        assert!(cached_doc.cached, "checkpoint must drive the cached path");
+        assert_eq!(cold_doc.branch.content, expect.content);
+        assert_eq!(cached_doc.branch.content, expect.content);
+
+        let cold = time_mean(args.iters, || {
+            let (_, loaded) = DocStore::open(&cold_path).unwrap();
+            std::hint::black_box(loaded.branch.len_chars());
+        });
+        let cached = time_mean(args.iters.max(10), || {
+            let (_, loaded) = DocStore::open(&cached_path).unwrap();
+            std::hint::black_box(loaded.branch.len_chars());
+        });
+        let store_bytes = std::fs::metadata(&cached_path).expect("stat store").len() as usize;
+        let speedup = cold / cached;
+        println!(
+            "{}",
+            row(
+                &[
+                    spec.name.clone(),
+                    fmt_time(cold),
+                    fmt_time(cached),
+                    format!("{speedup:.0}x"),
+                    fmt_bytes(store_bytes),
+                ],
+                &widths
+            )
+        );
+        json_rows.push(vec![
+            ("name", json_str(&spec.name)),
+            ("events", json_num(extended.len() as f64)),
+            ("tail_events", json_num(TAIL_EVENTS as f64)),
+            ("cold_open_s", json_num(cold)),
+            ("cached_open_s", json_num(cached)),
+            ("speedup_x", json_num(speedup)),
+            ("store_bytes", json_num(store_bytes as f64)),
+        ]);
+    }
+    println!("\n(both opens rebuild the oplog; the cached one skips the history replay)");
+    if let Some(path) = &args.json {
+        write_json(path, "doc_load", args.scale, &json_rows);
+    }
+}

@@ -452,6 +452,105 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
         self.first_leaf = root;
     }
 
+    /// Rebuilds a tree from an ordered entry stream — the relocatable
+    /// (de)serialization form of the slab arena.
+    ///
+    /// Entries are packed into leaves left to right and the internal
+    /// levels are built bottom-up, so the resulting arena is dense,
+    /// defragmented, and valid by construction (no invariant in the input
+    /// needs to be trusted beyond each entry being non-empty and
+    /// uniform-width, which callers validate before decoding). `notify`
+    /// is called once per entry with the leaf that received it, so
+    /// callers can repopulate an ID → leaf index (the paper's "second
+    /// B-tree") during the load instead of serializing it.
+    ///
+    /// Round-trips with [`ContentTree::iter`]: feeding a tree's entry
+    /// sequence back in produces a tree with identical entries, widths,
+    /// and iteration order (the slab *layout* may differ — behaviour, not
+    /// layout, is the serialized contract).
+    pub fn from_entries<I, NF>(entries: I, mut notify: NF) -> Self
+    where
+        I: IntoIterator<Item = E>,
+        NF: FnMut(&E, LeafIdx),
+    {
+        assert!(N >= 4, "fanout must be at least 4");
+        let mut tree = ContentTree {
+            leaves: Vec::new(),
+            internals: Vec::new(),
+            free_leaves: Vec::new(),
+            free_internals: Vec::new(),
+            root: NodeRef::Leaf(LeafIdx::new(0)),
+            first_leaf: LeafIdx::new(0),
+        };
+        // Pack entries into full leaves, chained left to right.
+        let mut leaf_widths: Vec<Widths> = Vec::new();
+        for e in entries {
+            debug_assert!(!e.is_empty(), "empty entry in bulk load");
+            if tree.leaves.last().map_or(true, |l| l.entries.len() == N) {
+                let idx = tree.alloc_leaf();
+                if idx.slot() > 0 {
+                    let prev = LeafIdx::new(idx.slot() - 1);
+                    tree.leaves[prev.slot()].next = Some(idx);
+                    tree.leaves[idx.slot()].prev = Some(prev);
+                }
+                leaf_widths.push(Widths::default());
+            }
+            let idx = LeafIdx::new(tree.leaves.len() - 1);
+            notify(&e, idx);
+            leaf_widths.last_mut().unwrap().add(Widths::of(&e));
+            tree.leaves[idx.slot()].entries.push(e);
+        }
+        if tree.leaves.is_empty() {
+            // Empty stream: a fresh empty tree.
+            let root = tree.alloc_leaf();
+            tree.root = NodeRef::Leaf(root);
+            tree.first_leaf = root;
+            return tree;
+        }
+        tree.first_leaf = LeafIdx::new(0);
+        if tree.leaves.len() == 1 {
+            tree.root = NodeRef::Leaf(LeafIdx::new(0));
+            return tree;
+        }
+        // Build internal levels bottom-up until one node spans everything.
+        let mut level: Vec<(u32, Widths)> = leaf_widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (LeafIdx::new(i).raw(), w))
+            .collect();
+        let mut leaf_children = true;
+        loop {
+            let mut next_level: Vec<(u32, Widths)> = Vec::with_capacity(level.len().div_ceil(N));
+            for chunk in level.chunks(N) {
+                let idx = tree.alloc_internal();
+                let mut total = Widths::default();
+                {
+                    let node = &mut tree.internals[idx.slot()];
+                    node.leaf_children = leaf_children;
+                    for &(raw, w) in chunk {
+                        node.children.push(raw);
+                        node.widths.push(w);
+                        total.add(w);
+                    }
+                }
+                for &(raw, _) in chunk {
+                    if leaf_children {
+                        tree.leaves[LeafIdx::from_raw(raw).slot()].parent = Some(idx);
+                    } else {
+                        tree.internals[InternalIdx::from_raw(raw).slot()].parent = Some(idx);
+                    }
+                }
+                next_level.push((idx.raw(), total));
+            }
+            leaf_children = false;
+            if next_level.len() == 1 {
+                tree.root = NodeRef::Internal(InternalIdx::from_raw(next_level[0].0));
+                return tree;
+            }
+            level = next_level;
+        }
+    }
+
     /// Current slab occupancy / capacity counters.
     pub fn arena_stats(&self) -> ArenaStats {
         ArenaStats {

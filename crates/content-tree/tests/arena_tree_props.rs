@@ -250,3 +250,68 @@ fn clear_retains_capacity_for_rebuild() {
     assert_eq!(first.leaf_slots, second.leaf_slots);
     assert_eq!(first.internal_slots, second.internal_slots);
 }
+
+/// `from_entries` (the relocatable snapshot form) round-trips with
+/// `iter()`: rebuilding from a tree's entry sequence reproduces the same
+/// entries, widths, and iteration order after arbitrary edit histories,
+/// with the notify callback visiting every entry exactly once in order.
+fn bulk_roundtrip<const N: usize>(ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut tree: ContentTree<Span, N> = ContentTree::new();
+    let mut next_id = 0usize;
+    let mut len = 0usize;
+    for op in ops {
+        match *op {
+            Op::Insert { pos_bp, len: n } => {
+                let pos = (pos_bp as usize * len) / 10_000;
+                let span = Span {
+                    start: next_id,
+                    len: n,
+                };
+                next_id += n + 1;
+                let cursor = tree.cursor_at_cur_pos(pos);
+                tree.insert_at(cursor, span, &mut |_, _| {});
+                len += n;
+            }
+            Op::Delete { pos_bp, len: n } => {
+                if len == 0 {
+                    continue;
+                }
+                let pos = (pos_bp as usize * (len - 1)) / 10_000;
+                let n = n.min(len - pos);
+                tree.delete_cur_range(pos, n);
+                len -= n;
+            }
+            Op::Clear => {
+                tree.clear();
+                len = 0;
+            }
+        }
+    }
+    let entries: Vec<Span> = tree.iter().copied().collect();
+    let mut notified: Vec<Span> = Vec::new();
+    let rebuilt: ContentTree<Span, N> =
+        ContentTree::from_entries(entries.iter().copied(), |e, _leaf| notified.push(*e));
+    rebuilt.check();
+    prop_assert_eq!(
+        notified,
+        entries.clone(),
+        "notify must visit every entry in order"
+    );
+    prop_assert_eq!(rebuilt.iter().copied().collect::<Vec<_>>(), entries);
+    prop_assert_eq!(rebuilt.total_widths(), tree.total_widths());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bulk_load_roundtrip_fanout_4(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        bulk_roundtrip::<4>(&ops)?;
+    }
+
+    #[test]
+    fn bulk_load_roundtrip_fanout_16(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        bulk_roundtrip::<16>(&ops)?;
+    }
+}

@@ -1,10 +1,11 @@
 //! [`Branch`]: a materialised document — the text plus the version it
 //! reflects (paper §3, "Document state").
 
-use crate::tracker::Tracker;
+use crate::tracker::{Tracker, TrackerSnapshot};
 use crate::walker::{self, WalkerOpts};
-use crate::OpLog;
-use eg_dag::{Frontier, LV};
+use crate::{ListOpKind, OpLog};
+use eg_dag::{Frontier, Graph, LV};
+use eg_rle::{DTRange, HasLength as _};
 use eg_rope::Rope;
 
 /// A document state: the text at some version of the event graph.
@@ -95,10 +96,143 @@ impl Branch {
         self.version = target;
     }
 
+    /// Rehydrates a branch from persisted parts: the materialised text and
+    /// the version it reflects (a checkpoint record's payload).
+    pub fn from_cached(content: &str, version: Frontier) -> Self {
+        Branch {
+            content: Rope::from_str(content),
+            version,
+        }
+    }
+
+    /// Merges the oplog tip into this branch by *resuming* a restored
+    /// tracker instead of rebuilding one (the cached-load fast path).
+    ///
+    /// `tracker` must represent the document at `self.version` — i.e. it
+    /// was restored from a [`TrackerSnapshot`] taken at exactly this
+    /// version. When every new event is causally after `self.version`
+    /// (the common append-only tail after a reopen), the walk extends the
+    /// restored tracker over just the tail. Otherwise — new events
+    /// concurrent with the checkpoint version — resuming is unsound, and
+    /// this falls back to the fresh-tracker conflict-window merge, which
+    /// is always correct.
+    ///
+    /// Returns `true` if the resumed fast path was taken.
+    pub fn merge_resuming(
+        &mut self,
+        oplog: &OpLog,
+        opts: WalkerOpts,
+        tracker: &mut Tracker,
+    ) -> bool {
+        let tip = oplog.version().clone();
+        let target = oplog.graph.version_union(&self.version, &tip);
+        if target.as_slice() == self.version.as_slice() {
+            return true;
+        }
+        let diff = oplog.graph.diff(&self.version, &target);
+        debug_assert!(diff.only_a.is_empty());
+        if !spans_dominate(&oplog.graph, self.version.as_slice(), &diff.only_b) {
+            self.merge_with_opts_reusing(oplog, &tip, opts, tracker);
+            return false;
+        }
+        let content = &mut self.content;
+        walker::walk_resuming(
+            oplog,
+            &self.version,
+            &diff.only_b,
+            &diff.only_b,
+            opts,
+            tracker,
+            &mut |_, op| {
+                op.apply_to(content);
+            },
+        );
+        self.version = target;
+        true
+    }
+
+    /// Applies an *uncontended* tail of events directly to the document:
+    /// the cached-load fast path for the common case where everything
+    /// after a checkpoint is one linear chain
+    /// ([`Graph::is_sequential_extension`] from `tail.start` off
+    /// `self.version`).
+    ///
+    /// With nothing concurrent in the tail, each run's recorded `loc` is
+    /// already a document coordinate at the moment it executed — the
+    /// transformation the walker would compute is the identity — so the
+    /// ops replay verbatim onto the rope with no tracker at all. A
+    /// forward or backward delete run both net-remove the `loc` range of
+    /// the run-start document; a forward insert run places its content
+    /// at `loc.start` (backward insert runs are unit-length).
+    pub fn apply_sequential_tail(&mut self, oplog: &OpLog, tail: DTRange) {
+        debug_assert!(oplog
+            .graph
+            .is_sequential_extension(tail.start, self.version.as_slice()));
+        if tail.is_empty() {
+            return;
+        }
+        for (_, run) in oplog.ops_in(tail) {
+            match run.kind {
+                ListOpKind::Ins => {
+                    let content = run.content.expect("insert run carries content");
+                    self.content
+                        .insert(run.loc.start, oplog.content_slice(content));
+                }
+                ListOpKind::Del => {
+                    self.content.remove(run.loc.start, run.loc.len());
+                }
+            }
+        }
+        self.version = Frontier::new_1(tail.end - 1);
+    }
+
     /// The number of characters in the document.
     pub fn len_chars(&self) -> usize {
         self.content.len_chars()
     }
+}
+
+/// Returns `true` if every event in `spans` is causally after the whole of
+/// `base` — the precondition for walking `spans` on a tracker that already
+/// represents the document at `base`.
+///
+/// Events are scanned in ascending LV order (a topological order), so an
+/// event whose parent lies inside `spans` inherits domination from that
+/// already-checked parent; only the minimal events of `spans` pay a graph
+/// query.
+fn spans_dominate(graph: &Graph, base: &[LV], spans: &[DTRange]) -> bool {
+    let in_spans = |lv: LV| -> bool {
+        spans
+            .binary_search_by(|s| {
+                if s.end <= lv {
+                    std::cmp::Ordering::Less
+                } else if s.start > lv {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    };
+    for &r in spans {
+        let mut lv = r.start;
+        while lv < r.end {
+            let (entry, offset) = graph.entry_for(lv);
+            let dominated = if offset > 0 {
+                // Mid-run: the parent is `lv - 1`.
+                in_spans(lv - 1) || graph.frontier_contains_frontier(&[lv - 1], base)
+            } else if entry.parents.as_slice().iter().any(|&p| in_spans(p)) {
+                true
+            } else {
+                graph.frontier_contains_frontier(entry.parents.as_slice(), base)
+            };
+            if !dominated {
+                return false;
+            }
+            lv = entry.span.end.min(r.end);
+        }
+    }
+    true
 }
 
 impl OpLog {
@@ -114,6 +248,39 @@ impl OpLog {
     pub fn checkout(&self, version: &[LV]) -> Branch {
         let mut b = Branch::new();
         b.merge_to(self, version);
+        b
+    }
+
+    /// The cached-load fast path (paper §3.5/§3.6): builds the document at
+    /// the oplog tip starting from a persisted checkpoint — the
+    /// materialised `content` at `version` plus (optionally) the tracker
+    /// snapshot taken there — replaying only the events past `version`
+    /// instead of the whole history.
+    ///
+    /// With a snapshot whose version matches `version`, the restored
+    /// tracker is resumed over the tail ([`Branch::merge_resuming`]);
+    /// without one (or when tail events are concurrent with the
+    /// checkpoint) a fresh conflict-window merge runs from `version`,
+    /// which is still O(tail + conflict window), not O(history).
+    ///
+    /// The result is byte-identical to [`OpLog::checkout_tip`]. The caller
+    /// is responsible for snapshot/version integrity
+    /// ([`TrackerSnapshot::validate`] plus remote→local version mapping
+    /// for untrusted inputs).
+    pub fn open_cached(
+        &self,
+        content: &str,
+        version: &[LV],
+        snapshot: Option<&TrackerSnapshot>,
+    ) -> Branch {
+        let mut b = Branch::from_cached(content, Frontier::from(version));
+        match snapshot {
+            Some(snap) => {
+                let mut tracker = Tracker::from_snapshot(snap);
+                b.merge_resuming(self, WalkerOpts::default(), &mut tracker);
+            }
+            None => b.merge(self),
+        }
         b
     }
 }
@@ -155,6 +322,107 @@ mod tests {
         live.merge(&oplog);
         let batch = oplog.checkout_tip();
         assert_eq!(live, batch);
+    }
+
+    #[test]
+    fn open_cached_matches_checkout_tip() {
+        use crate::testgen::random_oplog;
+        use crate::walker;
+
+        for seed in 0..8u64 {
+            let oplog = random_oplog(seed, 400, 3, 0.2);
+            let expect = oplog.checkout_tip();
+            let all: Vec<LV> = (0..oplog.len()).collect();
+            // Checkpoint at a mid-history version, then open cached with
+            // and without a tracker snapshot.
+            for frac in [1, 2, 3] {
+                let cut = oplog.len() * frac / 4;
+                let version = oplog.graph.find_dominators(&all[..cut.max(1)]);
+                let at = oplog.checkout(version.as_slice());
+                let content = at.content.to_string();
+
+                let cold = oplog.open_cached(&content, version.as_slice(), None);
+                assert_eq!(
+                    cold.content, expect.content,
+                    "seed {seed} frac {frac} no-snapshot"
+                );
+                assert_eq!(cold.version, expect.version);
+
+                let tracker = walker::tracker_at(&oplog, version.as_slice(), WalkerOpts::default());
+                let snap = tracker.to_snapshot();
+                snap.validate(oplog.len())
+                    .expect("self-made snapshot validates");
+                let warm = oplog.open_cached(&content, version.as_slice(), Some(&snap));
+                assert_eq!(
+                    warm.content, expect.content,
+                    "seed {seed} frac {frac} snapshot"
+                );
+                assert_eq!(warm.version, expect.version);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_sequential_tail_matches_checkout() {
+        let mut oplog = OpLog::new();
+        let a = oplog.get_or_create_agent("alice");
+        oplog.add_insert(a, 0, "hello world");
+        let cut = oplog.len();
+        let version = oplog.version().clone();
+        let at = oplog.checkout(version.as_slice());
+        // Sequential tail past the checkpoint: typing, deleting, typing.
+        oplog.add_insert(a, 11, "!!!");
+        oplog.add_delete(a, 0, 6);
+        oplog.add_insert(a, 0, "W");
+        let mut b = Branch::from_cached(&at.content.to_string(), version);
+        b.apply_sequential_tail(&oplog, (cut..oplog.len()).into());
+        assert_eq!(b, oplog.checkout_tip());
+    }
+
+    #[test]
+    fn apply_sequential_tail_random_single_author() {
+        use crate::testgen::random_oplog;
+        for seed in 0..8u64 {
+            // One replica, no merges: the whole history is one linear chain,
+            // so any suffix is a valid sequential tail.
+            let oplog = random_oplog(seed, 300, 1, 0.0);
+            let expect = oplog.checkout_tip();
+            for frac in [0, 1, 2, 3, 4] {
+                let cut = (oplog.len() * frac / 4).max(1);
+                let version = Frontier::new_1(cut - 1);
+                let at = oplog.checkout(version.as_slice());
+                let mut b = Branch::from_cached(&at.content.to_string(), version);
+                b.apply_sequential_tail(&oplog, (cut..oplog.len()).into());
+                assert_eq!(b.content, expect.content, "seed {seed} frac {frac}");
+                assert_eq!(b.version, expect.version);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_resuming_falls_back_on_concurrent_tail() {
+        // Checkpoint on one branch, then events arrive that are concurrent
+        // with the checkpoint version: resuming is unsound and must fall
+        // back to the fresh conflict-window merge.
+        let mut oplog = OpLog::new();
+        let a = oplog.get_or_create_agent("alice");
+        let b = oplog.get_or_create_agent("bob");
+        oplog.add_insert(a, 0, "base");
+        let v0 = oplog.version().clone();
+        let va = oplog.add_insert_at(a, &v0, 4, "-alice");
+        let checkpoint = Frontier::new_1(va.last());
+        let at = oplog.checkout(checkpoint.as_slice());
+        let tracker_state =
+            crate::walker::tracker_at(&oplog, checkpoint.as_slice(), WalkerOpts::default());
+        let snap = tracker_state.to_snapshot();
+        // Concurrent tail: bob edits from v0, not from alice's tip.
+        oplog.add_insert_at(b, &v0, 4, "+bob");
+
+        let mut warm = Branch::from_cached(&at.content.to_string(), checkpoint.clone());
+        let mut tracker = Tracker::from_snapshot(&snap);
+        let resumed = warm.merge_resuming(&oplog, WalkerOpts::default(), &mut tracker);
+        assert!(!resumed, "concurrent tail must take the fallback path");
+        assert_eq!(warm, oplog.checkout_tip());
     }
 
     #[test]

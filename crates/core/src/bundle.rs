@@ -19,7 +19,7 @@
 
 use crate::op::{ListOpKind, OpRun};
 use crate::OpLog;
-use eg_dag::{Frontier, RemoteId, LV};
+use eg_dag::{AgentId, RemoteId, LV};
 use eg_rle::{DTRange, HasLength, SplitableSpan};
 
 /// A run of consecutive events from one agent, in network form.
@@ -80,6 +80,33 @@ impl EventBundle {
     pub fn num_events(&self) -> usize {
         self.runs.iter().map(|r| r.len()).sum()
     }
+}
+
+/// A [`BundleRun`] in pre-resolved, borrowed form: agents as local
+/// [`AgentId`]s, content as a borrowed slice.
+///
+/// This is the zero-copy shape streaming decoders hand to
+/// [`OpLog::apply_run_view`] — rebuilding a document from its segment
+/// store ingests thousands of runs, and materialising an owned
+/// [`BundleRun`] (agent `String`, parent `RemoteId`s, content `String`)
+/// for each dominates the open time.
+#[derive(Debug, Clone, Copy)]
+pub struct RunView<'a> {
+    /// The generating agent, already interned in the target oplog.
+    pub agent: AgentId,
+    /// First sequence number of the run.
+    pub seq_start: usize,
+    /// Parents of the run's first event as `(agent, seq)` pairs, agents
+    /// likewise pre-interned. Empty for a root event.
+    pub parents: &'a [(AgentId, usize)],
+    /// Operation kind shared by the whole run.
+    pub kind: ListOpKind,
+    /// Target index range (same semantics as [`BundleRun`]).
+    pub loc: DTRange,
+    /// Direction of the run.
+    pub fwd: bool,
+    /// Inserted text (`Ins` only; one char per event).
+    pub content: Option<&'a str>,
 }
 
 /// Why a bundle could not be applied.
@@ -224,12 +251,29 @@ impl OpLog {
     /// readiness (every parent known locally or supplied earlier in the
     /// bundle).
     pub fn check_bundle(&self, bundle: &EventBundle) -> Result<(), BundleError> {
-        // (agent name, seq) pairs the bundle itself provides.
-        let provided: std::collections::HashSet<(&str, usize)> = bundle
-            .runs
-            .iter()
-            .flat_map(|r| (0..r.len()).map(move |k| (r.agent.as_str(), r.seq_start + k)))
-            .collect();
+        // Seq ranges the bundle itself provides, grouped per agent. Runs
+        // from one agent arrive seq-ascending when extracted by
+        // `bundle_since`, but a hand-built bundle need not be sorted, so
+        // sort before binary searching. This stays O(runs log runs) where
+        // the old per-event set was O(events) hash inserts — the
+        // difference is most of a cold segment-store open.
+        let mut provided: std::collections::HashMap<&str, Vec<DTRange>> =
+            std::collections::HashMap::new();
+        for r in &bundle.runs {
+            provided
+                .entry(r.agent.as_str())
+                .or_default()
+                .push((r.seq_start..r.seq_start + r.len()).into());
+        }
+        for ranges in provided.values_mut() {
+            ranges.sort_unstable_by_key(|r| r.start);
+        }
+        let provides = |id: &RemoteId| -> bool {
+            provided.get(id.agent.as_str()).is_some_and(|ranges| {
+                let i = ranges.partition_point(|r| r.end <= id.seq);
+                ranges.get(i).is_some_and(|r| r.start <= id.seq)
+            })
+        };
         let mut missing = Vec::new();
         for run in &bundle.runs {
             if run.is_empty() {
@@ -253,8 +297,7 @@ impl OpLog {
                 return Err(BundleError::Malformed("multi-event backward insert run"));
             }
             for parent in &run.parents {
-                let known = self.agents.knows(parent)
-                    || provided.contains(&(parent.agent.as_str(), parent.seq));
+                let known = self.agents.knows(parent) || provides(parent);
                 if !known && !missing.contains(parent) {
                     missing.push(parent.clone());
                 }
@@ -270,24 +313,94 @@ impl OpLog {
     /// Ingests one (pre-validated) run, skipping already-known events.
     fn apply_bundle_run(&mut self, run: &BundleRun) {
         let agent = self.get_or_create_agent(&run.agent);
+        // Parents resolve through agents that exist by now: either known
+        // before the bundle, or created when their earlier run applied
+        // (runs are topologically ordered).
+        let parents: Vec<(AgentId, usize)> = run
+            .parents
+            .iter()
+            .map(|p| (self.agents.agent_id(&p.agent).expect("validated"), p.seq))
+            .collect();
+        let view = RunView {
+            agent,
+            seq_start: run.seq_start,
+            parents: &parents,
+            kind: run.kind,
+            loc: run.loc,
+            fwd: run.fwd,
+            content: run.content.as_deref(),
+        };
+        self.apply_run_view(&view).expect("validated");
+    }
+
+    /// Ingests one run in pre-resolved borrowed form, skipping
+    /// already-known events. This is the zero-copy core of bundle
+    /// application, shared by [`OpLog::apply_bundle`] and streaming
+    /// decoders ([`RunView`]).
+    ///
+    /// Unlike [`OpLog::apply_bundle`], validation is per run: an error on
+    /// the N-th run of a stream leaves the earlier runs applied. Use it
+    /// when the whole log is discarded on failure (rebuilding from a
+    /// segment file) or when runs are independently committed.
+    pub fn apply_run_view(&mut self, run: &RunView<'_>) -> Result<(), BundleError> {
+        let run_len = run.loc.len();
+        if run_len == 0 {
+            return Err(BundleError::Malformed("empty run"));
+        }
+        if run.seq_start.checked_add(run_len).is_none() {
+            return Err(BundleError::Malformed("sequence range overflow"));
+        }
+        match (run.kind, run.content) {
+            (ListOpKind::Ins, Some(text)) => {
+                if text.chars().count() != run_len {
+                    return Err(BundleError::Malformed("content length mismatch"));
+                }
+            }
+            (ListOpKind::Ins, None) => {
+                return Err(BundleError::Malformed("insert run without content"));
+            }
+            (ListOpKind::Del, Some(_)) => {
+                return Err(BundleError::Malformed("delete run with content"));
+            }
+            (ListOpKind::Del, None) => {}
+        }
+        if !run.fwd && run.kind == ListOpKind::Ins && run_len > 1 {
+            return Err(BundleError::Malformed("multi-event backward insert run"));
+        }
+        // Resolve the head parents up front: every one must already be
+        // ingested (causal order). Failing here — before any mutation of
+        // this run lands — keeps single-run application atomic. The
+        // buffer is a reused oplog scratch: this runs once per ingested
+        // run and must not allocate.
+        let mut head_parents = std::mem::take(&mut self.parents_scratch);
+        head_parents.clear();
+        for &(agent, seq) in run.parents {
+            match self.agents.try_remote_to_lv(agent, seq) {
+                Some(lv) => head_parents.push(lv),
+                None => {
+                    self.parents_scratch = head_parents;
+                    return Err(BundleError::MissingParents(vec![RemoteId {
+                        agent: self.agents.agent_name(agent).to_string(),
+                        seq,
+                    }]));
+                }
+            }
+        }
+
         let mut offset = 0;
-        while offset < run.len() {
+        while offset < run_len {
             let seq = run.seq_start + offset;
-            if self.agents.try_remote_to_lv(agent, seq).is_some() {
-                // Duplicate delivery; events are immutable, so skip.
-                offset += 1;
-                continue;
-            }
-            // Maximal unknown chunk starting here.
-            let mut chunk_len = 1;
-            while offset + chunk_len < run.len()
-                && self
-                    .agents
-                    .try_remote_to_lv(agent, seq + chunk_len)
-                    .is_none()
-            {
-                chunk_len += 1;
-            }
+            // One extent lookup classifies a whole chunk: the common
+            // cases (entirely-new run, exact duplicate delivery) resolve
+            // in a single binary search instead of one probe per event.
+            let chunk_len = match self.agents.seq_extent(run.agent, seq) {
+                Ok((_, known_len)) => {
+                    // Duplicate delivery; events are immutable, so skip.
+                    offset += known_len.min(run_len - offset);
+                    continue;
+                }
+                Err(gap) => gap.min(run_len - offset),
+            };
 
             // Slice the op run down to `[offset, offset + chunk_len)`.
             let mut op = OpRun {
@@ -306,37 +419,37 @@ impl OpLog {
             // Register inserted content: slice the run's text down to the
             // chunk's chars and push the UTF-8 bytes straight in.
             if run.kind == ListOpKind::Ins {
-                let text = run.content.as_deref().expect("validated");
+                let text = run.content.expect("validated above");
                 let byte_start = char_boundary(text, offset);
                 let byte_end = char_boundary(&text[byte_start..], chunk_len) + byte_start;
                 op.content = Some(self.ins_content.push_str(&text[byte_start..byte_end]));
             }
 
             // Resolve parents: explicit for the run head, predecessor chain
-            // otherwise.
-            let parents: Frontier = if offset == 0 {
-                let lvs: Vec<LV> = run
-                    .parents
-                    .iter()
-                    .map(|id| self.remote_to_lv(id).expect("validated"))
-                    .collect();
-                Frontier::from_unsorted(&lvs)
+            // otherwise. Both are plain slices — `graph.push` reduces to
+            // dominators itself, so materialising a `Frontier` here would
+            // be a per-run allocation for nothing.
+            let pred;
+            let parents: &[LV] = if offset == 0 {
+                &head_parents
             } else {
-                Frontier::new_1(
-                    self.agents
-                        .try_remote_to_lv(agent, seq - 1)
-                        .expect("predecessor ingested"),
-                )
+                pred = [self
+                    .agents
+                    .try_remote_to_lv(run.agent, seq - 1)
+                    .expect("predecessor ingested")];
+                &pred
             };
 
             let lv_start = self.len();
             let lvs: DTRange = (lv_start..lv_start + chunk_len).into();
-            self.push_op(lvs, op, &parents);
-            self.graph.push(&parents, lvs);
+            self.push_op(lvs, op, parents);
+            self.graph.push(parents, lvs);
             self.agents
-                .assign_at(agent, (seq..seq + chunk_len).into(), lvs);
+                .assign_at(run.agent, (seq..seq + chunk_len).into(), lvs);
             offset += chunk_len;
         }
+        self.parents_scratch = head_parents;
+        Ok(())
     }
 }
 

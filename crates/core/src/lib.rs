@@ -46,10 +46,10 @@ pub mod tracker;
 pub mod walker;
 
 pub use branch::Branch;
-pub use bundle::{BundleError, BundleRun, EventBundle};
+pub use bundle::{BundleError, BundleRun, EventBundle, RunView};
 pub use op::{ListOpKind, OpRun, TextOpRef, TextOperation};
 pub use oplog::OpLog;
-pub use tracker::{Tracker, TRACKER_FANOUT};
+pub use tracker::{Tracker, TrackerSnapshot, TRACKER_FANOUT};
 pub use walker::WalkerOpts;
 
 pub use eg_dag::{Frontier, RemoteId, LV};

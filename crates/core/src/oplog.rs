@@ -37,6 +37,10 @@ pub struct OpLog {
     /// as one UTF-8 arena addressed by char index (see
     /// [`crate::content::ContentArena`]).
     pub(crate) ins_content: ContentArena,
+    /// Reused parent-LV buffer for bundle-run ingestion
+    /// ([`crate::bundle::RunView`] application runs once per run of a
+    /// segment-store open and must not allocate).
+    pub(crate) parents_scratch: Vec<LV>,
 }
 
 impl OpLog {
@@ -174,6 +178,37 @@ impl OpLog {
         self.graph.push(parents, lvs);
         self.agents.assign_next(agent, lvs);
         lvs
+    }
+
+    /// Reassembles an oplog from storage-image parts: a graph and agent
+    /// assignment restored via their own parts constructors, the exact
+    /// operation-run entries (as `(lv_start, run)` pairs, boundaries
+    /// preserved — runs from different branches must *not* be re-merged),
+    /// and the full content arena text.
+    ///
+    /// Every `Ins` run's `content` range must be the cumulative char
+    /// range of the arena in run order — the invariant all ingest paths
+    /// maintain, which lets the storage image omit content ranges
+    /// entirely. Callers (the image decoder) are responsible for
+    /// structural validation; this constructor only rebuilds the arena's
+    /// char→byte index.
+    pub fn from_image_parts(
+        graph: Graph,
+        agents: AgentAssignment,
+        runs: Vec<KVPair<OpRun>>,
+        content: &str,
+    ) -> Self {
+        debug_assert_eq!(graph.len(), agents.len());
+        debug_assert_eq!(graph.len(), runs.iter().map(|r| r.1.len()).sum::<usize>());
+        let mut ins_content = ContentArena::new();
+        ins_content.push_str(content);
+        OpLog {
+            graph,
+            agents,
+            ops: RleVec(runs),
+            ins_content,
+            parents_scratch: Vec::new(),
+        }
     }
 
     /// The operation run starting at `lv`, trimmed to start there.

@@ -174,6 +174,85 @@ impl TreeEntry for CrdtSpan {
 /// [`UNDERWATER_LEN`], well under `usize::MAX`.
 const NO_TARGET: usize = usize::MAX;
 
+/// A serializable snapshot of a tracker's replay state (paper §3.5 /
+/// ROADMAP "tracker checkpointing"): the record sequence in document
+/// order plus the recorded delete runs.
+///
+/// This is the *relocatable* form the PR-6 slab arena makes cheap: the
+/// tree's entry sequence is the serialized contract (slab layout is
+/// rebuilt dense on restore via [`eg_content_tree::ContentTree::from_entries`],
+/// which also repopulates the ID index for free), and the delete-target
+/// index round-trips as `(events, target ids, direction)` runs. The
+/// cursor/emit caches, scratch buffers, and walk plan are deliberately
+/// *not* part of a snapshot — they are pure accelerators, empty on
+/// restore.
+///
+/// A tracker restored from a snapshot behaves byte-identically to the
+/// tracker that produced it (pinned by the `cached_load_props` suite).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TrackerSnapshot {
+    /// The record runs in document order, placeholder (underwater) spans
+    /// included.
+    pub records: Vec<CrdtSpan>,
+    /// Recorded delete runs: `(delete events, ascending target ids,
+    /// forward?)`, ascending and disjoint in event space.
+    pub del_runs: Vec<(DTRange, DTRange, bool)>,
+}
+
+impl TrackerSnapshot {
+    /// Validates the structural invariants [`Tracker::from_snapshot`] and
+    /// all later tracker operations rely on, so a decoder can safely
+    /// restore untrusted (e.g. disk-corrupted but CRC-valid) bytes
+    /// without risking a panic or an unbounded allocation downstream.
+    ///
+    /// `num_events` is the total event count of the oplog this snapshot
+    /// accompanies: every real character ID and every delete-event LV
+    /// must fall below it.
+    pub fn validate(&self, num_events: usize) -> Result<(), &'static str> {
+        let mut total_raw = 0usize;
+        for r in &self.records {
+            if r.id.start >= r.id.end {
+                return Err("empty record span");
+            }
+            if r.id.start < UNDERWATER_START {
+                if r.id.end > num_events {
+                    return Err("record id beyond oplog");
+                }
+            } else if r.id.end > UNDERWATER_START + UNDERWATER_LEN {
+                return Err("record id beyond placeholder space");
+            }
+            total_raw = total_raw
+                .checked_add(r.id.end - r.id.start)
+                .ok_or("record widths overflow")?;
+            if let SpState::Del(n) = r.sp {
+                if n == 0 {
+                    return Err("Del(0) prepare state");
+                }
+            }
+        }
+        let mut prev_end = 0usize;
+        for &(events, target, _fwd) in &self.del_runs {
+            if events.start >= events.end {
+                return Err("empty delete run");
+            }
+            if events.start < prev_end {
+                return Err("delete runs not ascending");
+            }
+            prev_end = events.end;
+            if events.end > num_events {
+                return Err("delete event beyond oplog");
+            }
+            if events.len() != target.len() {
+                return Err("delete run length mismatch");
+            }
+            if target.end > UNDERWATER_START + UNDERWATER_LEN {
+                return Err("delete target beyond id space");
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Delete-event LV → target-character ID, over the dense event-LV space.
 ///
 /// The same trick as [`IdIndex`]: event LVs are dense, so `dense[lv]` holds
@@ -486,6 +565,74 @@ impl<const N: usize> Tracker<N> {
     /// are of interest. Intended for tests, debugging, and visualisation.
     pub fn records(&self) -> Vec<CrdtSpan> {
         self.tree.iter().copied().collect()
+    }
+
+    /// Captures the tracker's replay state as a [`TrackerSnapshot`].
+    ///
+    /// The snapshot pairs with the version the tracker currently
+    /// represents (prepare == effect == the last walked frontier); the
+    /// caller records that version alongside (the storage layer's
+    /// checkpoint record does).
+    pub fn to_snapshot(&self) -> TrackerSnapshot {
+        let records = self.records();
+        let mut del_runs = Vec::new();
+        let dense = &self.del_targets.dense;
+        let mut lv = 0usize;
+        while lv < dense.len() {
+            if dense[lv] == NO_TARGET {
+                lv += 1;
+                continue;
+            }
+            let (target, n) = self.del_targets.run_at(lv, dense.len());
+            let fwd = n == 1 || dense[lv + 1] == dense[lv] + 1;
+            del_runs.push((DTRange::from(lv..lv + n), target, fwd));
+            lv += n;
+        }
+        TrackerSnapshot { records, del_runs }
+    }
+
+    /// Restores a tracker from a snapshot, with both caches enabled.
+    ///
+    /// The record tree is rebuilt dense by bulk load (repopulating the
+    /// ID → leaf index from the entry stream) and the delete runs are
+    /// re-recorded; caches, scratch buffers, and the walk plan start
+    /// empty. The restored tracker is behaviourally identical to the one
+    /// that produced the snapshot.
+    ///
+    /// For untrusted input, call [`TrackerSnapshot::validate`] first —
+    /// this constructor trusts the snapshot's structural invariants.
+    pub fn from_snapshot(snap: &TrackerSnapshot) -> Self {
+        Self::from_snapshot_with_caches(snap, true, true)
+    }
+
+    /// [`Tracker::from_snapshot`] with explicit cache switches (the
+    /// equivalence property tests sweep them).
+    pub fn from_snapshot_with_caches(
+        snap: &TrackerSnapshot,
+        cache_enabled: bool,
+        emit_cache_enabled: bool,
+    ) -> Self {
+        let mut ins_loc = IdIndex::default();
+        let tree = ContentTree::from_entries(snap.records.iter().copied(), |e: &CrdtSpan, leaf| {
+            ins_loc.set(e.id, leaf);
+        });
+        let mut del_targets = DelTargetIndex::default();
+        for &(events, target, fwd) in &snap.del_runs {
+            del_targets.record(events, target, fwd);
+        }
+        Tracker {
+            tree,
+            ins_loc,
+            del_targets,
+            cache: Cell::new(None),
+            cache_enabled,
+            emit_cache: Cell::new(None),
+            emit_cache_enabled,
+            integrate_memo: HashMap::new(),
+            prepare_scratch: Vec::new(),
+            delete_scratch: Vec::new(),
+            plan: WalkPlan::new(),
+        }
     }
 
     /// Scans one leaf for the entry containing `id`.

@@ -120,15 +120,67 @@ pub fn walk_reusing_with_fanout<const N: usize, F>(
 ) where
     F: FnMut(DTRange, TextOpRef<'_>),
 {
+    walk_driver(oplog, base, spans, emit, opts, tracker, false, out)
+}
+
+/// [`walk_reusing`] *without* the tracker reset: the caller-owned tracker
+/// already represents the document at `base` (a restored checkpoint
+/// snapshot, or the final state of a previous walk whose window ended
+/// exactly at `base`), and the walk extends it over `spans`.
+///
+/// This is the cached-load fast path (paper §3.5): instead of rebuilding
+/// tracker state from the latest critical version, a resumed walk replays
+/// only the oplog tail. `base` must be the tracker's current (prepare ==
+/// effect) version, and — as with every walk — a version dominated by all
+/// events in `spans`.
+///
+/// The walk starts with the tracker considered dirty, so the §3.5
+/// fast-forward stays off until the first critical version is crossed and
+/// the state cleared; output is byte-identical to a fresh walk either way.
+pub fn walk_resuming<F>(
+    oplog: &OpLog,
+    base: &Frontier,
+    spans: &[DTRange],
+    emit: &[DTRange],
+    opts: WalkerOpts,
+    tracker: &mut Tracker<TRACKER_FANOUT>,
+    out: &mut F,
+) where
+    F: FnMut(DTRange, TextOpRef<'_>),
+{
+    walk_driver(oplog, base, spans, emit, opts, tracker, true, out)
+}
+
+/// Shared walk loop behind [`walk_reusing_with_fanout`] (fresh tracker
+/// state) and [`walk_resuming`] (tracker restored at `base`).
+#[allow(clippy::too_many_arguments)]
+fn walk_driver<const N: usize, F>(
+    oplog: &OpLog,
+    base: &Frontier,
+    spans: &[DTRange],
+    emit: &[DTRange],
+    opts: WalkerOpts,
+    tracker: &mut Tracker<N>,
+    resume: bool,
+    out: &mut F,
+) where
+    F: FnMut(DTRange, TextOpRef<'_>),
+{
     // The plan's pooled buffers live on the tracker so reuse carries them
     // across windows; it is taken out for the duration of the walk because
     // the steps borrow from its range pool while the tracker is mutated.
     let mut plan = std::mem::take(&mut tracker.plan);
     plan.plan_with_order(&oplog.graph, base, spans, emit, opts.plan_order);
-    tracker.reset_with_caches(opts.cursor_cache, opts.emit_cache);
     // `clean` means: the tracker holds nothing but a placeholder, standing
-    // for the document at the current (prepare == effect) version.
-    let mut clean = true;
+    // for the document at the current (prepare == effect) version. A
+    // resumed tracker carries real records for the pre-`base` window, so
+    // it starts dirty.
+    let mut clean = if resume {
+        false
+    } else {
+        tracker.reset_with_caches(opts.cursor_cache, opts.emit_cache);
+        true
+    };
 
     // Cursor into `emit` (ranges are ascending, but consumption can jump
     // between branches, so we binary search).
@@ -238,6 +290,96 @@ where
 /// records that no longer exist; the §3.5 invariants forbid it.
 fn step_targets_are_post_clear(retreat: &[DTRange]) -> bool {
     retreat.is_empty()
+}
+
+/// Builds a tracker representing the document at `version`, with the
+/// prepare and effect dimensions both at exactly `version` — the state a
+/// checkpoint snapshot captures ([`Tracker::to_snapshot`]) and that
+/// [`walk_resuming`] later extends over the oplog tail.
+///
+/// Only the §3.5 conflict window (from the latest critical version at or
+/// below `version`) is replayed, not the whole history; at a critical
+/// version the window is empty and the tracker is just the placeholder.
+pub fn tracker_at(oplog: &OpLog, version: &[LV], opts: WalkerOpts) -> Tracker<TRACKER_FANOUT> {
+    let mut tracker = Tracker::new_with_caches(opts.cursor_cache, opts.emit_cache);
+    if version.is_empty() {
+        return tracker;
+    }
+    let (base, spans) = oplog.graph.conflict_window(version, version);
+    if spans.is_empty() {
+        return tracker;
+    }
+    walk_reusing(
+        oplog,
+        &base,
+        &spans,
+        &[],
+        opts,
+        &mut tracker,
+        &mut |_, _| {},
+    );
+    // The walk leaves the prepare dimension at the tip of the last run it
+    // consumed; advance it over whatever else `version` dominates so that
+    // prepare == effect == `version`. Fast-forwarded runs are critical
+    // versions and hence already inside any later prepare version, so
+    // every range advanced here has live records in the tracker.
+    let mut last_consumed = None;
+    for step in tracker.plan.iter() {
+        if !step.consume.is_empty() {
+            last_consumed = Some(step.consume.end - 1);
+        }
+    }
+    let prepare = match last_consumed {
+        Some(lv) => Frontier::new_1(lv),
+        None => base,
+    };
+    let gap = oplog.graph.diff(prepare.as_slice(), version);
+    debug_assert!(gap.only_a.is_empty());
+    for r in gap.only_b {
+        tracker.advance(oplog, r);
+    }
+    tracker
+}
+
+/// Replays the full event graph applying the emitted (transformed)
+/// operations to a length counter instead of a rope, verifying every
+/// position stays in bounds.
+///
+/// This is the structural-position check decoders run on untrusted files:
+/// an event graph can be well-formed (valid parents, agents, RLE columns)
+/// while its op *positions* reference characters that never exist in the
+/// document the events build — applying such an op would panic inside the
+/// rope. The simulation walks the exact plan a checkout walks and checks
+/// the exact positions a checkout would apply, so `true` guarantees
+/// [`OpLog::checkout_tip`] cannot go out of bounds, and valid logs are
+/// never rejected.
+pub fn events_apply_cleanly(oplog: &OpLog) -> bool {
+    if oplog.is_empty() {
+        return true;
+    }
+    let spans = [DTRange::from(0..oplog.len())];
+    let mut len = 0usize;
+    let mut ok = true;
+    walk(
+        oplog,
+        &Frontier::root(),
+        &spans,
+        &spans,
+        WalkerOpts::default(),
+        &mut |_, op| {
+            if !ok {
+                return;
+            }
+            match op.kind {
+                ListOpKind::Ins if op.pos <= len => len += op.len,
+                ListOpKind::Del if op.pos.checked_add(op.len).is_some_and(|e| e <= len) => {
+                    len -= op.len;
+                }
+                _ => ok = false,
+            }
+        },
+    );
+    ok
 }
 
 /// Computes the transformed operations that take a document at version

@@ -193,6 +193,32 @@ impl AgentAssignment {
         Some(pair.1.start + offset)
     }
 
+    /// Classifies `seq` for `agent` together with its run extent:
+    /// `Ok((lv, len))` when assigned — `lv` is the event's LV and `len`
+    /// how many consecutive sequence numbers from `seq` stay inside the
+    /// same assigned run — or `Err(gap)` when unassigned, where `gap` is
+    /// the number of consecutive unassigned sequence numbers starting at
+    /// `seq` (`usize::MAX` when nothing later is assigned).
+    ///
+    /// Bundle ingestion uses this to classify whole runs as duplicate or
+    /// new with one binary search instead of probing every event.
+    pub fn seq_extent(&self, agent: AgentId, seq: usize) -> Result<(LV, usize), usize> {
+        let Some(data) = self.client_data.get(agent as usize) else {
+            return Err(usize::MAX);
+        };
+        match data.find_index(seq) {
+            Ok(idx) => {
+                let pair = &data.0[idx];
+                let offset = seq - pair.0;
+                Ok((pair.1.start + offset, pair.1.len() - offset))
+            }
+            Err(idx) => match data.0.get(idx) {
+                Some(next) => Err(next.0 - seq),
+                None => Err(usize::MAX),
+            },
+        }
+    }
+
     /// Maps a [`RemoteId`] to its LV, if known.
     pub fn remote_id_to_lv(&self, id: &RemoteId) -> Option<LV> {
         let agent = self.agent_id(&id.agent)?;
@@ -261,6 +287,29 @@ mod tests {
             agent: "carol".into(),
             seq: 0
         }));
+    }
+
+    #[test]
+    fn seq_extent_classifies_runs() {
+        let mut a = AgentAssignment::new();
+        let alice = a.get_or_create_agent("alice");
+        let bob = a.get_or_create_agent("bob");
+        a.assign_next(alice, (0..10).into());
+        a.assign_next(bob, (10..15).into());
+        a.assign_at(alice, (20..25).into(), (15..20).into());
+
+        // Inside the first alice run, from an interior offset.
+        assert_eq!(a.seq_extent(alice, 3), Ok((3, 7)));
+        // In the gap between alice's runs: 10 unassigned seqs (10..20).
+        assert_eq!(a.seq_extent(alice, 10), Err(10));
+        assert_eq!(a.seq_extent(alice, 19), Err(1));
+        // Inside the second (remote-assigned) run.
+        assert_eq!(a.seq_extent(alice, 22), Ok((17, 3)));
+        // Past everything assigned.
+        assert_eq!(a.seq_extent(alice, 25), Err(usize::MAX));
+        assert_eq!(a.seq_extent(bob, 5), Err(usize::MAX));
+        // An agent id never interned.
+        assert_eq!(a.seq_extent(99, 0), Err(usize::MAX));
     }
 
     #[test]

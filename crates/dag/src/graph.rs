@@ -102,6 +102,77 @@ impl Graph {
         self.entries.iter()
     }
 
+    /// The ascending runs of critical versions (paper §3.5), for
+    /// storage-image serialisation.
+    pub fn criticals_runs(&self) -> &[DTRange] {
+        &self.criticals.0
+    }
+
+    /// Returns `true` if the events `[from..len)` form one linear chain
+    /// hanging off exactly `version` — i.e. they sequentially extend the
+    /// graph-as-of-`version`, with nothing concurrent to them.
+    ///
+    /// The cached-load path uses this to decide whether replaying the
+    /// post-checkpoint tail needs tracker state from before the
+    /// checkpoint (concurrent tail) or can skip restoring it entirely
+    /// (sequential tail: transforming the tail against nothing is the
+    /// identity, so the events apply to the document as-is).
+    pub fn is_sequential_extension(&self, from: LV, version: &[LV]) -> bool {
+        if from >= self.len() {
+            return self.frontier.as_slice() == version;
+        }
+        let Ok(start_idx) = self.entries.find_index(from) else {
+            return false;
+        };
+        let first = &self.entries.0[start_idx];
+        if first.span.start < from {
+            // `from` lands inside a chain entry, so the tail's first
+            // event implicitly has its predecessor as sole parent.
+            if version != [from - 1] {
+                return false;
+            }
+        } else if first.parents.as_slice() != version {
+            return false;
+        }
+        // Every later entry must chain directly onto the one before it
+        // (entries are dense in LV order, so `span.start - 1` is exactly
+        // the previous entry's last event).
+        self.entries.0[start_idx + 1..]
+            .iter()
+            .all(|e| e.parents.as_slice() == [e.span.start - 1])
+    }
+
+    /// Reassembles a graph from parts previously taken from an identical
+    /// graph (`iter()`, `frontier()`, `criticals_runs()`) — the
+    /// storage-image restore path.
+    ///
+    /// Unlike [`Graph::push`], nothing is re-derived per entry: no
+    /// dominator reduction, no frontier advance, no criticals
+    /// maintenance. The caller must have structurally validated the parts
+    /// (dense spans from 0, parents sorted strictly ascending and below
+    /// their span, frontier/criticals in range); deeper invariants —
+    /// parents mutually concurrent, `frontier`/`criticals` matching what
+    /// incremental maintenance would have produced — are trusted, which
+    /// is why this is only fed from CRC-verified local storage. Root
+    /// events are recomputed here (entries with no parents).
+    pub fn from_parts(
+        entries: Vec<GraphEntry>,
+        frontier: Frontier,
+        criticals: Vec<DTRange>,
+    ) -> Self {
+        let root_events = entries
+            .iter()
+            .filter(|e| e.parents.is_root())
+            .map(|e| e.span.start)
+            .collect();
+        Graph {
+            entries: RleVec(entries),
+            root_events,
+            frontier,
+            criticals: RleVec(criticals),
+        }
+    }
+
     /// The graph's current version: the set of events with no children.
     pub fn frontier(&self) -> &Frontier {
         &self.frontier
@@ -282,6 +353,33 @@ mod tests {
         assert!(e2.can_append(&tail));
         e2.append(tail);
         assert_eq!(e2.span, (10..20).into());
+    }
+
+    #[test]
+    fn sequential_extension() {
+        // 0-1-2, 3-4 off 0, 5 merges {2,4}, then a chain 6-7-8 at the tip.
+        let mut g = sample();
+        g.push(&[5], (6..9).into());
+        // The chain tail is sequential from the merge point…
+        assert!(g.is_sequential_extension(6, &[5]));
+        // …and from inside the chain (implicit predecessor parent).
+        assert!(g.is_sequential_extension(7, &[6]));
+        // `from` at the end: only the exact frontier matches.
+        assert!(g.is_sequential_extension(9, &[8]));
+        assert!(!g.is_sequential_extension(9, &[5]));
+        // Wrong hang-off point.
+        assert!(!g.is_sequential_extension(6, &[2]));
+        assert!(!g.is_sequential_extension(7, &[5]));
+        // A tail containing concurrency (3..6 includes the branch 3-4
+        // concurrent with 1-2) is not sequential from anywhere.
+        assert!(!g.is_sequential_extension(3, &[2]));
+        assert!(!g.is_sequential_extension(0, &[]));
+        // Whole-graph linear history IS sequential from the root.
+        let mut lin = Graph::new();
+        lin.push(&[], (0..4).into());
+        lin.push(&[3], (4..6).into());
+        assert!(lin.is_sequential_extension(0, &[]));
+        assert!(lin.is_sequential_extension(4, &[3]));
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::lz4;
 use crate::varint::{push_i64, push_usize, read_i64, read_usize, DecodeError};
 use eg_rle::{DTRange, HasLength};
 use egwalker::convert::{to_crdt_ops, CrdtOp};
+use egwalker::walker::events_apply_cleanly;
 use egwalker::{ListOpKind, OpLog};
 
 /// File magic.
@@ -316,6 +317,7 @@ pub fn decode(data: &[u8]) -> Result<Decoded, DecodeError> {
     let mut ops_cur = get(chunk::OPS)?;
     let mut prev_pos = 0i64;
     let mut total = 0usize;
+    let mut inserts = 0usize;
     while total < n {
         let head = read_usize(&mut ops_cur)?;
         let len = head >> 2;
@@ -331,6 +333,20 @@ pub fn decode(data: &[u8]) -> Result<Decoded, DecodeError> {
         // assertion failure inside `add_backspace_at` (fuzz-found).
         if pos < 0 || len == 0 || (pos as usize).checked_add(len).is_none() {
             return Err(DecodeError::Corrupt);
+        }
+        // Structural position bound: events are in topological order, so an
+        // op can never address past the characters all earlier events could
+        // have inserted. Catches wild positions cheaply; the exact check is
+        // the length-simulation replay after the rebuild.
+        let bound = match kind {
+            ListOpKind::Ins => pos as usize,
+            ListOpKind::Del => pos as usize + len,
+        };
+        if bound > inserts {
+            return Err(DecodeError::Corrupt);
+        }
+        if kind == ListOpKind::Ins {
+            inserts += len;
         }
         prev_pos = pos;
         ops.push(OpRec {
@@ -470,6 +486,16 @@ pub fn decode(data: &[u8]) -> Result<Decoded, DecodeError> {
         }
     }
 
+    // Exact structural-position validation: the file can be well-formed in
+    // every column and still carry positions that address characters which
+    // don't exist at the op's version (deletes shrink the document below
+    // the insert-count bound checked above). Replaying the checkout plan
+    // against a length counter proves every transformed position is in
+    // bounds — so a CRC-valid crafted file cannot panic a later checkout.
+    if !events_apply_cleanly(&oplog) {
+        return Err(DecodeError::Corrupt);
+    }
+
     let cached_doc = decode_cached_doc_only(data)?;
     Ok(Decoded { oplog, cached_doc })
 }
@@ -572,6 +598,46 @@ mod tests {
         let mut bytes2 = encode(&oplog, EncodeOpts::default());
         bytes2[0] = b'X';
         assert_eq!(decode(&bytes2).err(), Some(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn crafted_positions_rejected() {
+        // The oplog builder does not validate positions, so both files
+        // below are well-formed and CRC-valid — exactly what an attacker
+        // can craft. Decode must reject them, not panic a later checkout.
+        let a_name = "alice";
+
+        // Wild position: beyond anything any event could have inserted
+        // (caught by the cheap prefix bound).
+        let mut oplog = OpLog::new();
+        let a = oplog.get_or_create_agent(a_name);
+        oplog.add_insert(a, 0, "abc");
+        let v = oplog.version().clone();
+        oplog.add_insert_at(a, &v, 10, "x");
+        let bytes = encode(&oplog, EncodeOpts::default());
+        assert_eq!(decode(&bytes).err(), Some(DecodeError::Corrupt));
+
+        // Subtle position: within the insert-count bound but beyond the
+        // live document (deletes shrank it) — only the length-simulation
+        // replay can see this.
+        let mut oplog = OpLog::new();
+        let a = oplog.get_or_create_agent(a_name);
+        oplog.add_insert(a, 0, "abc");
+        oplog.add_delete(a, 0, 2);
+        let v = oplog.version().clone();
+        oplog.add_insert_at(a, &v, 3, "x");
+        let bytes = encode(&oplog, EncodeOpts::default());
+        assert_eq!(decode(&bytes).err(), Some(DecodeError::Corrupt));
+
+        // A delete overrunning the live document tail.
+        let mut oplog = OpLog::new();
+        let a = oplog.get_or_create_agent(a_name);
+        oplog.add_insert(a, 0, "abc");
+        oplog.add_delete(a, 0, 2);
+        let v = oplog.version().clone();
+        oplog.add_delete_at(a, &v, 0, 3);
+        let bytes = encode(&oplog, EncodeOpts::default());
+        assert_eq!(decode(&bytes).err(), Some(DecodeError::Corrupt));
     }
 
     #[test]

@@ -28,9 +28,10 @@ mod crc;
 mod digest_wire;
 mod event_graph;
 pub mod lz4;
+mod oplog_image;
 pub mod varint;
 
-pub use bundle_wire::{decode_bundle, encode_bundle};
+pub use bundle_wire::{apply_bundle_bytes, decode_bundle, encode_bundle, ApplyBundleError};
 pub use comparisons::{encode_crdt_state, encode_verbose, verbose_event_count};
 pub use crc::crc32;
 pub use digest_wire::{
@@ -38,4 +39,5 @@ pub use digest_wire::{
     DIGEST_MAGIC,
 };
 pub use event_graph::{decode, decode_cached_doc_only, encode, Decoded, EncodeOpts};
+pub use oplog_image::{decode_oplog_image, encode_oplog_image, IMAGE_MAGIC};
 pub use varint::DecodeError;

@@ -11,10 +11,11 @@
 //!
 //! Starting from a corpus of *valid* frames of every kind (EGWL whole
 //! files across all encode options, EGWB bundles, EGWD digests, EGWM
-//! bundle batches), each iteration picks a frame and a mutation — byte
-//! flips, truncation, tail garbage, splicing two frames, length-field
-//! nudges — and feeds the result to every decoder. Half the mutants get
-//! their CRC32 trailer recomputed ("fixed up") so they penetrate past the
+//! bundle batches, EGSEG segment-store files with event and checkpoint
+//! records), each iteration picks a frame and a mutation — byte flips,
+//! truncation, tail garbage, splicing two frames, length-field nudges —
+//! and feeds the result to every decoder. Half the mutants get their
+//! CRC32 trailer recomputed ("fixed up") so they penetrate past the
 //! checksum and exercise the structural validation underneath; without
 //! the fixup, fuzzing mostly tests the CRC. The only pass criterion is
 //! *no panic, no abort*: decoders must return `Err` (or, for a mutant
@@ -22,11 +23,45 @@
 //! are the robustness battery's job; this loop hunts crashes.
 
 use eg_encoding::{
-    crc32, decode, decode_bundle, decode_bundle_batch, decode_digest, encode, encode_bundle,
-    encode_bundle_batch, encode_digest, EncodeOpts,
+    crc32, decode, decode_bundle, decode_bundle_batch, decode_digest, decode_oplog_image, encode,
+    encode_bundle, encode_bundle_batch, encode_digest, encode_oplog_image, EncodeOpts,
+};
+use eg_storage::{
+    decode_checkpoint, decode_snapshot, encode_checkpoint, push_frame, read_checkpoint,
+    scan_frames, Checkpoint, FORMAT_VERSION, RECORD_CHECKPOINT, RECORD_EVENTS, SEGMENT_MAGIC,
 };
 use egwalker::testgen::{random_oplog, SmallRng};
+use egwalker::walker::{self, WalkerOpts};
 use std::time::{Duration, Instant};
+
+/// A valid segment-store file for `oplog`: header, one event record, one
+/// checkpoint record (with tracker snapshot) — the shape `DocStore`
+/// writes.
+fn segment_file(oplog: &egwalker::OpLog) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(SEGMENT_MAGIC);
+    out.push(FORMAT_VERSION);
+    push_frame(
+        &mut out,
+        RECORD_EVENTS,
+        &encode_bundle(&oplog.bundle_since(&[])),
+    );
+    let branch = oplog.checkout_tip();
+    let snapshot =
+        walker::tracker_at(oplog, branch.version.as_slice(), WalkerOpts::default()).to_snapshot();
+    let ck = Checkpoint {
+        version: branch
+            .version
+            .iter()
+            .map(|&lv| oplog.lv_to_remote(lv))
+            .collect(),
+        content: branch.content.to_string(),
+        snapshot: Some(snapshot),
+        oplog_image: Some(encode_oplog_image(oplog)),
+    };
+    push_frame(&mut out, RECORD_CHECKPOINT, &encode_checkpoint(&ck));
+    out
+}
 
 /// Valid frames of every wire kind, the mutation starting points.
 fn corpus() -> Vec<Vec<u8>> {
@@ -52,6 +87,7 @@ fn corpus() -> Vec<Vec<u8>> {
             (seed + 1, bundle),
         ]));
         frames.push(encode_digest(&[(seed, oplog.remote_version())]));
+        frames.push(segment_file(&oplog));
     }
     frames.push(encode_digest(&[]));
     frames
@@ -158,6 +194,40 @@ fn decoders_never_panic_under_mutation() {
             let _ = decode_bundle(&mutant);
             let _ = decode_digest(&mutant);
             let _ = decode_bundle_batch(&mutant);
+            let _ = decode_checkpoint(&mutant);
+            let _ = decode_snapshot(&mutant);
+            let _ = decode_oplog_image(&mutant);
+            if let Ok((seg_frames, _)) = scan_frames(&mutant) {
+                // Frames that survive the per-frame CRC (splices of valid
+                // records, or fixed-up tails) exercise the record payload
+                // decoders — the layer `DocStore::open` trusts not to
+                // panic.
+                for f in seg_frames {
+                    match f.kind {
+                        RECORD_EVENTS => {
+                            let _ = decode_bundle(f.payload);
+                        }
+                        RECORD_CHECKPOINT => {
+                            // Both depths: the owned decode and the lazy
+                            // view with its per-section decoders (the
+                            // path `DocStore::open` actually takes).
+                            let _ = decode_checkpoint(f.payload);
+                            if let Ok(view) = read_checkpoint(f.payload) {
+                                for (agent, seq) in view.version_ids() {
+                                    std::hint::black_box((agent.len(), seq));
+                                }
+                                if let Some(raw) = view.snapshot {
+                                    let _ = decode_snapshot(raw);
+                                }
+                                if let Some(raw) = view.oplog_image {
+                                    let _ = decode_oplog_image(raw);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
             iters += 1;
         }
     }

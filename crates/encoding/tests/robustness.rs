@@ -277,20 +277,22 @@ fn corpus_inflated_counts_rejected_before_allocation() {
 fn corpus_zero_length_parents_span_rejected() {
     // Fuzz-loop find: a whole-file frame whose PARENTS column contains a
     // zero-length span record. The rebuild loop computed a zero chunk
-    // length from it and fed an empty run into `add_backspace_at`, whose
-    // `len > 0` assertion panicked — a crash on attacker-controlled
+    // length from it and fed an empty run into the oplog `add_*` path,
+    // whose `len > 0` assertion panicked — a crash on attacker-controlled
     // bytes. The frame CRC-validates; only the span-length check can
-    // reject it.
+    // reject it. (The op is an insert so the frame clears the position
+    // prefix bound and actually reaches the parents column.)
     let mut body = Vec::new();
     body.extend_from_slice(b"EGWALKR1");
     push_usize(&mut body, 1); // one event
     let mut ops = Vec::new();
-    push_usize(&mut ops, 1 << 2 | 0b10); // one backward delete
+    push_usize(&mut ops, 1 << 2 | 0b01); // one insert, fwd
     push_usize(&mut ops, 0); // pos delta 0 (i64 zigzag of 0)
     push_chunk(&mut body, 1, &ops); // OPS
     let mut content = Vec::new();
-    push_usize(&mut content, 0); // no content bytes
+    push_usize(&mut content, 1); // one content byte
     content.push(0); // uncompressed
+    content.push(b'x');
     push_chunk(&mut body, 2, &content); // CONTENT
     let mut parents = Vec::new();
     push_usize(&mut parents, 0); // span length 0  << the corpus entry
@@ -319,6 +321,101 @@ fn push_chunk(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
     out.push(tag);
     push_usize(out, payload.len());
     out.extend_from_slice(payload);
+}
+
+#[test]
+fn corpus_out_of_bounds_positions_rejected() {
+    // A CRC-valid whole-file frame whose op *positions* are structurally
+    // impossible: insert "ab", delete one character (document is now one
+    // char), then insert at position 2. Every column is well-formed and
+    // the position clears the naive "characters inserted so far" bound
+    // (2 ≤ 2) — only the length-simulation replay sees that the live
+    // document is too short. Pre-fix decoders accepted the file and the
+    // panic surfaced later, inside checkout's rope apply.
+    let mut body = Vec::new();
+    body.extend_from_slice(b"EGWALKR1");
+    push_usize(&mut body, 4); // four events
+    let mut ops = Vec::new();
+    push_usize(&mut ops, 2 << 2 | 0b01); // insert run, len 2, fwd
+    push_usize(&mut ops, 0); // pos 0 (zigzag delta 0)
+    push_usize(&mut ops, 1 << 2 | 0b11); // delete run, len 1, fwd
+    push_usize(&mut ops, 0); // pos 0
+    push_usize(&mut ops, 1 << 2 | 0b01); // insert run, len 1, fwd
+    push_usize(&mut ops, 4); // pos 2 (zigzag delta +2)
+    push_chunk(&mut body, 1, &ops); // OPS
+    let mut content = Vec::new();
+    push_usize(&mut content, 3); // three inserted chars
+    content.push(0); // uncompressed
+    content.extend_from_slice(b"abx");
+    push_chunk(&mut body, 2, &content); // CONTENT
+    let mut parents = Vec::new();
+    push_usize(&mut parents, 4); // one linear run of all four events
+    push_usize(&mut parents, 0); // rooted
+    push_chunk(&mut body, 3, &parents); // PARENTS
+    let mut names = Vec::new();
+    push_usize(&mut names, 1); // one agent
+    push_usize(&mut names, 1);
+    names.push(b'a');
+    push_chunk(&mut body, 4, &names); // AGENT_NAMES
+    let mut assign = Vec::new();
+    push_usize(&mut assign, 0); // agent 0
+    push_usize(&mut assign, 0); // seq 0
+    push_usize(&mut assign, 4); // all four events
+    push_chunk(&mut body, 5, &assign); // AGENT_ASSIGNMENT
+    let crc = crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    assert_eq!(decode(&body).err(), Some(DecodeError::Corrupt));
+
+    // The wild-position variant (position beyond everything ever
+    // inserted) dies at the cheap prefix bound instead.
+    let mut body = Vec::new();
+    body.extend_from_slice(b"EGWALKR1");
+    push_usize(&mut body, 1); // one event
+    let mut ops = Vec::new();
+    push_usize(&mut ops, 1 << 2 | 0b01); // insert run, len 1, fwd
+    push_usize(&mut ops, 2 * 1000); // pos 1000 on an empty document
+    push_chunk(&mut body, 1, &ops);
+    let mut content = Vec::new();
+    push_usize(&mut content, 1);
+    content.push(0);
+    content.push(b'x');
+    push_chunk(&mut body, 2, &content);
+    let mut parents = Vec::new();
+    push_usize(&mut parents, 1);
+    push_usize(&mut parents, 0);
+    push_chunk(&mut body, 3, &parents);
+    let mut names = Vec::new();
+    push_usize(&mut names, 1);
+    push_usize(&mut names, 1);
+    names.push(b'a');
+    push_chunk(&mut body, 4, &names);
+    let mut assign = Vec::new();
+    push_usize(&mut assign, 0);
+    push_usize(&mut assign, 0);
+    push_usize(&mut assign, 1);
+    push_chunk(&mut body, 5, &assign);
+    let crc = crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    assert_eq!(decode(&body).err(), Some(DecodeError::Corrupt));
+}
+
+// ---------------------------------------------------------------------------
+// Segment-store records (eg-storage) framed over this crate's codecs:
+// arbitrary bytes must never panic the frame scanner or checkpoint codec.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn segment_frame_scanner_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = eg_storage::scan_frames(&bytes);
+    }
+
+    #[test]
+    fn checkpoint_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = eg_storage::decode_checkpoint(&bytes);
+    }
 }
 
 #[test]

@@ -7,6 +7,7 @@
 //! and config — so a driver thread can interleave edit submission and
 //! sync rounds freely.
 
+use std::path::PathBuf;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -18,7 +19,9 @@ use eg_trace::FleetOp;
 use egwalker::EventBundle;
 
 use crate::shard::shard_for;
-use crate::worker::{worker_main, EditBatch, EncodeRound, Job, LoadReport};
+use crate::worker::{
+    worker_main, EditBatch, EncodeRound, Job, LoadReport, PersistStats, WorkerCtx,
+};
 
 /// Pool construction knobs.
 #[derive(Debug, Clone)]
@@ -32,6 +35,17 @@ pub struct ServerConfig {
     /// Edits per batch handed to a worker. Larger batches amortise the
     /// channel send; smaller ones reduce queueing latency.
     pub batch: usize,
+    /// Directory of per-document segment stores (`doc-{id}.seg`). When
+    /// set, each worker reopens its shard's documents at startup — warm,
+    /// through the checkpoint fast path where one resolves — and appends
+    /// every edit/receive batch to disk. `None` keeps the host purely
+    /// in-memory.
+    pub persist_dir: Option<PathBuf>,
+    /// Write a checkpoint record once a document accumulates this many
+    /// events past its last checkpoint. Cadence trades segment-file
+    /// growth (checkpoints embed the document text) against reopen cost
+    /// (the tail replayed on a warm open).
+    pub checkpoint_every: usize,
 }
 
 impl Default for ServerConfig {
@@ -40,6 +54,8 @@ impl Default for ServerConfig {
             name: "server".to_owned(),
             workers: thread::available_parallelism().map_or(1, |n| n.get()),
             batch: 128,
+            persist_dir: None,
+            checkpoint_every: 512,
         }
     }
 }
@@ -72,11 +88,17 @@ impl ServerHost {
         let mut handles = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
             let (tx, rx) = mpsc::channel();
-            let name = config.name.clone();
+            let ctx = WorkerCtx {
+                host_name: config.name.clone(),
+                index: i,
+                workers: config.workers,
+                persist_dir: config.persist_dir.clone(),
+                checkpoint_every: config.checkpoint_every.max(1),
+            };
             let recycle_tx = recycle_tx.clone();
             let handle = thread::Builder::new()
                 .name(format!("eg-server-w{i}"))
-                .spawn(move || worker_main(name, rx, recycle_tx))
+                .spawn(move || worker_main(ctx, rx, recycle_tx))
                 .expect("spawn worker thread");
             senders.push(tx);
             handles.push(handle);
@@ -188,6 +210,44 @@ impl ServerHost {
         self.submit_script(script);
         self.flush();
         self.harvest()
+    }
+
+    /// Forces a checkpoint on every document with events past its last
+    /// one, across all workers. Returns the number of checkpoints
+    /// written (always 0 without a persist dir). Call before an orderly
+    /// shutdown so the next startup reopens every document warm.
+    pub fn checkpoint_all(&self) -> usize {
+        let (tx, rx) = mpsc::channel();
+        for w in 0..self.senders.len() {
+            self.send(w, Job::Checkpoint(tx.clone()));
+        }
+        drop(tx);
+        let mut written = 0;
+        let mut replies = 0;
+        for n in rx.iter() {
+            written += n;
+            replies += 1;
+        }
+        assert_eq!(replies, self.senders.len(), "worker died before checkpoint");
+        written
+    }
+
+    /// What persistence restored at startup, summed across workers
+    /// (all zeroes without a persist dir).
+    pub fn persist_stats(&self) -> PersistStats {
+        let (tx, rx) = mpsc::channel();
+        for w in 0..self.senders.len() {
+            self.send(w, Job::Persisted(tx.clone()));
+        }
+        drop(tx);
+        let mut merged = PersistStats::default();
+        let mut replies = 0;
+        for stats in rx.iter() {
+            merged.merge(&stats);
+            replies += 1;
+        }
+        assert_eq!(replies, self.senders.len(), "worker died before stats");
+        merged
     }
 
     /// Per-document digests of the whole host, fanned out across workers
@@ -445,6 +505,104 @@ mod tests {
                 Message::Digest(_) => panic!("expected bundle frame"),
             }
         }
+    }
+
+    /// A scratch persist dir, removed on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let dir = std::env::temp_dir()
+                .join(format!("eg-server-test-{}-{tag}-{n}", std::process::id()));
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn restarted_host_reopens_cached_and_converges() {
+        let tmp = TempDir::new("restart");
+        let script = small_script();
+
+        // The peer that never restarts.
+        let peer = ServerHost::with_config(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        });
+        peer.run_script(&script);
+
+        // Round one: run the script persistently, checkpoint, shut down.
+        {
+            let host = ServerHost::with_config(ServerConfig {
+                workers: 3,
+                persist_dir: Some(tmp.0.clone()),
+                checkpoint_every: 64,
+                ..ServerConfig::default()
+            });
+            host.run_script(&script);
+            assert!(host.checkpoint_all() > 0, "some docs past their cadence");
+            assert_eq!(host.checkpoint_all(), 0, "second pass has nothing new");
+        }
+
+        // Restart on the same directory — with a different worker count,
+        // so the segment files redistribute across a new shard map. Every
+        // document must come back through the cached path and the host
+        // must match the peer byte for byte.
+        let host = ServerHost::with_config(ServerConfig {
+            workers: 2,
+            persist_dir: Some(tmp.0.clone()),
+            checkpoint_every: 64,
+            ..ServerConfig::default()
+        });
+        let expect = replay_fleet_sequential("server", &script);
+        let stats = host.persist_stats();
+        assert_eq!(stats.docs_loaded, expect.len(), "all edited docs restored");
+        assert_eq!(
+            stats.docs_cached, stats.docs_loaded,
+            "every doc reopened via the checkpoint fast path"
+        );
+        assert!(host.converged_with(&peer));
+        assert_eq!(host.snapshot(), expect);
+
+        // The warm-restored replicas keep working: both hosts apply the
+        // script again (deterministic against identical live state) and
+        // still agree.
+        host.run_script(&script);
+        peer.run_script(&script);
+        assert!(host.converged_with(&peer));
+    }
+
+    #[test]
+    fn persistence_survives_mid_run_restart_without_checkpoint_all() {
+        // No orderly checkpoint_all: rely on the per-batch appends alone.
+        let tmp = TempDir::new("mid-run");
+        let script = small_script();
+        let expect = replay_fleet_sequential("server", &script);
+        {
+            let host = ServerHost::with_config(ServerConfig {
+                workers: 2,
+                persist_dir: Some(tmp.0.clone()),
+                checkpoint_every: usize::MAX, // never checkpoint
+                ..ServerConfig::default()
+            });
+            host.run_script(&script);
+        }
+        let host = ServerHost::with_config(ServerConfig {
+            workers: 1,
+            persist_dir: Some(tmp.0.clone()),
+            ..ServerConfig::default()
+        });
+        let stats = host.persist_stats();
+        assert_eq!(stats.docs_loaded, expect.len());
+        assert_eq!(stats.docs_cached, 0, "no checkpoints were ever written");
+        assert_eq!(host.snapshot(), expect, "cold replay still exact");
     }
 
     #[test]

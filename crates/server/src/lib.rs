@@ -40,4 +40,4 @@ pub use fleet::{apply_fleet_op, replay_fleet_sequential, FleetOutcome, SessionNa
 pub use host::{ServerConfig, ServerHost};
 pub use latency::LatencyHistogram;
 pub use shard::{mix64, shard_for};
-pub use worker::LoadReport;
+pub use worker::{LoadReport, PersistStats};

@@ -9,18 +9,22 @@
 //! and edit batches recycle their backing `Vec`s to the host so the
 //! steady-state loop allocates nothing per op.
 
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use eg_dag::RemoteId;
+use eg_storage::DocStore;
 use eg_sync::{DocId, Message, Replica};
 use eg_trace::FleetOp;
 use egwalker::EventBundle;
 
 use crate::fleet::{apply_fleet_op, FleetOutcome, SessionNames};
 use crate::latency::LatencyHistogram;
+use crate::shard::shard_for;
 
 /// A batch of edit submissions: indices into a shared script plus the
 /// submit timestamp for end-to-end (queue + merge) latency. The `items`
@@ -119,6 +123,140 @@ impl EncodeRound {
     }
 }
 
+/// Per-worker construction parameters, handed to the spawned thread.
+pub(crate) struct WorkerCtx {
+    pub host_name: String,
+    /// This worker's index in the pool (its shard id).
+    pub index: usize,
+    /// Total pool size — with `index`, determines which persisted segment
+    /// files this worker claims at startup.
+    pub workers: usize,
+    pub persist_dir: Option<PathBuf>,
+    pub checkpoint_every: usize,
+}
+
+/// What the persistence layer restored at worker startup, summed across
+/// the pool by [`crate::ServerHost::persist_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// Documents restored from segment files.
+    pub docs_loaded: usize,
+    /// Of those, how many opened through the cached-load fast path (a
+    /// checkpoint resolved; the rest replayed their history cold).
+    pub docs_cached: usize,
+}
+
+impl PersistStats {
+    pub fn merge(&mut self, other: &PersistStats) {
+        self.docs_loaded += other.docs_loaded;
+        self.docs_cached += other.docs_cached;
+    }
+}
+
+/// The worker-private persistence layer: one open [`DocStore`] per owned
+/// document. Edits and received bundles are appended after every batch
+/// (crash-safe: a torn tail loses at most the last batch), checkpoints
+/// are written whenever a store's event counter passes the cadence.
+struct Persistence {
+    dir: PathBuf,
+    checkpoint_every: usize,
+    stores: HashMap<DocId, DocStore>,
+    stats: PersistStats,
+}
+
+impl Persistence {
+    fn doc_path(dir: &Path, doc: DocId) -> PathBuf {
+        dir.join(format!("doc-{}.seg", doc.0))
+    }
+
+    /// Opens the persist dir, claims every segment file whose document
+    /// shards to this worker, and installs the restored documents into
+    /// `replica`. Documents are materialised through the cached path when
+    /// their file holds a usable checkpoint.
+    fn open(
+        dir: PathBuf,
+        index: usize,
+        workers: usize,
+        checkpoint_every: usize,
+        replica: &mut Replica,
+    ) -> Self {
+        std::fs::create_dir_all(&dir).expect("create persist dir");
+        let mut this = Persistence {
+            dir,
+            checkpoint_every,
+            stores: HashMap::new(),
+            stats: PersistStats::default(),
+        };
+        let entries = std::fs::read_dir(&this.dir).expect("scan persist dir");
+        for entry in entries {
+            let entry = entry.expect("read persist dir entry");
+            let name = entry.file_name();
+            let Some(doc) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("doc-"))
+                .and_then(|n| n.strip_suffix(".seg"))
+                .and_then(|n| n.parse::<u64>().ok())
+                .map(DocId)
+            else {
+                continue;
+            };
+            if shard_for(doc, workers) != index {
+                continue;
+            }
+            let (store, loaded) = DocStore::open(entry.path())
+                .unwrap_or_else(|e| panic!("reopen segment store for doc {}: {e}", doc.0));
+            if !loaded.oplog.is_empty() {
+                this.stats.docs_loaded += 1;
+                if loaded.cached {
+                    this.stats.docs_cached += 1;
+                }
+                replica.install_doc(doc, loaded.oplog, loaded.branch);
+            }
+            this.stores.insert(doc, store);
+        }
+        this
+    }
+
+    /// Appends everything new in `doc` past its persisted frontier, and
+    /// writes a checkpoint when the cadence counter fills up.
+    fn persist(&mut self, replica: &Replica, doc: DocId) {
+        let Some((oplog, branch)) = replica.doc_parts(doc) else {
+            return;
+        };
+        let store = self.stores.entry(doc).or_insert_with(|| {
+            let (store, _) =
+                DocStore::open(Self::doc_path(&self.dir, doc)).expect("create segment store");
+            store
+        });
+        store.append_new(oplog).expect("append to segment store");
+        if store.events_since_checkpoint() >= self.checkpoint_every {
+            store.write_checkpoint(oplog, branch).expect("checkpoint");
+        }
+    }
+
+    /// Forces a checkpoint on every owned document with events past its
+    /// last checkpoint. Returns how many checkpoints were written.
+    fn checkpoint_all(&mut self, replica: &Replica) -> usize {
+        let mut written = 0;
+        for doc in replica.doc_ids() {
+            let Some((oplog, branch)) = replica.doc_parts(doc) else {
+                continue;
+            };
+            let store = self.stores.entry(doc).or_insert_with(|| {
+                let (store, _) =
+                    DocStore::open(Self::doc_path(&self.dir, doc)).expect("create segment store");
+                store
+            });
+            store.append_new(oplog).expect("append to segment store");
+            if store.events_since_checkpoint() > 0 {
+                store.write_checkpoint(oplog, branch).expect("checkpoint");
+                written += 1;
+            }
+        }
+        written
+    }
+}
+
 /// Everything a worker can be asked to do. Reply channels are per-call,
 /// created by the host for each fan-out.
 pub(crate) enum Job {
@@ -141,25 +279,51 @@ pub(crate) enum Job {
     Snapshot(Sender<Vec<(DocId, Vec<RemoteId>, String)>>),
     /// Hand over (and reset) the accumulated load report.
     Harvest(Sender<LoadReport>),
+    /// Force a checkpoint on every owned document that has events past
+    /// its last one; reply with the number written. No-op (0) without a
+    /// persist dir.
+    Checkpoint(Sender<usize>),
+    /// Report what persistence restored at startup (zeroes without a
+    /// persist dir).
+    Persisted(Sender<PersistStats>),
     /// Pure barrier: ack once every previously queued job is done.
     Flush(Sender<()>),
 }
 
 /// The worker main loop. Exits when the host drops all job senders.
 pub(crate) fn worker_main(
-    host_name: String,
+    ctx: WorkerCtx,
     jobs: Receiver<Job>,
     recycle: Sender<Vec<(u32, Instant)>>,
 ) {
-    let mut replica = Replica::new(&host_name);
-    let mut names = SessionNames::new(&host_name);
+    let mut replica = Replica::new(&ctx.host_name);
+    let mut names = SessionNames::new(&ctx.host_name);
     let mut report = LoadReport::default();
+    let mut persist = ctx.persist_dir.map(|dir| {
+        Persistence::open(
+            dir,
+            ctx.index,
+            ctx.workers,
+            ctx.checkpoint_every,
+            &mut replica,
+        )
+    });
+    // Scratch list of documents an edit batch touched, reused per batch.
+    let mut touched: Vec<DocId> = Vec::new();
 
     while let Ok(job) = jobs.recv() {
         match job {
             Job::Edits(batch) => {
                 for &(idx, submitted) in &batch.items {
                     let op = &batch.script[idx as usize];
+                    if persist.is_some() {
+                        if let FleetOp::Insert { doc, .. } | FleetOp::Delete { doc, .. } = op {
+                            let doc = DocId(*doc);
+                            if !touched.contains(&doc) {
+                                touched.push(doc);
+                            }
+                        }
+                    }
                     let outcome = apply_fleet_op(&mut replica, &mut names, op);
                     let nanos = submitted.elapsed().as_nanos() as u64;
                     match outcome {
@@ -173,6 +337,11 @@ pub(crate) fn worker_main(
                         }
                         FleetOutcome::Skipped => report.skipped += 1,
                         FleetOutcome::NonEdit => {}
+                    }
+                }
+                if let Some(p) = persist.as_mut() {
+                    for doc in touched.drain(..) {
+                        p.persist(&replica, doc);
                     }
                 }
                 let mut items = batch.items;
@@ -201,6 +370,11 @@ pub(crate) fn worker_main(
                 for (doc, bundle) in &bundles {
                     replica.receive_doc(*doc, bundle);
                 }
+                if let Some(p) = persist.as_mut() {
+                    for (doc, _) in &bundles {
+                        p.persist(&replica, *doc);
+                    }
+                }
             }
             Job::Encode(round) => round.steal(),
             Job::Snapshot(reply) => {
@@ -208,6 +382,17 @@ pub(crate) fn worker_main(
             }
             Job::Harvest(reply) => {
                 let _ = reply.send(std::mem::take(&mut report));
+            }
+            Job::Checkpoint(reply) => {
+                let written = persist.as_mut().map_or(0, |p| p.checkpoint_all(&replica));
+                let _ = reply.send(written);
+            }
+            Job::Persisted(reply) => {
+                let _ = reply.send(
+                    persist
+                        .as_ref()
+                        .map_or_else(PersistStats::default, |p| p.stats),
+                );
             }
             Job::Flush(reply) => {
                 let _ = reply.send(());

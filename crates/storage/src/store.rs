@@ -1,0 +1,323 @@
+//! [`DocStore`]: one document's append-only segment file.
+//!
+//! The store owns an append handle to the file and remembers which oplog
+//! version is already on disk, so persisting after an edit round is
+//! "encode the bundle since the persisted frontier, append one frame".
+//! Opening scans the file, truncates any torn tail
+//! ([`format::scan_frames`]), rebuilds the oplog from the event frames,
+//! and materialises the document through the cached-load fast path when a
+//! usable checkpoint is present ([`egwalker::OpLog::open_cached`]).
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use eg_encoding::varint::DecodeError;
+use eg_encoding::{apply_bundle_bytes, encode_bundle, ApplyBundleError};
+use eg_rle::HasLength as _;
+use egwalker::walker::{self, WalkerOpts};
+use egwalker::{Branch, BundleError, Frontier, OpLog};
+
+use crate::format::{
+    self, encode_checkpoint, push_frame, scan_frames, Checkpoint, FRAME_OVERHEAD,
+    RECORD_CHECKPOINT, RECORD_EVENTS,
+};
+
+/// Everything that can go wrong opening or appending to a segment store.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// A CRC-valid record had an undecodable payload (disk corruption
+    /// beyond a torn tail, or a file from a different format lineage).
+    Decode(DecodeError),
+    /// A committed event bundle no longer applies to the log rebuilt from
+    /// the records before it (only possible with external tampering).
+    Bundle(BundleError),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "segment store I/O: {e}"),
+            StorageError::Decode(e) => write!(f, "segment store record: {e}"),
+            StorageError::Bundle(e) => write!(f, "segment store bundle: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<DecodeError> for StorageError {
+    fn from(e: DecodeError) -> Self {
+        StorageError::Decode(e)
+    }
+}
+
+impl From<BundleError> for StorageError {
+    fn from(e: BundleError) -> Self {
+        StorageError::Bundle(e)
+    }
+}
+
+impl From<ApplyBundleError> for StorageError {
+    fn from(e: ApplyBundleError) -> Self {
+        match e {
+            ApplyBundleError::Decode(e) => StorageError::Decode(e),
+            ApplyBundleError::Bundle(e) => StorageError::Bundle(e),
+        }
+    }
+}
+
+/// The in-memory result of opening a store: the rebuilt oplog and the
+/// materialised document.
+#[derive(Debug)]
+pub struct LoadedDoc {
+    /// The full event graph rebuilt from the segment file.
+    pub oplog: OpLog,
+    /// The document at the oplog tip.
+    pub branch: Branch,
+    /// `true` if a checkpoint drove the cached-load fast path; `false`
+    /// means a cold full replay (no checkpoint, or one that did not
+    /// resolve against the rebuilt log).
+    pub cached: bool,
+}
+
+/// An open, append-positioned segment file for one document.
+#[derive(Debug)]
+pub struct DocStore {
+    path: PathBuf,
+    file: File,
+    /// The oplog version already committed to disk as event records.
+    persisted: Frontier,
+    /// Events appended since the last checkpoint record (the server's
+    /// checkpoint cadence counter).
+    events_since_checkpoint: usize,
+}
+
+impl DocStore {
+    /// Opens (or creates) the segment file at `path`, recovering from a
+    /// torn tail write by truncating to the last CRC-complete record.
+    ///
+    /// Returns the store (positioned to append) together with the rebuilt
+    /// [`LoadedDoc`].
+    pub fn open(path: impl AsRef<Path>) -> Result<(Self, LoadedDoc), StorageError> {
+        let path = path.as_ref();
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+
+        let (oplog, ck_view, image_len, since_checkpoint) = if bytes.is_empty() {
+            std::fs::write(path, format::file_header())?;
+            (OpLog::new(), None, None, 0)
+        } else {
+            let (frames, valid) = scan_frames(&bytes)?;
+
+            // The O(tail) fast path: restore the oplog from the newest
+            // checkpoint's bulk image and skip every event record before
+            // it (the writer commits covering event records *before* the
+            // checkpoint, so they are all contained in the image). A
+            // missing or corrupt image downgrades to replaying from the
+            // start of the file. The checkpoint itself is only *shallowly*
+            // parsed here — whether its tracker snapshot is ever decoded
+            // is decided below, after the tail's shape is known.
+            let last_ck = frames.iter().rposition(|f| f.kind == RECORD_CHECKPOINT);
+            let mut ck_view: Option<format::CheckpointView<'_>> = None;
+            let mut image_len: Option<usize> = None;
+            let mut replay_from = 0;
+            let mut oplog = OpLog::new();
+            if let Some(i) = last_ck {
+                let view = format::read_checkpoint(frames[i].payload)?;
+                if let Some(img) = view.oplog_image {
+                    if let Ok(log) = eg_encoding::decode_oplog_image(img) {
+                        image_len = Some(log.len());
+                        oplog = log;
+                        replay_from = i + 1;
+                    }
+                }
+                ck_view = Some(view);
+            }
+
+            let mut since_checkpoint = 0usize;
+            for frame in &frames[replay_from..] {
+                match frame.kind {
+                    RECORD_EVENTS => {
+                        // Streaming apply: no intermediate EventBundle.
+                        // Non-atomicity is fine here — `oplog` is local to
+                        // this open and discarded on error.
+                        let new = apply_bundle_bytes(&mut oplog, frame.payload)
+                            .map_err(StorageError::from)?;
+                        since_checkpoint += new.len();
+                    }
+                    RECORD_CHECKPOINT => {
+                        // Only reached on the replay (downgrade) path or
+                        // for checkpoints before the newest one.
+                        since_checkpoint = 0;
+                    }
+                    _ => unreachable!("scan_frames only yields known kinds"),
+                }
+            }
+            if valid == 0 {
+                // Torn header: nothing was committed. Start the file over.
+                std::fs::write(path, format::file_header())?;
+            } else if valid < bytes.len() {
+                // Torn or corrupt tail: drop it so appends continue
+                // from the last committed record.
+                let f = OpenOptions::new().write(true).open(path)?;
+                f.set_len(valid as u64)?;
+            }
+            (oplog, ck_view, image_len, since_checkpoint)
+        };
+
+        // Resolve the newest checkpoint against the rebuilt log. Each
+        // check that fails downgrades gracefully: an unresolvable frontier
+        // means a cold replay, an invalid snapshot means a snapshot-less
+        // cached open (fresh conflict-window walk from the checkpoint).
+        //
+        // When the image restored and the post-checkpoint tail is one
+        // linear chain at the checkpoint version, nothing in the tail is
+        // concurrent with anything: the raw ops replay verbatim onto the
+        // checkpoint text ([`Branch::apply_sequential_tail`]) — no walker,
+        // and the snapshot section is skipped without even parsing it.
+        // The common single-author reopen stays O(tail). Only a tail with
+        // real concurrency pays for decoding the snapshot and resuming
+        // the tracker.
+        let mut resolved: Option<(
+            &str,
+            Frontier,
+            Option<usize>,
+            Option<egwalker::TrackerSnapshot>,
+        )> = None;
+        if let Some(view) = &ck_view {
+            let lvs: Option<Vec<egwalker::LV>> = view
+                .version_ids()
+                .map(|(agent, seq)| {
+                    let a = oplog.agents.agent_id(agent)?;
+                    oplog.agents.try_remote_to_lv(a, seq)
+                })
+                .collect();
+            if let Some(lvs) = lvs {
+                let frontier = oplog.graph.find_dominators(&lvs);
+                let tail_from = image_len.filter(|&from| {
+                    oplog
+                        .graph
+                        .is_sequential_extension(from, frontier.as_slice())
+                });
+                let snapshot = if tail_from.is_some() {
+                    None
+                } else {
+                    view.snapshot
+                        .and_then(|raw| format::decode_snapshot(raw).ok())
+                        .filter(|s| s.validate(oplog.len()).is_ok())
+                };
+                resolved = Some((view.content, frontier, tail_from, snapshot));
+            }
+        }
+        let (branch, cached) = match resolved {
+            Some((content, frontier, Some(tail_from), _)) => {
+                let mut b = Branch::from_cached(content, frontier);
+                b.apply_sequential_tail(&oplog, (tail_from..oplog.len()).into());
+                (b, true)
+            }
+            Some((content, frontier, None, snapshot)) => (
+                oplog.open_cached(content, frontier.as_slice(), snapshot.as_ref()),
+                true,
+            ),
+            None => (oplog.checkout_tip(), false),
+        };
+
+        let file = OpenOptions::new().append(true).open(path)?;
+        let store = DocStore {
+            path: path.to_path_buf(),
+            file,
+            persisted: oplog.version().clone(),
+            events_since_checkpoint: since_checkpoint,
+        };
+        Ok((
+            store,
+            LoadedDoc {
+                oplog,
+                branch,
+                cached,
+            },
+        ))
+    }
+
+    /// The segment file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The oplog version already committed as event records.
+    pub fn persisted_version(&self) -> &Frontier {
+        &self.persisted
+    }
+
+    /// Events appended since the last checkpoint record was written.
+    pub fn events_since_checkpoint(&self) -> usize {
+        self.events_since_checkpoint
+    }
+
+    /// Appends one event record covering everything in `oplog` past the
+    /// persisted frontier. Returns the number of events committed (0 when
+    /// already up to date — nothing is written).
+    pub fn append_new(&mut self, oplog: &OpLog) -> Result<usize, StorageError> {
+        let bundle = oplog.bundle_since_local(self.persisted.as_slice());
+        if bundle.runs.is_empty() {
+            return Ok(0);
+        }
+        let events: usize = bundle.runs.iter().map(|r| r.len()).sum();
+        let payload = encode_bundle(&bundle);
+        let mut frame = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+        push_frame(&mut frame, RECORD_EVENTS, &payload);
+        self.file.write_all(&frame)?;
+        self.persisted = oplog.version().clone();
+        self.events_since_checkpoint += events;
+        Ok(events)
+    }
+
+    /// Appends a checkpoint record for `branch` (the document at some
+    /// version of `oplog`, normally the tip) and resets the cadence
+    /// counter. Any unpersisted events are committed first, so the
+    /// checkpoint's version is always covered by the event records before
+    /// it — the invariant recovery relies on.
+    ///
+    /// The tracker snapshot is built fresh at the branch version
+    /// ([`walker::tracker_at`]); at a critical version it degenerates to
+    /// the placeholder and costs nothing to restore.
+    pub fn write_checkpoint(&mut self, oplog: &OpLog, branch: &Branch) -> Result<(), StorageError> {
+        self.append_new(oplog)?;
+        let snapshot = walker::tracker_at(oplog, branch.version.as_slice(), WalkerOpts::default())
+            .to_snapshot();
+        let ck = Checkpoint {
+            version: branch
+                .version
+                .iter()
+                .map(|&lv| oplog.lv_to_remote(lv))
+                .collect(),
+            content: branch.content.to_string(),
+            snapshot: Some(snapshot),
+            oplog_image: Some(eg_encoding::encode_oplog_image(oplog)),
+        };
+        let payload = encode_checkpoint(&ck);
+        let mut frame = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+        push_frame(&mut frame, RECORD_CHECKPOINT, &payload);
+        self.file.write_all(&frame)?;
+        self.events_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Forces the file's data to stable storage (`fdatasync`).
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}

@@ -417,6 +417,30 @@ impl Replica {
         self.doc(doc).map_or(0, |d| d.pending.len())
     }
 
+    /// Borrows `doc`'s oplog and branch, e.g. for a persistence layer
+    /// appending the log tail and writing checkpoints.
+    pub fn doc_parts(&self, doc: DocId) -> Option<(&OpLog, &Branch)> {
+        self.doc(doc).map(|d| (&d.oplog, &d.branch))
+    }
+
+    /// Installs a document rebuilt by a persistence layer (a segment-store
+    /// reopen): the full oplog plus the branch materialised at its tip.
+    /// Replaces any state this replica held for `doc`; the causal buffer
+    /// starts empty and the walker tracker starts fresh.
+    pub fn install_doc(&mut self, doc: DocId, mut oplog: OpLog, branch: Branch) {
+        debug_assert_eq!(&branch.version, oplog.version(), "branch must be at tip");
+        oplog.get_or_create_agent(&self.name);
+        self.docs.insert(
+            doc,
+            DocState {
+                oplog,
+                branch,
+                pending: Vec::new(),
+                tracker: Tracker::new(),
+            },
+        );
+    }
+
     /// Canonical comparable state: per non-empty document, the sorted
     /// digest and the text. Two replicas (or any unions of per-shard
     /// replicas, e.g. a worker pool's) hold the same documents iff their

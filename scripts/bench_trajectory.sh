@@ -44,6 +44,11 @@ EG_SCALE="$SCALE" cargo run --release -q -p eg-bench --bin fig10_memusage -- \
 EG_SCALE="$SCALE" EG_WORKERS="${EG_WORKERS:-1,2,4,8}" \
     cargo run --release -q -p eg-bench --bin server_load -- \
     --json "$OUT_DIR/server_load.json"
+# Segment-store open: cold replay vs checkpointed cached load. The
+# speedup_x columns are same-machine ratios, enforced even when absolute
+# timings are advisory.
+EG_SCALE="$SCALE" cargo run --release -q -p eg-bench --bin doc_load -- \
+    --json "$OUT_DIR/doc_load.json"
 
 echo "== captured =="
 ls -l "$OUT_DIR"/*.json

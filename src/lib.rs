@@ -10,6 +10,7 @@
 //! * [`rle`], [`dag`], [`content_tree`], [`rope`] — its substrates;
 //! * [`crdt_ref`], [`ot`] — the evaluation baselines;
 //! * [`encoding`] — the on-disk format;
+//! * [`storage`] — the append-only segment store and checkpointed loads;
 //! * [`sync`] — causal broadcast replication over a simulated network;
 //! * [`server`] — the multi-core shard-affinity host over [`sync`];
 //! * [`trace`] — the benchmark workload suite.
@@ -27,6 +28,7 @@ pub use eg_ot as ot;
 pub use eg_rle as rle;
 pub use eg_rope as rope;
 pub use eg_server as server;
+pub use eg_storage as storage;
 pub use eg_sync as sync;
 pub use eg_trace as trace;
 pub use egwalker as core_crate;
