@@ -1,0 +1,61 @@
+//! `eg-analyze` — workspace invariant checker.
+//!
+//! Three passes over a hand-rolled token stream (no syn/quote):
+//!
+//! 1. **Panic-freedom** ([`panic_free`]): files listed in
+//!    `analyze.toml [panic_free]` must not call the panicking surface
+//!    outside tests and per-fn carve-outs.
+//! 2. **Allocation discipline** ([`alloc`]): fns in the hot-path
+//!    manifest must not transitively reach allocating calls.
+//! 3. **Unsafe audit** ([`unsafe_audit`]): every `unsafe` needs a
+//!    `// SAFETY:` comment and a committed inventory line.
+//!
+//! Findings surviving the committed allowlist fail the run; allowlist
+//! entries that match nothing are themselves findings (stale-allow).
+
+pub mod alloc;
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod panic_free;
+pub mod scan;
+pub mod toml_lite;
+pub mod unsafe_audit;
+pub mod workspace;
+
+use std::path::Path;
+
+use diag::Finding;
+
+/// Runs all three passes on the workspace at `root` and returns the
+/// post-allowlist findings, sorted. An empty vec means the gate passes.
+pub fn run_check(root: &Path, write_inventory: bool) -> Result<Vec<Finding>, String> {
+    let cfg = config::load_config(root)?;
+    let allow = config::load_allowlist(root)?;
+    let scans = workspace::scan_workspace(root)?;
+
+    let mut findings = Vec::new();
+    panic_free::check(&scans, &cfg, &mut findings);
+    alloc::check(&scans, &cfg, &mut findings);
+    unsafe_audit::check(&scans, &cfg, root, write_inventory, &mut findings)?;
+
+    let mut findings = diag::apply_allowlist(findings, &allow);
+    diag::sort_findings(&mut findings);
+    Ok(findings)
+}
+
+/// Renders findings plus a one-line verdict, exactly as the golden
+/// fixture files record it.
+pub fn render_report(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str("eg-analyze: clean\n");
+    } else {
+        out.push_str(&format!("eg-analyze: {} finding(s)\n", findings.len()));
+    }
+    out
+}

@@ -1,0 +1,33 @@
+//! Fixture: the allocation pass must follow `hot_loop -> step -> grow`
+//! and flag the transitive `push`, stop at the `prepare` setup fn,
+//! honour the `// ALLOC:` line waiver in `waived`, and never reach
+//! `cold_path`.
+
+pub fn hot_loop(buf: &mut Vec<u8>, n: usize) {
+    for _ in 0..n {
+        step(buf);
+    }
+    prepare(buf);
+    waived(buf);
+}
+
+fn step(buf: &mut Vec<u8>) {
+    grow(buf);
+}
+
+fn grow(buf: &mut Vec<u8>) {
+    buf.push(1);
+}
+
+fn prepare(buf: &mut Vec<u8>) {
+    buf.reserve(64);
+}
+
+fn waived(buf: &mut Vec<u8>) {
+    // ALLOC: fixed-capacity inline buffer in the real workspace
+    buf.push(2);
+}
+
+pub fn cold_path(out: &mut Vec<u8>) {
+    out.extend_from_slice(b"unreached");
+}

@@ -1,0 +1,33 @@
+//! Fixture: the panic-freedom pass must flag every pattern below in
+//! `decode`, suppress `masked_lookup` via the allowlist, skip `encode`
+//! via the config carve-out, and ignore the test module entirely.
+
+const TABLE: [u32; 16] = [0; 16];
+
+pub fn decode(bytes: &[u8]) -> usize {
+    let first = bytes.first().copied().unwrap();
+    let second = bytes[1];
+    let total = bytes.len() + second as usize;
+    let small = total as u16;
+    assert!(total > 0);
+    first as usize + small as usize
+}
+
+pub fn masked_lookup(i: usize) -> u32 {
+    TABLE[i & 0xF]
+}
+
+pub fn encode(out: &mut Vec<u8>, vals: &[usize]) {
+    for k in 0..vals.len() {
+        out.push(vals[k] as u8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_code_is_ignored() {
+        let v = [1, 2, 3];
+        assert_eq!(v[0], 1);
+    }
+}

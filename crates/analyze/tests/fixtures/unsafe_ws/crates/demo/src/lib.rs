@@ -1,0 +1,17 @@
+//! Fixture: the unsafe audit must accept the documented fn, flag the
+//! undocumented block, and diff both directions against the committed
+//! inventory (one new site, one stale line).
+
+/// Reads the byte `ptr` points at.
+///
+/// # Safety
+/// `ptr` must be valid for reads.
+// SAFETY: the caller contract above is the whole obligation.
+pub unsafe fn documented(ptr: *const u8) -> u8 {
+    // SAFETY: caller guarantees `ptr` is valid for reads.
+    unsafe { *ptr }
+}
+
+pub fn undocumented(bytes: &[u8]) -> u8 {
+    unsafe { bytes.as_ptr().read() }
+}

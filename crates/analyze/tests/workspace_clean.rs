@@ -1,0 +1,16 @@
+//! Self-check: the real workspace must pass its own gate — the exact
+//! invocation CI runs. A stale allowlist entry is itself a finding, so
+//! `clean` also proves the committed allowlist carries no dead weight.
+
+use std::path::Path;
+
+#[test]
+fn workspace_gate_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = eg_analyze::run_check(&root, false).expect("workspace gate must run");
+    assert!(
+        findings.is_empty(),
+        "eg-analyze found regressions:\n{}",
+        eg_analyze::render_report(&findings)
+    );
+}

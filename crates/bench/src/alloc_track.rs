@@ -32,6 +32,8 @@ pub struct TrackingAlloc;
 // updates atomic counters.
 unsafe impl GlobalAlloc for TrackingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: `layout` is forwarded verbatim under `GlobalAlloc`'s
+        // own contract.
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
@@ -42,12 +44,18 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         p
     }
 
+    // SAFETY: caller upholds `GlobalAlloc`'s contract (`ptr` came from
+    // this allocator with this `layout`); both are forwarded verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: see fn-level comment.
         unsafe { System.dealloc(ptr, layout) };
         CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
+    // SAFETY: caller upholds `GlobalAlloc`'s contract (`ptr` came from
+    // this allocator with this `layout`); all three are forwarded.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: see fn-level comment.
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             let old = layout.size();

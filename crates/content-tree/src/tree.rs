@@ -192,7 +192,7 @@ impl<T: Default, const N: usize> InlineVec<T, N> {
     fn split_off_tail(&mut self, at: usize) -> Self {
         let mut out = Self::new();
         for i in at..self.len() {
-            out.push(std::mem::take(&mut self.items[i]));
+            out.push(std::mem::take(&mut self.items[i])); // ALLOC: InlineVec, fixed inline capacity, no heap
         }
         self.len = at as u32;
         out
@@ -931,10 +931,10 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
             {
                 let n = &mut self.internals[new_root.slot()];
                 n.leaf_children = matches!(after, NodeRef::Leaf(_));
-                n.children.push(after.raw());
-                n.children.push(new_child.raw());
-                n.widths.push(w_after);
-                n.widths.push(w_new);
+                n.children.push(after.raw()); // ALLOC: InlineVec, fixed inline capacity, no heap
+                n.children.push(new_child.raw()); // ALLOC: InlineVec, no heap
+                n.widths.push(w_after); // ALLOC: InlineVec, no heap
+                n.widths.push(w_new); // ALLOC: InlineVec, no heap
             }
             self.set_parent(after, Some(new_root));
             self.set_parent(new_child, Some(new_root));
@@ -1032,7 +1032,7 @@ impl<E: TreeEntry, const N: usize> ContentTree<E, N> {
                 let prev = &mut l.entries.as_mut_slice()[entry_idx - 1];
                 if prev.can_append(&e) {
                     let at = prev.len();
-                    prev.append(e.clone());
+                    prev.append(e.clone()); // ALLOC: RLE append extends the entry in place, no heap
                     notify(&e, leaf_idx);
                     self.repair_path_delta(NodeRef::Leaf(leaf_idx), net);
                     return Cursor {

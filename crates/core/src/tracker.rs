@@ -769,7 +769,7 @@ impl<const N: usize> Tracker<N> {
         // up on the concurrent traces.
         let mut runs = std::mem::take(&mut self.prepare_scratch);
         runs.clear();
-        runs.extend(oplog.ops_in(range));
+        runs.extend(oplog.ops_in(range)); // ALLOC: pooled prepare_scratch, capacity retained across walks
         match dir {
             Dir::Retreat => {
                 for i in (0..runs.len()).rev() {
@@ -1259,6 +1259,7 @@ impl<const N: usize> Tracker<N> {
                         }
                         debug_assert_eq!(e.sp, SpState::Ins);
                         let take = remaining.min(e.len() - off);
+                        // ALLOC: pooled delete scratch, capacity retained across walks
                         pieces.push(DelPiece {
                             ids: (e.id.start + off..e.id.start + off + take).into(),
                             was_deleted: e.se_deleted,

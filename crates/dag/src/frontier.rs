@@ -36,7 +36,7 @@ impl Frontier {
     /// for hot loops that move a version forward run by run).
     pub fn replace_with_1(&mut self, lv: LV) {
         self.0.clear();
-        self.0.push(lv);
+        self.0.push(lv); // ALLOC: 1-slot vec reuse, capacity retained
     }
 
     /// Builds a frontier from unsorted LVs, sorting and de-duplicating.

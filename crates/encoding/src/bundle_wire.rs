@@ -20,8 +20,8 @@
 //! CRC32 of everything above (4 bytes little-endian)
 //! ```
 
-use crate::crc::crc32;
-use crate::varint::{push_usize, read_usize, take, DecodeError};
+use crate::crc::{crc32, split_crc};
+use crate::varint::{push_usize, read_u8, read_usize, take, DecodeError};
 use eg_dag::{AgentId, RemoteId};
 use eg_rle::HasLength;
 use egwalker::{BundleError, BundleRun, EventBundle, ListOpKind, OpLog, RunView};
@@ -105,11 +105,7 @@ pub fn encode_bundle(bundle: &EventBundle) -> Vec<u8> {
 /// [`egwalker::OpLog::apply_bundle`]'s job, because it depends on the
 /// receiving replica's state.
 pub fn decode_bundle(bytes: &[u8]) -> Result<EventBundle, DecodeError> {
-    if bytes.len() < BUNDLE_MAGIC.len() + 1 + 4 {
-        return Err(DecodeError::UnexpectedEof);
-    }
-    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
-    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let (body, stored) = split_crc(bytes).ok_or(DecodeError::UnexpectedEof)?;
     if crc32(body) != stored {
         return Err(DecodeError::Corrupt);
     }
@@ -118,7 +114,7 @@ pub fn decode_bundle(bytes: &[u8]) -> Result<EventBundle, DecodeError> {
     if magic != BUNDLE_MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let version = take(&mut input, 1)?[0];
+    let version = read_u8(&mut input)?;
     if version != BUNDLE_VERSION {
         return Err(DecodeError::Corrupt);
     }
@@ -148,7 +144,7 @@ pub fn decode_bundle(bytes: &[u8]) -> Result<EventBundle, DecodeError> {
             .ok_or(DecodeError::Corrupt)?
             .to_string();
         let seq_start = read_usize(&mut input)?;
-        let flags = take(&mut input, 1)?[0];
+        let flags = read_u8(&mut input)?;
         if flags & !3 != 0 {
             return Err(DecodeError::Corrupt);
         }
@@ -257,11 +253,7 @@ pub fn apply_bundle_bytes(
     oplog: &mut OpLog,
     bytes: &[u8],
 ) -> Result<eg_rle::DTRange, ApplyBundleError> {
-    if bytes.len() < BUNDLE_MAGIC.len() + 1 + 4 {
-        return Err(DecodeError::UnexpectedEof.into());
-    }
-    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
-    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let (body, stored) = split_crc(bytes).ok_or(DecodeError::UnexpectedEof)?;
     if crc32(body) != stored {
         return Err(DecodeError::Corrupt.into());
     }
@@ -270,7 +262,7 @@ pub fn apply_bundle_bytes(
     if magic != BUNDLE_MAGIC {
         return Err(DecodeError::BadMagic.into());
     }
-    let version = take(&mut input, 1)?[0];
+    let version = read_u8(&mut input)?;
     if version != BUNDLE_VERSION {
         return Err(DecodeError::Corrupt.into());
     }
@@ -299,7 +291,7 @@ pub fn apply_bundle_bytes(
         let agent_idx = read_usize(&mut input)?;
         let &agent = ids.get(agent_idx).ok_or(DecodeError::Corrupt)?;
         let seq_start = read_usize(&mut input)?;
-        let flags = take(&mut input, 1)?[0];
+        let flags = read_u8(&mut input)?;
         if flags & !3 != 0 {
             return Err(DecodeError::Corrupt.into());
         }

@@ -42,20 +42,35 @@ pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     let mut chunks = data.chunks_exact(8);
     for c in &mut chunks {
-        let lo = crc ^ u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        let &[b0, b1, b2, b3, b4, b5, b6, b7] = c else {
+            break; // chunks_exact(8) only yields 8-byte slices
+        };
+        let lo = crc ^ u32::from_le_bytes([b0, b1, b2, b3]);
         crc = TABLES[7][(lo & 0xFF) as usize]
             ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
             ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
             ^ TABLES[4][(lo >> 24) as usize]
-            ^ TABLES[3][c[4] as usize]
-            ^ TABLES[2][c[5] as usize]
-            ^ TABLES[1][c[6] as usize]
-            ^ TABLES[0][c[7] as usize];
+            ^ TABLES[3][b4 as usize]
+            ^ TABLES[2][b5 as usize]
+            ^ TABLES[1][b6 as usize]
+            ^ TABLES[0][b7 as usize];
     }
     for &byte in chunks.remainder() {
         crc = (crc >> 8) ^ TABLES[0][((crc ^ byte as u32) & 0xFF) as usize];
     }
     !crc
+}
+
+/// Splits a frame into its body and the trailing little-endian CRC32,
+/// or `None` when `bytes` is too short to hold the 4-byte trailer.
+///
+/// Every trailing-checksum codec (bundles, digests, event-graph files)
+/// shares this split so their decode paths stay free of raw slicing.
+pub fn split_crc(bytes: &[u8]) -> Option<(&[u8], u32)> {
+    let split = bytes.len().checked_sub(4)?;
+    let body = bytes.get(..split)?;
+    let tail: [u8; 4] = bytes.get(split..)?.try_into().ok()?;
+    Some((body, u32::from_le_bytes(tail)))
 }
 
 #[cfg(test)]

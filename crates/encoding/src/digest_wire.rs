@@ -30,8 +30,8 @@
 //! ```
 
 use crate::bundle_wire::{decode_bundle, encode_bundle};
-use crate::crc::crc32;
-use crate::varint::{push_u64, push_usize, read_u64, read_usize, take, DecodeError};
+use crate::crc::{crc32, split_crc};
+use crate::varint::{push_u64, push_usize, read_u64, read_u8, read_usize, take, DecodeError};
 use eg_dag::RemoteId;
 use egwalker::EventBundle;
 use std::collections::HashMap;
@@ -165,21 +165,18 @@ pub fn decode_bundle_batch(bytes: &[u8]) -> Result<Vec<(u64, EventBundle)>, Deco
 /// Validates magic, version, and trailing CRC32; returns the body between
 /// the version byte and the checksum.
 fn check_frame<'a>(bytes: &'a [u8], magic: &[u8; 4]) -> Result<&'a [u8], DecodeError> {
-    if bytes.len() < magic.len() + 1 + 4 {
-        return Err(DecodeError::UnexpectedEof);
-    }
-    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
-    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let (body, stored) = split_crc(bytes).ok_or(DecodeError::UnexpectedEof)?;
     if crc32(body) != stored {
         return Err(DecodeError::Corrupt);
     }
-    if &body[..4] != magic {
+    let mut input = body;
+    if take(&mut input, magic.len())? != magic.as_slice() {
         return Err(DecodeError::BadMagic);
     }
-    if body[4] != WIRE_VERSION {
+    if read_u8(&mut input)? != WIRE_VERSION {
         return Err(DecodeError::Corrupt);
     }
-    Ok(&body[5..])
+    Ok(input)
 }
 
 #[cfg(test)]

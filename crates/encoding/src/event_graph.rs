@@ -16,9 +16,9 @@
 //!
 //! The container is `EGWALKR1` + type-tagged chunks + a trailing CRC32.
 
-use crate::crc::crc32;
+use crate::crc::{crc32, split_crc};
 use crate::lz4;
-use crate::varint::{push_i64, push_usize, read_i64, read_usize, DecodeError};
+use crate::varint::{push_i64, push_usize, read_i64, read_usize, take, DecodeError};
 use eg_rle::{DTRange, HasLength};
 use egwalker::convert::{to_crdt_ops, CrdtOp};
 use egwalker::walker::events_apply_cleanly;
@@ -250,26 +250,21 @@ fn read_text_block(mut payload: &[u8]) -> Result<String, DecodeError> {
 
 #[allow(clippy::type_complexity)]
 fn split_chunks(data: &[u8]) -> Result<(Vec<(u8, &[u8])>, usize), DecodeError> {
-    if data.len() < MAGIC.len() + 4 || &data[..MAGIC.len()] != MAGIC {
+    let (body, stored_crc) = split_crc(data).ok_or(DecodeError::BadMagic)?;
+    let mut cursor = body;
+    if take(&mut cursor, MAGIC.len()).map_err(|_| DecodeError::BadMagic)? != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let body_end = data.len() - 4;
-    let stored_crc = u32::from_le_bytes(data[body_end..].try_into().unwrap());
-    if crc32(&data[..body_end]) != stored_crc {
+    if crc32(body) != stored_crc {
         return Err(DecodeError::Corrupt);
     }
-    let mut cursor = &data[MAGIC.len()..body_end];
     let n = read_usize(&mut cursor)?;
     let mut chunks = Vec::new();
     while !cursor.is_empty() {
         let (&tag, rest) = cursor.split_first().ok_or(DecodeError::UnexpectedEof)?;
         cursor = rest;
         let len = read_usize(&mut cursor)?;
-        if cursor.len() < len {
-            return Err(DecodeError::UnexpectedEof);
-        }
-        chunks.push((tag, &cursor[..len]));
-        cursor = &cursor[len..];
+        chunks.push((tag, take(&mut cursor, len)?));
     }
     Ok((chunks, n))
 }
@@ -297,12 +292,9 @@ pub fn decode(data: &[u8]) -> Result<Decoded, DecodeError> {
     let mut agents = Vec::with_capacity(num_agents);
     for _ in 0..num_agents {
         let len = read_usize(&mut names_cur)?;
-        if names_cur.len() < len {
-            return Err(DecodeError::UnexpectedEof);
-        }
-        let name = std::str::from_utf8(&names_cur[..len]).map_err(|_| DecodeError::BadUtf8)?;
+        let raw = take(&mut names_cur, len)?;
+        let name = std::str::from_utf8(raw).map_err(|_| DecodeError::BadUtf8)?;
         agents.push(oplog.get_or_create_agent(name));
-        names_cur = &names_cur[len..];
     }
 
     // Ops.
@@ -327,20 +319,25 @@ pub fn decode(data: &[u8]) -> Result<Decoded, DecodeError> {
             ListOpKind::Ins
         };
         let fwd = head & 1 != 0;
-        let pos = prev_pos + read_i64(&mut ops_cur)?;
+        let pos = prev_pos
+            .checked_add(read_i64(&mut ops_cur)?)
+            .ok_or(DecodeError::Corrupt)?;
+        if pos < 0 || len == 0 {
+            return Err(DecodeError::Corrupt);
+        }
         // `pos + len` must not overflow: backward-delete rebuild computes
         // `pos + len - 1`, and a wrap there turns a corrupt file into an
         // assertion failure inside `add_backspace_at` (fuzz-found).
-        if pos < 0 || len == 0 || (pos as usize).checked_add(len).is_none() {
-            return Err(DecodeError::Corrupt);
-        }
+        let op_end = (pos as usize)
+            .checked_add(len)
+            .ok_or(DecodeError::Corrupt)?;
         // Structural position bound: events are in topological order, so an
         // op can never address past the characters all earlier events could
         // have inserted. Catches wild positions cheaply; the exact check is
         // the length-simulation replay after the rebuild.
         let bound = match kind {
             ListOpKind::Ins => pos as usize,
-            ListOpKind::Del => pos as usize + len,
+            ListOpKind::Del => op_end,
         };
         if bound > inserts {
             return Err(DecodeError::Corrupt);
@@ -428,9 +425,10 @@ pub fn decode(data: &[u8]) -> Result<Decoded, DecodeError> {
     // chars in order; files with omitted deleted content substitute
     // replacement characters once the stream dries up.
     while lv < n {
-        let op = &ops[op_i];
-        let (plen, parents) = &parents_runs[par_i];
-        let (agent, seq_start, alen) = assigns[asn_i];
+        let op = ops.get(op_i).ok_or(DecodeError::Corrupt)?;
+        let (plen, parents) = parents_runs.get(par_i).ok_or(DecodeError::Corrupt)?;
+        let &(agent, seq_start, alen) = assigns.get(asn_i).ok_or(DecodeError::Corrupt)?;
+        let &agent_id = agents.get(agent).ok_or(DecodeError::Corrupt)?;
         let chunk_len = (op.len - op_off).min(plen - par_off).min(alen - asn_off);
         // All three streams were validated non-degenerate above; a zero
         // chunk would emit an empty run or stall the loop. Belt and
@@ -449,23 +447,25 @@ pub fn decode(data: &[u8]) -> Result<Decoded, DecodeError> {
                     .map(|_| content_chars.next().unwrap_or('\u{FFFD}'))
                     .collect();
                 let pos = op.pos + op_off;
-                oplog.add_insert_at(agents[agent], &parents_here, pos, &text);
+                oplog.add_insert_at(agent_id, &parents_here, pos, &text);
             }
             ListOpKind::Del => {
                 if op.fwd {
-                    oplog.add_delete_at(agents[agent], &parents_here, op.pos, chunk_len);
+                    oplog.add_delete_at(agent_id, &parents_here, op.pos, chunk_len);
                 } else {
                     // Backward runs: this chunk deletes the top of the
-                    // remaining range.
-                    let top = op.pos + op.len - 1 - op_off;
-                    oplog.add_backspace_at(agents[agent], &parents_here, top, chunk_len);
+                    // remaining range. `pos + len` was overflow-checked
+                    // at parse time, and `op_off < len`.
+                    let op_end = op.pos.checked_add(op.len).ok_or(DecodeError::Corrupt)?;
+                    let top = op_end - 1 - op_off;
+                    oplog.add_backspace_at(agent_id, &parents_here, top, chunk_len);
                 }
             }
         }
         // Verify the agent assignment matches what add_* allocated.
         let expect_seq = seq_start + asn_off;
         let got = oplog.agents.lv_to_agent_span(lv);
-        if got.agent != agents[agent] || got.seq_range.start != expect_seq {
+        if got.agent != agent_id || got.seq_range.start != expect_seq {
             return Err(DecodeError::Corrupt);
         }
         lv += chunk_len;

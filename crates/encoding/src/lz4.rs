@@ -122,38 +122,51 @@ pub fn decompress(mut input: &[u8], max_size: usize) -> Result<Vec<u8>, &'static
         if lit_len == 15 {
             lit_len += read_length(&mut input)?;
         }
-        if input.len() < lit_len {
-            return Err("truncated literals");
-        }
-        if out.len() + lit_len > max_size {
+        let lit = input.get(..lit_len).ok_or("truncated literals")?;
+        let new_len = out
+            .len()
+            .checked_add(lit_len)
+            .ok_or("output exceeds declared size")?;
+        if new_len > max_size {
             return Err("output exceeds declared size");
         }
-        out.extend_from_slice(&input[..lit_len]);
-        input = &input[lit_len..];
+        out.extend_from_slice(lit);
+        input = input.get(lit_len..).unwrap_or(&[]);
         if input.is_empty() {
             return Ok(out); // End of block after literals.
         }
         // Match.
-        if input.len() < 2 {
+        let &[o0, o1, ref rest @ ..] = input else {
             return Err("truncated offset");
-        }
-        let offset = u16::from_le_bytes([input[0], input[1]]) as usize;
-        input = &input[2..];
+        };
+        let offset = u16::from_le_bytes([o0, o1]) as usize;
+        input = rest;
         if offset == 0 || offset > out.len() {
             return Err("bad match offset");
         }
         let mut match_len = (token & 0x0f) as usize;
         if match_len == 15 {
-            match_len += read_length(&mut input)?;
+            match_len = match_len
+                .checked_add(read_length(&mut input)?)
+                .ok_or("output exceeds declared size")?;
         }
-        match_len += MIN_MATCH;
-        if out.len() + match_len > max_size {
+        match_len = match_len
+            .checked_add(MIN_MATCH)
+            .ok_or("output exceeds declared size")?;
+        let new_len = out
+            .len()
+            .checked_add(match_len)
+            .ok_or("output exceeds declared size")?;
+        if new_len > max_size {
             return Err("output exceeds declared size");
         }
-        // Overlapping copy, byte by byte.
-        let start = out.len() - offset;
-        for i in 0..match_len {
-            let b = out[start + i];
+        // Overlapping copy, byte by byte: `offset` stays fixed while the
+        // buffer grows, so `len - offset` always names the next source
+        // byte (offset <= out.len() was checked above).
+        for _ in 0..match_len {
+            let Some(&b) = out.get(out.len() - offset) else {
+                return Err("bad match offset");
+            };
             out.push(b);
         }
     }

@@ -117,14 +117,11 @@ pub fn encode_oplog_image(oplog: &OpLog) -> Vec<u8> {
 /// Restores an oplog from an image produced by [`encode_oplog_image`].
 pub fn decode_oplog_image(bytes: &[u8]) -> Result<OpLog, DecodeError> {
     let input = &mut { bytes };
-    if input.len() < IMAGE_MAGIC.len() + 1 {
-        return Err(DecodeError::UnexpectedEof);
-    }
-    let (magic, rest) = input.split_at(IMAGE_MAGIC.len() + 1);
-    if &magic[..IMAGE_MAGIC.len()] != IMAGE_MAGIC || magic[IMAGE_MAGIC.len()] != IMAGE_VERSION {
+    if varint::take(input, IMAGE_MAGIC.len())? != IMAGE_MAGIC
+        || varint::read_u8(input)? != IMAGE_VERSION
+    {
         return Err(DecodeError::BadMagic);
     }
-    *input = rest;
 
     // Agents.
     let n_names = varint::read_usize(input)?;
@@ -143,14 +140,14 @@ pub fn decode_oplog_image(bytes: &[u8]) -> Result<OpLog, DecodeError> {
         let agent = varint::read_usize(input)?;
         let seq_start = varint::read_usize(input)?;
         let len = varint::read_usize(input)?;
-        let (Some(&min_seq), Some(seq_end), Some(lv_end)) = (
-            next_seq.get(agent),
+        let (Some(slot), Some(seq_end), Some(lv_end)) = (
+            next_seq.get_mut(agent),
             seq_start.checked_add(len),
             next_lv.checked_add(len),
         ) else {
             return Err(DecodeError::Corrupt);
         };
-        if len == 0 || seq_start < min_seq {
+        if len == 0 || seq_start < *slot {
             return Err(DecodeError::Corrupt);
         }
         // The checks above are exactly `assign_at`'s panic conditions.
@@ -159,7 +156,7 @@ pub fn decode_oplog_image(bytes: &[u8]) -> Result<OpLog, DecodeError> {
             (seq_start..seq_end).into(),
             (next_lv..lv_end).into(),
         );
-        next_seq[agent] = seq_end;
+        *slot = seq_end;
         next_lv = lv_end;
     }
     let total = next_lv;

@@ -101,6 +101,14 @@ pub fn read_i64(input: &mut &[u8]) -> Result<i64, DecodeError> {
     Ok(((raw >> 1) as i64) ^ -((raw & 1) as i64))
 }
 
+/// Reads one raw byte, advancing `input` (shared by the wire codecs for
+/// version/flag bytes).
+pub fn read_u8(input: &mut &[u8]) -> Result<u8, DecodeError> {
+    let (&byte, rest) = input.split_first().ok_or(DecodeError::UnexpectedEof)?;
+    *input = rest;
+    Ok(byte)
+}
+
 /// Takes the next `n` raw bytes, advancing `input` (shared by the wire
 /// codecs for length-prefixed fields).
 pub fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {

@@ -96,53 +96,64 @@ pub struct RawFrame<'a> {
 /// write), but a complete header with the wrong magic or version is
 /// [`DecodeError::BadMagic`].
 pub fn scan_frames(bytes: &[u8]) -> Result<(Vec<RawFrame<'_>>, usize), DecodeError> {
-    if bytes.len() >= HEADER_LEN {
-        if &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC
-            || bytes[SEGMENT_MAGIC.len()] != FORMAT_VERSION
-        {
-            return Err(DecodeError::BadMagic);
-        }
-    } else {
-        // A torn header write: nothing committed yet.
-        if !SEGMENT_MAGIC.starts_with(
-            bytes
-                .get(..SEGMENT_MAGIC.len().min(bytes.len()))
-                .unwrap_or(&[]),
-        ) {
+    let Some(&version) = bytes.get(SEGMENT_MAGIC.len()) else {
+        // Shorter than a full header — a torn header write committed
+        // nothing, but bytes that aren't a magic prefix are not ours.
+        if !SEGMENT_MAGIC.starts_with(bytes) {
             return Err(DecodeError::BadMagic);
         }
         return Ok((Vec::new(), 0));
+    };
+    if bytes.get(..SEGMENT_MAGIC.len()) != Some(SEGMENT_MAGIC.as_slice())
+        || version != FORMAT_VERSION
+    {
+        return Err(DecodeError::BadMagic);
     }
 
     let mut frames = Vec::new();
     let mut pos = HEADER_LEN;
     loop {
-        let rest = &bytes[pos..];
+        let rest = bytes.get(pos..).unwrap_or(&[]);
         if rest.len() < FRAME_OVERHEAD {
             break;
         }
-        let kind = rest[0];
-        let len = u32::from_le_bytes(rest[1..5].try_into().expect("4 bytes")) as usize;
+        let (Some(&kind), Some(len)) = (rest.first(), rest.get(1..5).and_then(le_u32)) else {
+            break;
+        };
+        let len = len as usize;
         let Some(frame_end) = len.checked_add(FRAME_OVERHEAD) else {
             break;
         };
         if rest.len() < frame_end {
             break;
         }
-        let stored = u32::from_le_bytes(rest[5 + len..frame_end].try_into().expect("4 bytes"));
-        if crc32(&rest[..5 + len]) != stored {
+        // `body` is kind + len + payload; the CRC trailer follows it.
+        let body_end = frame_end - 4;
+        let (Some(body), Some(stored)) = (
+            rest.get(..body_end),
+            rest.get(body_end..frame_end).and_then(le_u32),
+        ) else {
+            break;
+        };
+        if crc32(body) != stored {
             break;
         }
         if kind != RECORD_EVENTS && kind != RECORD_CHECKPOINT {
             break;
         }
-        frames.push(RawFrame {
-            kind,
-            payload: &rest[5..5 + len],
-        });
+        let Some(payload) = rest.get(5..body_end) else {
+            break;
+        };
+        frames.push(RawFrame { kind, payload });
         pos += frame_end;
     }
     Ok((frames, pos))
+}
+
+/// Little-endian u32 from an exactly-4-byte slice.
+fn le_u32(bytes: &[u8]) -> Option<u32> {
+    let arr: [u8; 4] = bytes.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
 }
 
 /// A checkpoint record: the materialised document at a version, plus the
@@ -268,9 +279,14 @@ impl<'a> CheckpointView<'a> {
         let mut input = self.version_bytes;
         let n = self.n_version;
         (0..n).map(move |_| {
-            let agent = read_str(&mut input).expect("validated by read_checkpoint");
-            let seq = varint::read_usize(&mut input).expect("validated by read_checkpoint");
-            (agent, seq)
+            // `read_checkpoint` already walked this section, so both
+            // reads succeed; the fallbacks are dead code kept so the
+            // iterator stays panic-free by construction.
+            let agent = read_str(&mut input);
+            debug_assert!(agent.is_ok(), "validated by read_checkpoint");
+            let seq = varint::read_usize(&mut input);
+            debug_assert!(seq.is_ok(), "validated by read_checkpoint");
+            (agent.unwrap_or(""), seq.unwrap_or(0))
         })
     }
 }
@@ -289,7 +305,9 @@ pub fn read_checkpoint(bytes: &[u8]) -> Result<CheckpointView<'_>, DecodeError> 
         read_str(input)?;
         varint::read_usize(input)?;
     }
-    let version_bytes = &version_bytes[..version_bytes.len() - input.len()];
+    // `input` is a tail of `version_bytes`, so the subtraction holds.
+    let consumed = version_bytes.len().saturating_sub(input.len());
+    let version_bytes = version_bytes.get(..consumed).unwrap_or(&[]);
     let content = read_str(input)?;
     fn section<'a>(input: &mut &'a [u8]) -> Result<Option<&'a [u8]>, DecodeError> {
         let (&present, rest) = input.split_first().ok_or(DecodeError::UnexpectedEof)?;
@@ -361,10 +379,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<TrackerSnapshot, DecodeError> {
             1 => SpState::Ins,
             2 => {
                 let n = varint::read_u64(input)?;
-                if n > u32::MAX as u64 {
-                    return Err(DecodeError::Corrupt);
-                }
-                SpState::Del(n as u32)
+                SpState::Del(u32::try_from(n).map_err(|_| DecodeError::Corrupt)?)
             }
             _ => return Err(DecodeError::Corrupt),
         };

@@ -129,13 +129,16 @@ impl DocStore {
             // start of the file. The checkpoint itself is only *shallowly*
             // parsed here — whether its tracker snapshot is ever decoded
             // is decided below, after the tail's shape is known.
-            let last_ck = frames.iter().rposition(|f| f.kind == RECORD_CHECKPOINT);
+            let last_ck = frames
+                .iter()
+                .enumerate()
+                .rfind(|(_, f)| f.kind == RECORD_CHECKPOINT);
             let mut ck_view: Option<format::CheckpointView<'_>> = None;
             let mut image_len: Option<usize> = None;
             let mut replay_from = 0;
             let mut oplog = OpLog::new();
-            if let Some(i) = last_ck {
-                let view = format::read_checkpoint(frames[i].payload)?;
+            if let Some((i, ck_frame)) = last_ck {
+                let view = format::read_checkpoint(ck_frame.payload)?;
                 if let Some(img) = view.oplog_image {
                     if let Ok(log) = eg_encoding::decode_oplog_image(img) {
                         image_len = Some(log.len());
@@ -147,7 +150,7 @@ impl DocStore {
             }
 
             let mut since_checkpoint = 0usize;
-            for frame in &frames[replay_from..] {
+            for frame in frames.iter().skip(replay_from) {
                 match frame.kind {
                     RECORD_EVENTS => {
                         // Streaming apply: no intermediate EventBundle.
@@ -162,7 +165,9 @@ impl DocStore {
                         // for checkpoints before the newest one.
                         since_checkpoint = 0;
                     }
-                    _ => unreachable!("scan_frames only yields known kinds"),
+                    // `scan_frames` stops at the first unknown kind, so
+                    // this arm is dead; error instead of panicking.
+                    _ => return Err(DecodeError::Corrupt.into()),
                 }
             }
             if valid == 0 {
@@ -276,7 +281,7 @@ impl DocStore {
         }
         let events: usize = bundle.runs.iter().map(|r| r.len()).sum();
         let payload = encode_bundle(&bundle);
-        let mut frame = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+        let mut frame = Vec::with_capacity(payload.len().saturating_add(FRAME_OVERHEAD));
         push_frame(&mut frame, RECORD_EVENTS, &payload);
         self.file.write_all(&frame)?;
         self.persisted = oplog.version().clone();
@@ -308,7 +313,7 @@ impl DocStore {
             oplog_image: Some(eg_encoding::encode_oplog_image(oplog)),
         };
         let payload = encode_checkpoint(&ck);
-        let mut frame = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+        let mut frame = Vec::with_capacity(payload.len().saturating_add(FRAME_OVERHEAD));
         push_frame(&mut frame, RECORD_CHECKPOINT, &payload);
         self.file.write_all(&frame)?;
         self.events_since_checkpoint = 0;
