@@ -153,18 +153,27 @@ fn char_boundary(s: &str, n: usize) -> usize {
 impl OpLog {
     /// Extracts the events this oplog knows that are **not** in the history
     /// of `have` (a version expressed as remote IDs, e.g. a peer's
-    /// [`OpLog::remote_version`]).
+    /// [`OpLog::version_vector`] or [`OpLog::remote_version`]).
     ///
-    /// Remote IDs in `have` that this replica has never seen are ignored:
-    /// we may then send events the peer already knows, and application
-    /// deduplicates them (events are immutable, so re-delivery is safe).
+    /// Remote IDs in `have` ahead of this replica's knowledge are *clamped*
+    /// to the local per-agent maximum rather than ignored: an agent's
+    /// events form a causal chain, so a peer holding `(a, n)` holds every
+    /// `(a, m ≤ n)`, and crediting it with our latest event from `a` is
+    /// always sound. Only agents this replica has never seen at all carry
+    /// no information. Clamping matters after a partition: the side that
+    /// kept editing sends digest entries the other side has never seen,
+    /// and without clamping the response degenerates to a near-full
+    /// re-send (deduplicated on arrival, but wasted bytes on the wire).
     ///
     /// Digest fast path: anti-entropy rounds overwhelmingly probe peers
     /// that are already caught up, so when every tip of the local version
     /// appears in `have` the graph walk (dominators + diff + run
     /// extraction) is skipped entirely.
     pub fn bundle_since(&self, have: &[RemoteId]) -> EventBundle {
-        let known: Vec<LV> = have.iter().filter_map(|id| self.remote_to_lv(id)).collect();
+        let known: Vec<LV> = have
+            .iter()
+            .filter_map(|id| self.clamp_remote_to_lv(id))
+            .collect();
         if self.version().iter().all(|tip| known.contains(tip)) {
             return EventBundle::default();
         }

@@ -266,12 +266,38 @@ impl OpLog {
         self.agents.remote_id_to_lv(id)
     }
 
+    /// Maps a remote ID to the LV of the latest locally known event from
+    /// the same agent with sequence number at most `id.seq`, or `None` if
+    /// the agent is entirely unknown here. The sound reading of a peer's
+    /// claim to hold `id` when the peer is ahead of us — see
+    /// [`AgentAssignment::latest_lv_at_or_below`].
+    ///
+    /// [`AgentAssignment::latest_lv_at_or_below`]: eg_dag::AgentAssignment::latest_lv_at_or_below
+    pub fn clamp_remote_to_lv(&self, id: &RemoteId) -> Option<LV> {
+        let agent = self.agents.agent_id(&id.agent)?;
+        self.agents.latest_lv_at_or_below(agent, id.seq)
+    }
+
     /// The current version expressed as remote IDs (safe to send to peers).
     pub fn remote_version(&self) -> Vec<RemoteId> {
         self.version()
             .iter()
             .map(|&lv| self.lv_to_remote(lv))
             .collect()
+    }
+
+    /// The per-agent maximum sequence numbers, as remote IDs: a version
+    /// vector (safe to send to peers).
+    ///
+    /// Prefer this over [`OpLog::remote_version`] for anti-entropy digests.
+    /// Frontier tips under-describe the log to a peer whose history has
+    /// diverged: a tip the peer has never seen tells it nothing about the
+    /// tip's ancestry, so [`OpLog::bundle_since`] must fall back to
+    /// re-sending events the digest sender already holds. Per-agent maxima
+    /// stay meaningful under divergence because an agent's events form a
+    /// causal chain — holding `(a, n)` implies holding every `(a, m ≤ n)`.
+    pub fn version_vector(&self) -> Vec<RemoteId> {
+        self.agents.version_vector()
     }
 
     /// Merges all events from `other` that this oplog does not know yet.

@@ -1,0 +1,515 @@
+//! [`PeerSession`]: the per-connection actor — handshake, anti-entropy
+//! rounds, heartbeats — plus its bounded [`PeerOutbox`].
+//!
+//! The session is a pure state machine over [`WireFrame`]s and clock
+//! ticks; it never touches a socket, which is what makes it unit-testable
+//! without I/O. The daemon's reactor feeds it decoded frames and drains
+//! its outbox into the peer's stream.
+//!
+//! ```text
+//!            connect/accept
+//!                  │ queue Hello
+//!                  ▼
+//!           ┌─────────────┐   Hello(proto, name)    ┌─────────────┐
+//!           │ AwaitHello  │ ───────────────────────▶│ Established │
+//!           └─────────────┘   (version checked)     └─────────────┘
+//!                  │                                  │  Digest ⇄ Bundles
+//!       bad proto / timeout                           │  Ping ⇄ Pong
+//!                  ▼                                  ▼
+//!               closed ◀──────── heartbeat timeout / decode error
+//! ```
+//!
+//! Anti-entropy is pull-terminated: a received `Digest` is answered with
+//! `Bundles` only when the peer actually lacks events; received `Bundles`
+//! are integrated and acknowledged with a fresh `Digest` (which doubles
+//! as the pull for anything still missing). Converged peers fall silent
+//! apart from heartbeats, and the daemon's periodic digest timer restarts
+//! a round after any loss.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use eg_server::ServerHost;
+use eg_sync::frame::{WireFrame, PROTOCOL_VERSION};
+use eg_sync::Message;
+
+/// Max documents per Sync frame: keeps encoded frames far below the
+/// decoder's 16 MiB guard for realistic bundle sizes.
+const BUNDLE_DOCS_PER_FRAME: usize = 32;
+
+/// Where a connection is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Connected; our Hello is queued, theirs has not arrived yet.
+    AwaitHello,
+    /// Handshake complete: anti-entropy and heartbeats are live.
+    Established,
+}
+
+/// Why a session must be torn down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// Peer speaks an incompatible protocol version.
+    ProtocolMismatch {
+        /// Version the peer announced.
+        theirs: u32,
+    },
+    /// Peer sent a sync/ping frame before its Hello.
+    HandshakeViolation,
+    /// Nothing received for longer than the heartbeat timeout: the
+    /// connection is presumed half-open.
+    HeartbeatTimeout,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::ProtocolMismatch { theirs } => {
+                write!(
+                    f,
+                    "peer speaks protocol v{theirs}, we speak v{PROTOCOL_VERSION}"
+                )
+            }
+            SessionError::HandshakeViolation => write!(f, "frame received before Hello"),
+            SessionError::HeartbeatTimeout => write!(f, "heartbeat timeout (half-open link)"),
+        }
+    }
+}
+
+/// Session tuning knobs (all deterministic; no randomness here).
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Send a Ping when nothing has been sent for this long.
+    pub heartbeat_interval: Duration,
+    /// Presume the link dead when nothing arrives for this long.
+    pub heartbeat_timeout: Duration,
+    /// Outbox budget in bytes; exceeding it sheds queued sync frames
+    /// and schedules a fresh digest resync instead.
+    pub outbox_cap_bytes: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            heartbeat_interval: Duration::from_millis(500),
+            heartbeat_timeout: Duration::from_secs(3),
+            outbox_cap_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Per-session traffic counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Frames handed to the outbox (after shedding).
+    pub frames_out: usize,
+    /// Frames received and processed.
+    pub frames_in: usize,
+    /// Bundle batches integrated.
+    pub batches_in: usize,
+    /// Times the outbox shed its queue under pressure.
+    pub sheds: usize,
+}
+
+/// A bounded queue of encoded frames awaiting the socket. Overflow policy
+/// is *shed-and-resync*: rather than let a slow or dead peer grow an
+/// unbounded queue (or block everyone else), the queue is dropped
+/// wholesale and the session schedules one fresh digest once the link
+/// drains — anti-entropy re-derives exactly what the peer still needs.
+#[derive(Debug, Default)]
+pub struct PeerOutbox {
+    frames: VecDeque<Vec<u8>>,
+    queued_bytes: usize,
+    cap_bytes: usize,
+    needs_resync: bool,
+}
+
+impl PeerOutbox {
+    fn new(cap_bytes: usize) -> PeerOutbox {
+        PeerOutbox {
+            frames: VecDeque::new(),
+            queued_bytes: 0,
+            cap_bytes: cap_bytes.max(1),
+            needs_resync: false,
+        }
+    }
+
+    /// Queues an encoded frame; returns `false` if the budget was blown
+    /// and the queue shed instead.
+    fn push(&mut self, frame: Vec<u8>) -> bool {
+        if self.queued_bytes.saturating_add(frame.len()) > self.cap_bytes {
+            self.frames.clear();
+            self.queued_bytes = 0;
+            self.needs_resync = true;
+            return false;
+        }
+        self.queued_bytes += frame.len();
+        self.frames.push_back(frame);
+        true
+    }
+
+    /// Next frame to write, if any.
+    pub fn pop(&mut self) -> Option<Vec<u8>> {
+        let f = self.frames.pop_front()?;
+        self.queued_bytes -= f.len();
+        Some(f)
+    }
+
+    /// Queued frame count.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Bytes currently queued.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued_bytes
+    }
+}
+
+/// The per-connection actor; see the module docs for the state diagram.
+#[derive(Debug)]
+pub struct PeerSession {
+    cfg: SessionConfig,
+    state: SessionState,
+    peer_name: Option<String>,
+    outbox: PeerOutbox,
+    last_recv: Instant,
+    last_send: Instant,
+    next_ping_nonce: u64,
+    stats: SessionStats,
+}
+
+impl PeerSession {
+    /// A fresh session for a just-connected link; queues our Hello.
+    pub fn connect(now: Instant, local_name: &str, cfg: SessionConfig) -> PeerSession {
+        let outbox = PeerOutbox::new(cfg.outbox_cap_bytes);
+        let mut s = PeerSession {
+            cfg,
+            state: SessionState::AwaitHello,
+            peer_name: None,
+            outbox,
+            last_recv: now,
+            last_send: now,
+            next_ping_nonce: 1,
+            stats: SessionStats::default(),
+        };
+        s.queue(
+            now,
+            &WireFrame::Hello {
+                proto: PROTOCOL_VERSION,
+                name: local_name.to_owned(),
+            },
+        );
+        s
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// The peer's replica name, once its Hello arrived.
+    pub fn peer_name(&self) -> Option<&str> {
+        self.peer_name.as_deref()
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The send queue (the reactor drains it into the socket).
+    pub fn outbox(&mut self) -> &mut PeerOutbox {
+        &mut self.outbox
+    }
+
+    /// Bytes queued for this peer right now.
+    pub fn outbox_bytes(&self) -> usize {
+        self.outbox.queued_bytes()
+    }
+
+    fn queue(&mut self, now: Instant, frame: &WireFrame) {
+        if self.outbox.push(frame.encode()) {
+            self.stats.frames_out += 1;
+            self.last_send = now;
+        } else {
+            self.stats.sheds += 1;
+        }
+    }
+
+    /// Queues a digest of `host`'s whole shard space — the opening move
+    /// of an anti-entropy round (and the resync after a shed).
+    pub fn queue_digest(&mut self, now: Instant, host: &ServerHost) {
+        if self.state == SessionState::Established {
+            self.queue(now, &WireFrame::Sync(Message::Digest(host.digest_all())));
+        }
+    }
+
+    /// Handles one decoded frame against the local host. `Ok(true)`
+    /// means the frame advanced sync state (useful for quiescence
+    /// detection); errors mean the connection must be dropped.
+    pub fn on_frame(
+        &mut self,
+        now: Instant,
+        frame: WireFrame,
+        host: &ServerHost,
+    ) -> Result<bool, SessionError> {
+        self.last_recv = now;
+        self.stats.frames_in += 1;
+        match (self.state, frame) {
+            (SessionState::AwaitHello, WireFrame::Hello { proto, name }) => {
+                if proto != PROTOCOL_VERSION {
+                    return Err(SessionError::ProtocolMismatch { theirs: proto });
+                }
+                self.peer_name = Some(name);
+                self.state = SessionState::Established;
+                // Open the first anti-entropy round immediately.
+                self.queue(now, &WireFrame::Sync(Message::Digest(host.digest_all())));
+                Ok(true)
+            }
+            (SessionState::AwaitHello, _) => Err(SessionError::HandshakeViolation),
+            (SessionState::Established, WireFrame::Hello { .. }) => {
+                // A duplicate Hello is harmless (the peer may have raced
+                // a reconnect); ignore it.
+                Ok(false)
+            }
+            (SessionState::Established, WireFrame::Ping(nonce)) => {
+                self.queue(now, &WireFrame::Pong(nonce));
+                Ok(false)
+            }
+            (SessionState::Established, WireFrame::Pong(_)) => Ok(false),
+            (SessionState::Established, WireFrame::Sync(Message::Digest(remote))) => {
+                let bundles = host.bundles_for(&remote);
+                if bundles.is_empty() {
+                    Ok(false)
+                } else {
+                    // Chunk by document so no single frame approaches the
+                    // decoder's max-frame guard on a large backlog.
+                    for chunk in bundles.chunks(BUNDLE_DOCS_PER_FRAME) {
+                        self.queue(now, &WireFrame::Sync(Message::Bundles(chunk.to_vec())));
+                    }
+                    Ok(true)
+                }
+            }
+            (SessionState::Established, WireFrame::Sync(Message::Bundles(batch))) => {
+                self.stats.batches_in += 1;
+                host.receive_bundles(batch);
+                host.flush();
+                // Acknowledge with our updated digest: the peer sees the
+                // new frontier (sends nothing more if we're caught up)
+                // and ships anything we still lack — resume-from-frontier
+                // in both directions.
+                self.queue(now, &WireFrame::Sync(Message::Digest(host.digest_all())));
+                Ok(true)
+            }
+        }
+    }
+
+    /// Clock tick: emits a heartbeat when the link has been send-idle,
+    /// and reports a half-open link when nothing has arrived within the
+    /// timeout.
+    pub fn on_tick(&mut self, now: Instant) -> Result<(), SessionError> {
+        if now.duration_since(self.last_recv) >= self.cfg.heartbeat_timeout {
+            return Err(SessionError::HeartbeatTimeout);
+        }
+        if self.state == SessionState::Established
+            && now.duration_since(self.last_send) >= self.cfg.heartbeat_interval
+        {
+            let nonce = self.next_ping_nonce;
+            self.next_ping_nonce = self.next_ping_nonce.wrapping_add(1);
+            self.queue(now, &WireFrame::Ping(nonce));
+        }
+        Ok(())
+    }
+
+    /// Called by the reactor when the outbox has fully drained: if a shed
+    /// happened, start the recovery digest round.
+    pub fn on_drained(&mut self, now: Instant, host: &ServerHost) {
+        if self.outbox.needs_resync && self.outbox.is_empty() {
+            self.outbox.needs_resync = false;
+            self.queue_digest(now, host);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eg_server::ServerConfig;
+    use eg_sync::frame::FrameDecoder;
+
+    fn host(name: &str) -> ServerHost {
+        ServerHost::with_config(ServerConfig {
+            name: name.into(),
+            workers: 1,
+            ..ServerConfig::default()
+        })
+    }
+
+    fn edit(h: &ServerHost, doc: u64, text: &str) {
+        let script: std::sync::Arc<[eg_trace::FleetOp]> = vec![eg_trace::FleetOp::Insert {
+            session: 0,
+            doc,
+            at: 0,
+            text: text.into(),
+        }]
+        .into();
+        h.submit_script(&script);
+        h.flush();
+    }
+
+    /// Drains every queued frame of `from` into `to`, returning how many
+    /// crossed and whether any advanced sync state.
+    fn pump(
+        from: &mut PeerSession,
+        to: &mut PeerSession,
+        to_host: &ServerHost,
+        now: Instant,
+    ) -> usize {
+        let mut moved = 0;
+        let mut dec = FrameDecoder::new();
+        while let Some(bytes) = from.outbox().pop() {
+            dec.push(&bytes);
+            while let Some(frame) = dec.next_wire_frame().expect("well-formed") {
+                to.on_frame(now, frame, to_host).expect("session ok");
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    #[test]
+    fn handshake_then_convergence_via_frames() {
+        let now = Instant::now();
+        let ha = host("alpha");
+        let hb = host("beta");
+        edit(&ha, 1, "from-alpha ");
+        edit(&hb, 2, "from-beta ");
+
+        let mut sa = PeerSession::connect(now, "alpha", SessionConfig::default());
+        let mut sb = PeerSession::connect(now, "beta", SessionConfig::default());
+        assert_eq!(sa.state(), SessionState::AwaitHello);
+
+        // Ping-pong frames until both outboxes drain.
+        for _ in 0..10 {
+            let a2b = pump(&mut sa, &mut sb, &hb, now);
+            let b2a = pump(&mut sb, &mut sa, &ha, now);
+            if a2b == 0 && b2a == 0 {
+                break;
+            }
+        }
+        assert_eq!(sa.state(), SessionState::Established);
+        assert_eq!(sa.peer_name(), Some("beta"));
+        assert_eq!(sb.peer_name(), Some("alpha"));
+        assert!(ha.converged_with(&hb), "both docs on both hosts");
+        assert!(sa.stats().batches_in >= 1);
+    }
+
+    #[test]
+    fn protocol_mismatch_is_fatal() {
+        let now = Instant::now();
+        let h = host("x");
+        let mut s = PeerSession::connect(now, "x", SessionConfig::default());
+        let err = s
+            .on_frame(
+                now,
+                WireFrame::Hello {
+                    proto: PROTOCOL_VERSION + 1,
+                    name: "future".into(),
+                },
+                &h,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SessionError::ProtocolMismatch { .. }));
+    }
+
+    #[test]
+    fn sync_before_hello_is_a_violation() {
+        let now = Instant::now();
+        let h = host("x");
+        let mut s = PeerSession::connect(now, "x", SessionConfig::default());
+        let err = s.on_frame(now, WireFrame::Ping(1), &h).unwrap_err();
+        assert_eq!(err, SessionError::HandshakeViolation);
+    }
+
+    #[test]
+    fn heartbeat_timeout_detects_half_open() {
+        let now = Instant::now();
+        let cfg = SessionConfig {
+            heartbeat_timeout: Duration::from_millis(10),
+            ..SessionConfig::default()
+        };
+        let mut s = PeerSession::connect(now, "x", cfg);
+        assert!(s.on_tick(now).is_ok());
+        let later = now + Duration::from_millis(50);
+        assert_eq!(s.on_tick(later), Err(SessionError::HeartbeatTimeout));
+    }
+
+    #[test]
+    fn idle_established_session_pings() {
+        let now = Instant::now();
+        let h = host("x");
+        let cfg = SessionConfig {
+            heartbeat_interval: Duration::from_millis(5),
+            heartbeat_timeout: Duration::from_secs(60),
+            ..SessionConfig::default()
+        };
+        let mut s = PeerSession::connect(now, "x", cfg);
+        s.on_frame(
+            now,
+            WireFrame::Hello {
+                proto: PROTOCOL_VERSION,
+                name: "peer".into(),
+            },
+            &h,
+        )
+        .unwrap();
+        while s.outbox().pop().is_some() {}
+        let later = now + Duration::from_millis(20);
+        s.on_tick(later).unwrap();
+        let bytes = s.outbox().pop().expect("a ping was queued");
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert!(matches!(
+            dec.next_wire_frame().unwrap(),
+            Some(WireFrame::Ping(_))
+        ));
+    }
+
+    #[test]
+    fn overflow_sheds_and_resyncs_on_drain() {
+        let now = Instant::now();
+        let h = host("big");
+        edit(&h, 1, "seed ");
+        let cfg = SessionConfig {
+            outbox_cap_bytes: 96, // tiny: Hello fits, a digest flood does not
+            ..SessionConfig::default()
+        };
+        let mut s = PeerSession::connect(now, "big", cfg);
+        s.on_frame(
+            now,
+            WireFrame::Hello {
+                proto: PROTOCOL_VERSION,
+                name: "peer".into(),
+            },
+            &h,
+        )
+        .unwrap();
+        // Flood digests until the budget blows and the queue sheds.
+        for _ in 0..64 {
+            s.queue_digest(now, &h);
+        }
+        assert!(s.stats().sheds > 0, "budget forced a shed");
+        assert!(s.outbox().queued_bytes() <= 96);
+        // Drain whatever survived, then the drain hook queues exactly
+        // one recovery digest.
+        while s.outbox().pop().is_some() {}
+        s.on_drained(now, &h);
+        assert_eq!(s.outbox().len(), 1, "one resync digest queued");
+    }
+}

@@ -225,6 +225,53 @@ impl AgentAssignment {
         self.try_remote_to_lv(agent, id.seq)
     }
 
+    /// The LV of the latest assigned event of `agent` with sequence number
+    /// at most `seq`, or `None` if nothing that early is assigned.
+    ///
+    /// This is the sound interpretation of a peer's claim to hold
+    /// `(agent, seq)`: an agent's events form a causal chain, so a peer
+    /// holding sequence `seq` holds every earlier one — clamping to what
+    /// is assigned locally never credits the peer with an event it lacks.
+    pub fn latest_lv_at_or_below(&self, agent: AgentId, seq: usize) -> Option<LV> {
+        let data = self.client_data.get(agent as usize)?;
+        if data.end_key() == 0 {
+            return None;
+        }
+        let seq = seq.min(data.end_key() - 1);
+        match data.find_index(seq) {
+            Ok(idx) => {
+                let pair = &data.0[idx];
+                Some(pair.1.start + (seq - pair.0))
+            }
+            // In a gap between runs: the last LV of the preceding run.
+            Err(idx) => {
+                let prev = &data.0[idx.checked_sub(1)?];
+                Some(prev.1.start + prev.1.len() - 1)
+            }
+        }
+    }
+
+    /// The per-agent maximum sequence numbers, as remote IDs: a version
+    /// vector. Because each agent's events form a causal chain, these
+    /// maxima describe *everything* this assignment holds — unlike
+    /// causal-frontier tips, which omit every agent that is not a tip.
+    pub fn version_vector(&self) -> Vec<RemoteId> {
+        self.client_data
+            .iter()
+            .enumerate()
+            .filter_map(|(i, data)| {
+                let end = data.end_key();
+                if end == 0 {
+                    return None;
+                }
+                Some(RemoteId {
+                    agent: self.names[i].clone(),
+                    seq: end - 1,
+                })
+            })
+            .collect()
+    }
+
     /// Returns `true` if this assignment knows the given remote event.
     pub fn knows(&self, id: &RemoteId) -> bool {
         self.remote_id_to_lv(id).is_some()
@@ -310,6 +357,44 @@ mod tests {
         assert_eq!(a.seq_extent(bob, 5), Err(usize::MAX));
         // An agent id never interned.
         assert_eq!(a.seq_extent(99, 0), Err(usize::MAX));
+    }
+
+    #[test]
+    fn version_vector_and_clamped_lookup() {
+        let mut a = AgentAssignment::new();
+        let alice = a.get_or_create_agent("alice");
+        let bob = a.get_or_create_agent("bob");
+        let carol = a.get_or_create_agent("carol"); // interned, nothing assigned
+        a.assign_next(alice, (0..10).into());
+        a.assign_next(bob, (10..15).into());
+        a.assign_at(alice, (20..25).into(), (15..20).into());
+
+        let vv = a.version_vector();
+        assert_eq!(
+            vv,
+            vec![
+                RemoteId {
+                    agent: "alice".into(),
+                    seq: 24
+                },
+                RemoteId {
+                    agent: "bob".into(),
+                    seq: 4
+                },
+            ]
+        );
+
+        // Exact hits.
+        assert_eq!(a.latest_lv_at_or_below(alice, 3), Some(3));
+        assert_eq!(a.latest_lv_at_or_below(bob, 4), Some(14));
+        // Clamped past the end of what is assigned.
+        assert_eq!(a.latest_lv_at_or_below(alice, 1000), Some(19));
+        assert_eq!(a.latest_lv_at_or_below(bob, 5), Some(14));
+        // Inside the 10..20 gap of alice's seqs: last LV of the run below.
+        assert_eq!(a.latest_lv_at_or_below(alice, 12), Some(9));
+        // Agents with no assigned events.
+        assert_eq!(a.latest_lv_at_or_below(carol, 0), None);
+        assert_eq!(a.latest_lv_at_or_below(99, 7), None);
     }
 
     #[test]

@@ -56,6 +56,8 @@
 //! assert!(net.all_converged());
 //! ```
 
+mod faulty;
+pub mod frame;
 mod message;
 mod network;
 mod outbox;
@@ -63,6 +65,8 @@ mod replica;
 mod topology;
 mod transport;
 
+pub use faulty::{FaultSpec, FaultStats, FaultyTransport, PartitionWindow};
+pub use frame::{FrameDecoder, FrameError, WireFrame, MAX_FRAME_LEN, PROTOCOL_VERSION};
 pub use message::Message;
 pub use network::{NetStats, NetworkSim, SimBuilder, SimConfig};
 pub use outbox::Outbox;

@@ -51,6 +51,10 @@ pub struct NetStats {
     pub delivered: usize,
     /// Messages lost (lossy link or partition cut).
     pub dropped: usize,
+    /// Deliveries discarded because the payload failed to decode (a
+    /// fault-injecting transport corrupted it in flight). Anti-entropy
+    /// repairs the gap like any other loss.
+    pub corrupt_dropped: usize,
     /// Anti-entropy digest probes received and answered.
     pub syncs: usize,
     /// Total bytes put on the wire (digests + bundles).
@@ -86,12 +90,21 @@ pub struct SimBuilder {
     seed: u64,
     cfg: SimConfig,
     topology: Option<Box<dyn Topology>>,
+    transport: Option<Box<dyn Transport>>,
 }
 
 impl SimBuilder {
     /// Sets the link model of the in-memory transport.
     pub fn link(mut self, link: LinkConfig) -> Self {
         self.cfg.link = link;
+        self
+    }
+
+    /// Replaces the default [`InMemoryTransport`] with a custom one —
+    /// e.g. a [`crate::FaultyTransport`] wrapping it for seeded fault
+    /// schedules. Overrides [`SimBuilder::link`].
+    pub fn transport(mut self, transport: Box<dyn Transport>) -> Self {
+        self.transport = Some(transport);
         self
     }
 
@@ -136,10 +149,13 @@ impl SimBuilder {
         let outboxes = (0..n)
             .map(|i| topology.links(i).into_iter().map(Outbox::new).collect())
             .collect();
+        let transport = self
+            .transport
+            .unwrap_or_else(|| Box::new(InMemoryTransport::new(self.cfg.link, self.seed)));
         NetworkSim {
             replicas: self.names.iter().map(|s| Replica::new(s)).collect(),
             topology,
-            transport: Box::new(InMemoryTransport::new(self.cfg.link, self.seed)),
+            transport,
             outboxes,
             cfg: self.cfg,
             now: 0,
@@ -167,6 +183,7 @@ impl NetworkSim {
             seed,
             cfg: SimConfig::default(),
             topology: None,
+            transport: None,
         }
     }
 
@@ -254,9 +271,16 @@ impl NetworkSim {
             self.flush_all();
         }
         for d in self.transport.poll(self.now) {
-            self.stats.delivered += 1;
-            let msg = Message::decode(&d.payload).expect("simulator does not corrupt payloads");
-            self.deliver(d.src, d.dst, msg);
+            // A fault-injecting transport may corrupt payloads in
+            // flight; a mangled frame is dropped (counted) and repaired
+            // by a later digest round, never a panic.
+            match Message::decode(&d.payload) {
+                Ok(msg) => {
+                    self.stats.delivered += 1;
+                    self.deliver(d.src, d.dst, msg);
+                }
+                Err(_) => self.stats.corrupt_dropped += 1,
+            }
         }
         if self.cfg.flush_every == 0 {
             // Eager mode: relays (e.g. a star hub forwarding what it just

@@ -209,11 +209,16 @@ impl Replica {
         self.doc(doc).map_or(0, |d| d.branch.len_chars())
     }
 
-    /// The replica's current version of `doc` in network form (its digest
-    /// for anti-entropy). Empty if the document is unknown.
+    /// The replica's anti-entropy digest of `doc`: a per-agent version
+    /// vector rather than the causal frontier. Version vectors stay
+    /// meaningful to a peer whose history has diverged — frontier tips the
+    /// peer has never seen say nothing about their ancestry, which made
+    /// post-partition resume degenerate to near-full re-sends. Empty if
+    /// the document is unknown. Same wire shape as a frontier digest, so
+    /// the EGWD codec and older peers are unaffected.
     pub fn digest_doc(&self, doc: DocId) -> Vec<RemoteId> {
         self.doc(doc)
-            .map(|d| d.oplog.remote_version())
+            .map(|d| d.oplog.version_vector())
             .unwrap_or_default()
     }
 
@@ -223,7 +228,7 @@ impl Replica {
         self.docs
             .iter()
             .filter(|(_, d)| !d.oplog.is_empty())
-            .map(|(&id, d)| (id, d.oplog.remote_version()))
+            .map(|(&id, d)| (id, d.oplog.version_vector()))
             .collect()
     }
 
@@ -252,13 +257,15 @@ impl Replica {
     }
 
     /// Reduces a peer-reported remote frontier to this replica's local
-    /// frontier form, dropping ids we have never seen.
+    /// frontier form. Ids ahead of our knowledge are clamped to the local
+    /// per-agent maximum (sound: an agent's events form a causal chain);
+    /// agents we have never seen carry no information and are dropped.
     pub fn map_remote_frontier(&self, doc: DocId, version: &[RemoteId]) -> Frontier {
         match self.doc(doc) {
             Some(d) => {
                 let known: Vec<_> = version
                     .iter()
-                    .filter_map(|id| d.oplog.remote_to_lv(id))
+                    .filter_map(|id| d.oplog.clamp_remote_to_lv(id))
                     .collect();
                 d.oplog.graph.find_dominators(&known)
             }

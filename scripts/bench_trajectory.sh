@@ -49,6 +49,13 @@ EG_SCALE="$SCALE" EG_WORKERS="${EG_WORKERS:-1,2,4,8}" \
 # timings are advisory.
 EG_SCALE="$SCALE" cargo run --release -q -p eg-bench --bin doc_load -- \
     --json "$OUT_DIR/doc_load.json"
+# Daemon-mode sync over a Unix socket through the fault proxy at
+# 0%/1%/5% loss. Latency-bound by the sync interval, not throughput
+# (see bench-results/README.md); wire-byte counters are informational.
+# (The daemons log connection teardown to stderr during shutdown;
+# that noise is expected.)
+EG_SCALE="$SCALE" cargo run --release -q -p eg-bench --bin daemon_sync -- \
+    --json "$OUT_DIR/daemon_sync.json"
 
 echo "== captured =="
 ls -l "$OUT_DIR"/*.json

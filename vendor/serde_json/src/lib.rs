@@ -1,17 +1,20 @@
 //! A minimal, API-compatible stand-in for the subset of `serde_json` this
-//! workspace uses: [`to_string`] and [`from_str`] over the in-tree `serde`
-//! stand-in's `Value` model.
+//! workspace uses: [`to_string`]/[`to_writer`] and [`from_str`]/
+//! [`from_reader`] over the in-tree `serde` stand-in's `Value` model.
 //!
 //! Emits and accepts standard JSON (RFC 8259): string escapes, `\uXXXX`
 //! (including surrogate pairs), exponent-form numbers, and arbitrary
-//! whitespace. Not supported — because nothing in the workspace needs
-//! them — are streaming readers/writers and borrowed deserialization.
+//! whitespace. The reader path is incremental — [`from_reader`] pulls
+//! chunks from any [`std::io::Read`] on demand instead of slurping the
+//! stream, and [`to_writer`] streams serialisation without building the
+//! whole document in memory. Not supported — because nothing in the
+//! workspace needs it — is borrowed deserialization.
 
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
+use std::io;
 
-/// Error type for JSON parsing (and, nominally, serialisation — which
-/// cannot fail for the value model used here).
+/// Error type for JSON parsing and serialisation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error {
     msg: String,
@@ -24,6 +27,13 @@ impl Error {
         Error {
             msg: msg.to_string(),
             offset: Some(offset),
+        }
+    }
+
+    fn io(e: io::Error) -> Self {
+        Error {
+            msg: format!("io error: {e}"),
+            offset: None,
         }
     }
 }
@@ -51,189 +61,363 @@ impl From<DeError> for Error {
 /// Serialises a value to a compact JSON string.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value());
+    write_value(&mut out, &value.to_value()).expect("fmt::Write to String cannot fail");
     Ok(out)
+}
+
+/// Streams a value as compact JSON into an [`io::Write`] without
+/// building the whole document in memory first. No trailing newline is
+/// written; callers framing NDJSON append their own.
+pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(writer: W, value: &T) -> Result<(), Error> {
+    let mut sink = IoFmtSink {
+        writer,
+        error: None,
+    };
+    match write_value(&mut sink, &value.to_value()) {
+        Ok(()) => Ok(()),
+        Err(_) => Err(Error::io(
+            sink.error
+                .unwrap_or_else(|| io::Error::other("formatter error")),
+        )),
+    }
 }
 
 /// Parses a value from a JSON string.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let value = parse_value_complete(s)?;
+    let mut p = Parser {
+        src: SliceSource {
+            bytes: s.as_bytes(),
+            pos: 0,
+        },
+    };
+    let value = p.complete_value()?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Incrementally parses one value from an [`io::Read`], pulling chunks
+/// on demand. The stream must hold exactly one value plus optional
+/// trailing whitespace (NDJSON callers should frame on newlines and use
+/// [`from_str`] per line).
+pub fn from_reader<R: io::Read, T: Deserialize>(reader: R) -> Result<T, Error> {
+    let mut p = Parser {
+        src: ReadSource {
+            reader,
+            buf: Vec::new(),
+            start: 0,
+            consumed: 0,
+            eof: false,
+            error: None,
+        },
+    };
+    let value = p.complete_value()?;
     Ok(T::from_value(&value)?)
 }
 
 // --- writer --------------------------------------------------------------
 
-fn write_value(out: &mut String, v: &Value) {
+/// Adapts an [`io::Write`] to [`fmt::Write`], stashing the real io error
+/// (fmt::Error is unit).
+struct IoFmtSink<W: io::Write> {
+    writer: W,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> fmt::Write for IoFmtSink<W> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.writer.write_all(s.as_bytes()).map_err(|e| {
+            self.error = Some(e);
+            fmt::Error
+        })
+    }
+}
+
+fn write_value<W: fmt::Write>(out: &mut W, v: &Value) -> fmt::Result {
     match v {
-        Value::Null => out.push_str("null"),
-        Value::Bool(true) => out.push_str("true"),
-        Value::Bool(false) => out.push_str("false"),
-        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Null => out.write_str("null"),
+        Value::Bool(true) => out.write_str("true"),
+        Value::Bool(false) => out.write_str("false"),
+        Value::UInt(n) => write!(out, "{n}"),
         Value::Float(f) => {
             if f.is_finite() {
                 // Match serde_json: integral floats keep a ".0" suffix.
                 if f.fract() == 0.0 && f.abs() < 1e15 {
-                    out.push_str(&format!("{:.1}", f));
+                    write!(out, "{:.1}", f)
                 } else {
-                    out.push_str(&format!("{}", f));
+                    write!(out, "{}", f)
                 }
             } else {
                 // serde_json emits null for non-finite floats.
-                out.push_str("null");
+                out.write_str("null")
             }
         }
         Value::Str(s) => write_string(out, s),
         Value::Arr(items) => {
-            out.push('[');
+            out.write_char('[')?;
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',')?;
                 }
-                write_value(out, item);
+                write_value(out, item)?;
             }
-            out.push(']');
+            out.write_char(']')
         }
         Value::Obj(fields) => {
-            out.push('{');
+            out.write_char('{')?;
             for (i, (k, item)) in fields.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',')?;
                 }
-                write_string(out, k);
-                out.push(':');
-                write_value(out, item);
+                write_string(out, k)?;
+                out.write_char(':')?;
+                write_value(out, item)?;
             }
-            out.push('}');
+            out.write_char('}')
         }
     }
 }
 
-fn write_string(out: &mut String, s: &str) {
-    out.push('"');
+fn write_string<W: fmt::Write>(out: &mut W, s: &str) -> fmt::Result {
+    out.write_char('"')?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0c}' => out.push_str("\\f"),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            '\u{08}' => out.write_str("\\b")?,
+            '\u{0c}' => out.write_str("\\f")?,
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                write!(out, "\\u{:04x}", c as u32)?;
             }
-            c => out.push(c),
+            c => out.write_char(c)?,
         }
     }
-    out.push('"');
+    out.write_char('"')
 }
 
-// --- parser --------------------------------------------------------------
+// --- byte sources --------------------------------------------------------
 
-struct Parser<'a> {
+/// Where the parser pulls bytes from: a borrowed slice ([`from_str`]) or
+/// a chunked reader ([`from_reader`]). `peek_at(i)` looks `i` bytes past
+/// the cursor, fetching more input on demand; `None` means end of input
+/// (or a pending io error, surfaced by `take_error`).
+trait Source {
+    fn peek_at(&mut self, i: usize) -> Option<u8>;
+    fn advance(&mut self, n: usize);
+    /// Absolute byte offset of the cursor, for error messages.
+    fn offset(&self) -> usize;
+    /// A deferred io error, if reading ever failed.
+    fn take_error(&mut self) -> Option<Error>;
+}
+
+struct SliceSource<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
-fn parse_value_complete(s: &str) -> Result<Value, Error> {
-    let mut p = Parser {
-        bytes: s.as_bytes(),
-        pos: 0,
-    };
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(Error::parse("trailing characters", p.pos));
+impl Source for SliceSource<'_> {
+    fn peek_at(&mut self, i: usize) -> Option<u8> {
+        self.bytes.get(self.pos + i).copied()
     }
-    Ok(v)
+
+    fn advance(&mut self, n: usize) {
+        self.pos = (self.pos + n).min(self.bytes.len());
+    }
+
+    fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn take_error(&mut self) -> Option<Error> {
+        None
+    }
 }
 
-impl<'a> Parser<'a> {
+const READ_CHUNK: usize = 8 * 1024;
+
+/// Chunked pull source over any [`io::Read`]: keeps only the unconsumed
+/// window plus one read-ahead chunk in memory.
+struct ReadSource<R: io::Read> {
+    reader: R,
+    buf: Vec<u8>,
+    /// Cursor into `buf` (bytes before it are consumed).
+    start: usize,
+    /// Total bytes consumed and discarded so far (for offsets).
+    consumed: usize,
+    eof: bool,
+    error: Option<io::Error>,
+}
+
+impl<R: io::Read> ReadSource<R> {
+    /// Ensures at least `i + 1` unconsumed bytes are buffered, reading
+    /// more chunks as needed. Returns `false` at end of input.
+    fn fill_to(&mut self, i: usize) -> bool {
+        while self.buf.len() - self.start <= i {
+            if self.eof || self.error.is_some() {
+                return false;
+            }
+            // Drop the consumed prefix before growing the buffer.
+            if self.start > 0 && self.start >= self.buf.len().min(READ_CHUNK) {
+                self.buf.drain(..self.start);
+                self.consumed += self.start;
+                self.start = 0;
+            }
+            let old = self.buf.len();
+            self.buf.resize(old + READ_CHUNK, 0);
+            match self.reader.read(&mut self.buf[old..]) {
+                Ok(0) => {
+                    self.buf.truncate(old);
+                    self.eof = true;
+                }
+                Ok(n) => self.buf.truncate(old + n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => self.buf.truncate(old),
+                Err(e) => {
+                    self.buf.truncate(old);
+                    self.error = Some(e);
+                }
+            }
+        }
+        true
+    }
+}
+
+impl<R: io::Read> Source for ReadSource<R> {
+    fn peek_at(&mut self, i: usize) -> Option<u8> {
+        if self.fill_to(i) {
+            self.buf.get(self.start + i).copied()
+        } else {
+            None
+        }
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.start = (self.start + n).min(self.buf.len());
+    }
+
+    fn offset(&self) -> usize {
+        self.consumed + self.start
+    }
+
+    fn take_error(&mut self) -> Option<Error> {
+        self.error.take().map(Error::io)
+    }
+}
+
+// --- parser --------------------------------------------------------------
+
+struct Parser<S: Source> {
+    src: S,
+}
+
+impl<S: Source> Parser<S> {
+    /// One value plus trailing whitespace to end of input.
+    fn complete_value(&mut self) -> Result<Value, Error> {
+        let v = self.value()?;
+        self.skip_ws();
+        if let Some(e) = self.src.take_error() {
+            return Err(e);
+        }
+        if self.peek().is_some() {
+            return Err(Error::parse("trailing characters", self.src.offset()));
+        }
+        Ok(v)
+    }
+
     fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
+        while let Some(b) = self.peek() {
             if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
-                self.pos += 1;
+                self.src.advance(1);
             } else {
                 break;
             }
         }
     }
 
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
+    fn peek(&mut self) -> Option<u8> {
+        self.src.peek_at(0)
+    }
+
+    fn fail(&mut self, msg: impl fmt::Display) -> Error {
+        // A pending io error is the real cause of any "unexpected end".
+        self.src
+            .take_error()
+            .unwrap_or_else(|| Error::parse(msg, self.src.offset()))
     }
 
     fn expect(&mut self, b: u8) -> Result<(), Error> {
         if self.peek() == Some(b) {
-            self.pos += 1;
+            self.src.advance(1);
             Ok(())
         } else {
-            Err(Error::parse(format!("expected `{}`", b as char), self.pos))
+            Err(self.fail(format!("expected `{}`", b as char)))
         }
     }
 
     fn eat_literal(&mut self, lit: &str) -> bool {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            true
-        } else {
-            false
+        let bytes = lit.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if self.src.peek_at(i) != Some(b) {
+                return false;
+            }
         }
+        self.src.advance(bytes.len());
+        true
     }
 
     fn value(&mut self) -> Result<Value, Error> {
         self.skip_ws();
         match self.peek() {
-            None => Err(Error::parse("unexpected end of input", self.pos)),
+            None => Err(self.fail("unexpected end of input")),
             Some(b'n') => {
                 if self.eat_literal("null") {
                     Ok(Value::Null)
                 } else {
-                    Err(Error::parse("invalid literal", self.pos))
+                    Err(self.fail("invalid literal"))
                 }
             }
             Some(b't') => {
                 if self.eat_literal("true") {
                     Ok(Value::Bool(true))
                 } else {
-                    Err(Error::parse("invalid literal", self.pos))
+                    Err(self.fail("invalid literal"))
                 }
             }
             Some(b'f') => {
                 if self.eat_literal("false") {
                     Ok(Value::Bool(false))
                 } else {
-                    Err(Error::parse("invalid literal", self.pos))
+                    Err(self.fail("invalid literal"))
                 }
             }
             Some(b'"') => self.string().map(Value::Str),
             Some(b'[') => {
-                self.pos += 1;
+                self.src.advance(1);
                 let mut items = Vec::new();
                 self.skip_ws();
                 if self.peek() == Some(b']') {
-                    self.pos += 1;
+                    self.src.advance(1);
                     return Ok(Value::Arr(items));
                 }
                 loop {
                     items.push(self.value()?);
                     self.skip_ws();
                     match self.peek() {
-                        Some(b',') => self.pos += 1,
+                        Some(b',') => self.src.advance(1),
                         Some(b']') => {
-                            self.pos += 1;
+                            self.src.advance(1);
                             return Ok(Value::Arr(items));
                         }
-                        _ => return Err(Error::parse("expected `,` or `]`", self.pos)),
+                        _ => return Err(self.fail("expected `,` or `]`")),
                     }
                 }
             }
             Some(b'{') => {
-                self.pos += 1;
+                self.src.advance(1);
                 let mut fields = Vec::new();
                 self.skip_ws();
                 if self.peek() == Some(b'}') {
-                    self.pos += 1;
+                    self.src.advance(1);
                     return Ok(Value::Obj(fields));
                 }
                 loop {
@@ -245,12 +429,12 @@ impl<'a> Parser<'a> {
                     fields.push((key, val));
                     self.skip_ws();
                     match self.peek() {
-                        Some(b',') => self.pos += 1,
+                        Some(b',') => self.src.advance(1),
                         Some(b'}') => {
-                            self.pos += 1;
+                            self.src.advance(1);
                             return Ok(Value::Obj(fields));
                         }
-                        _ => return Err(Error::parse("expected `,` or `}`", self.pos)),
+                        _ => return Err(self.fail("expected `,` or `}`")),
                     }
                 }
             }
@@ -263,17 +447,18 @@ impl<'a> Parser<'a> {
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err(Error::parse("unterminated string", self.pos)),
+                None => return Err(self.fail("unterminated string")),
                 Some(b'"') => {
-                    self.pos += 1;
+                    self.src.advance(1);
                     return Ok(out);
                 }
                 Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self
-                        .peek()
-                        .ok_or_else(|| Error::parse("unterminated escape", self.pos))?;
-                    self.pos += 1;
+                    self.src.advance(1);
+                    let esc = match self.peek() {
+                        Some(b) => b,
+                        None => return Err(self.fail("unterminated escape")),
+                    };
+                    self.src.advance(1);
                     match esc {
                         b'"' => out.push('"'),
                         b'\\' => out.push('\\'),
@@ -288,89 +473,114 @@ impl<'a> Parser<'a> {
                             let c = if (0xD800..0xDC00).contains(&hi) {
                                 // Surrogate pair: expect \uXXXX low half.
                                 if !self.eat_literal("\\u") {
-                                    return Err(Error::parse("lone high surrogate", self.pos));
+                                    return Err(self.fail("lone high surrogate"));
                                 }
                                 let lo = self.hex4()?;
                                 if !(0xDC00..0xE000).contains(&lo) {
-                                    return Err(Error::parse("invalid low surrogate", self.pos));
+                                    return Err(self.fail("invalid low surrogate"));
                                 }
                                 let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(code)
                             } else {
                                 char::from_u32(hi)
                             };
-                            out.push(
-                                c.ok_or_else(|| Error::parse("invalid unicode escape", self.pos))?,
-                            );
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.fail("invalid unicode escape")),
+                            }
                         }
                         other => {
-                            return Err(Error::parse(
-                                format!("invalid escape `\\{}`", other as char),
-                                self.pos,
-                            ))
+                            return Err(self.fail(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so slicing
-                    // at char boundaries is safe).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| Error::parse("invalid utf-8", self.pos))?;
-                    let c = s.chars().next().unwrap();
-                    if (c as u32) < 0x20 {
-                        return Err(Error::parse("control character in string", self.pos));
+                Some(lead) => {
+                    if (lead as u32) < 0x20 {
+                        return Err(self.fail("control character in string"));
                     }
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Assemble one UTF-8 scalar from the byte stream; a
+                    // chunk boundary may fall mid-character, so pull the
+                    // continuation bytes through the source.
+                    let len = match lead {
+                        0x00..=0x7F => 1,
+                        0xC2..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF4 => 4,
+                        _ => return Err(self.fail("invalid utf-8")),
+                    };
+                    let mut scalar = [0u8; 4];
+                    scalar[0] = lead;
+                    for (i, slot) in scalar.iter_mut().enumerate().take(len).skip(1) {
+                        match self.src.peek_at(i) {
+                            Some(b) => *slot = b,
+                            None => return Err(self.fail("invalid utf-8")),
+                        }
+                    }
+                    match std::str::from_utf8(&scalar[..len]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.fail("invalid utf-8")),
+                    }
+                    self.src.advance(len);
                 }
             }
         }
     }
 
     fn hex4(&mut self) -> Result<u32, Error> {
-        let end = self.pos + 4;
-        if end > self.bytes.len() {
-            return Err(Error::parse("truncated \\u escape", self.pos));
+        let mut v = 0u32;
+        for i in 0..4 {
+            let b = match self.src.peek_at(i) {
+                Some(b) => b,
+                None => return Err(self.fail("truncated \\u escape")),
+            };
+            let digit = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.fail("invalid \\u escape")),
+            };
+            v = (v << 4) | digit;
         }
-        let s = std::str::from_utf8(&self.bytes[self.pos..end])
-            .map_err(|_| Error::parse("invalid \\u escape", self.pos))?;
-        let v =
-            u32::from_str_radix(s, 16).map_err(|_| Error::parse("invalid \\u escape", self.pos))?;
-        self.pos = end;
+        self.src.advance(4);
         Ok(v)
     }
 
     fn number(&mut self) -> Result<Value, Error> {
-        let start = self.pos;
+        let start = self.src.offset();
+        let mut text = String::new();
         if self.peek() == Some(b'-') {
-            self.pos += 1;
+            text.push('-');
+            self.src.advance(1);
         }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
+        let digits = |p: &mut Self, text: &mut String| {
+            while let Some(b @ b'0'..=b'9') = p.peek() {
+                text.push(b as char);
+                p.src.advance(1);
+            }
+        };
+        digits(self, &mut text);
         let mut is_float = false;
         if self.peek() == Some(b'.') {
             is_float = true;
-            self.pos += 1;
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
+            text.push('.');
+            self.src.advance(1);
+            digits(self, &mut text);
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
             is_float = true;
-            self.pos += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.pos += 1;
+            text.push('e');
+            self.src.advance(1);
+            if let Some(sign @ (b'+' | b'-')) = self.peek() {
+                text.push(sign as char);
+                self.src.advance(1);
             }
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
+            digits(self, &mut text);
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| Error::parse("invalid number", start))?;
         if text.is_empty() || text == "-" {
-            return Err(Error::parse("invalid number", start));
+            return Err(self
+                .src
+                .take_error()
+                .unwrap_or_else(|| Error::parse("invalid number", start)));
         }
         if !is_float {
             if let Ok(n) = text.parse::<u64>() {
@@ -387,12 +597,22 @@ impl<'a> Parser<'a> {
 mod tests {
     use super::*;
 
+    fn parse_value_complete(s: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            src: SliceSource {
+                bytes: s.as_bytes(),
+                pos: 0,
+            },
+        };
+        p.complete_value()
+    }
+
     #[test]
     fn scalars_roundtrip() {
         for json in ["null", "true", "false", "0", "42", "-1.5", "1e3", "\"hi\""] {
             let v = parse_value_complete(json).unwrap();
             let mut out = String::new();
-            write_value(&mut out, &v);
+            write_value(&mut out, &v).unwrap();
             let v2 = parse_value_complete(&out).unwrap();
             assert_eq!(v, v2, "{}", json);
         }
@@ -403,7 +623,7 @@ mod tests {
         let json = r#"{"agents":["alice","b\"ob"],"txns":[{"parents":[],"agent":0,"patches":[{"pos":0,"del":0,"ins":"héllo\n"}]}]}"#;
         let v = parse_value_complete(json).unwrap();
         let mut out = String::new();
-        write_value(&mut out, &v);
+        write_value(&mut out, &v).unwrap();
         assert_eq!(parse_value_complete(&out).unwrap(), v);
     }
 
@@ -426,5 +646,95 @@ mod tests {
         let v: Vec<usize> = from_str("[1,2,3]").unwrap();
         assert_eq!(v, vec![1, 2, 3]);
         assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+    }
+
+    /// A reader that hands out one byte per `read` call — the worst
+    /// possible chunking, so every multi-byte token crosses a refill.
+    struct TrickleReader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl io::Read for TrickleReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.bytes.get(self.pos) {
+                Some(&b) if !buf.is_empty() => {
+                    buf[0] = b;
+                    self.pos += 1;
+                    Ok(1)
+                }
+                _ => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn from_reader_matches_from_str() {
+        let json = r#"  {"name":"hélloA😀","nums":[1,-2.5,1e3],"flag":true,"nil":null}  "#;
+        let via_str: Value = from_str(json).unwrap();
+        let via_reader: Value = from_reader(json.as_bytes()).unwrap();
+        assert_eq!(via_str, via_reader);
+        // One byte per read: chunk boundaries inside literals, escapes,
+        // and multi-byte UTF-8 must all reassemble.
+        let trickled: Value = from_reader(TrickleReader {
+            bytes: json.as_bytes(),
+            pos: 0,
+        })
+        .unwrap();
+        assert_eq!(via_str, trickled);
+    }
+
+    #[test]
+    fn from_reader_large_input_spans_chunks() {
+        // Build a document comfortably bigger than one READ_CHUNK so the
+        // source must refill mid-structure.
+        let big: Vec<String> = (0..4000).map(|i| format!("item-{i:06}")).collect();
+        let json = to_string(&big).unwrap();
+        assert!(json.len() > READ_CHUNK * 2);
+        let back: Vec<String> = from_reader(json.as_bytes()).unwrap();
+        assert_eq!(back, big);
+    }
+
+    #[test]
+    fn from_reader_rejects_trailing_and_truncated() {
+        assert!(from_reader::<_, Value>(&b"[1,2] [3]"[..]).is_err());
+        assert!(from_reader::<_, Value>(&b"{\"a\":"[..]).is_err());
+        assert!(from_reader::<_, Value>(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn from_reader_surfaces_io_errors() {
+        struct FailingReader;
+        impl io::Read for FailingReader {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::ConnectionReset, "boom"))
+            }
+        }
+        let err = from_reader::<_, Value>(FailingReader).unwrap_err();
+        assert!(err.to_string().contains("io error"), "{err}");
+    }
+
+    #[test]
+    fn to_writer_streams_compact_json() {
+        let v: Vec<usize> = vec![1, 2, 3];
+        let mut out = Vec::new();
+        to_writer(&mut out, &v).unwrap();
+        assert_eq!(out, b"[1,2,3]");
+        // Matches the string path byte for byte.
+        assert_eq!(String::from_utf8(out).unwrap(), to_string(&v).unwrap());
+    }
+
+    #[test]
+    fn to_writer_surfaces_io_errors() {
+        struct FullDisk;
+        impl io::Write for FullDisk {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        assert!(to_writer(FullDisk, &vec![1u64, 2]).is_err());
     }
 }
